@@ -1,0 +1,83 @@
+//! Extension — energy efficiency across Table 1's power modes.
+//!
+//! The paper tabulates the devices by power mode but never evaluates
+//! energy; a smart home, however, cares about joules as much as seconds.
+//! This bench plans the same workload on low-power and high-power
+//! pipelines and reports throughput, energy, and samples-per-joule.
+//!
+//! Expected shape: the high-power modes win on throughput; the low-power
+//! modes win (or tie) on samples-per-joule — DVFS on Jetson-class silicon
+//! trades roughly linearly, so the efficiency gap is modest but the
+//! latency gap is not.
+
+use ecofl_bench::{header, write_json};
+use ecofl_models::efficientnet_at;
+use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
+use ecofl_pipeline::orchestrator::k_bounds;
+use ecofl_pipeline::partition::partition_dp;
+use ecofl_pipeline::profiler::PipelineProfile;
+use ecofl_simnet::{nano_h, nano_l, power_of, tx2_n, tx2_q, Device, DeviceSpec, Link};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cluster: String,
+    throughput: f64,
+    total_watts: f64,
+    samples_per_joule: f64,
+}
+
+fn run_cluster(name: &str, specs: Vec<DeviceSpec>, rows: &mut Vec<Row>) {
+    let model = efficientnet_at(1, 224);
+    let link = Link::mbps_100();
+    let devices: Vec<Device> = specs.iter().cloned().map(Device::new).collect();
+    let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
+    let k = k_bounds(&profile).expect("fits");
+    let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .run(16, 3)
+        .expect("runs");
+    let power: Vec<_> = specs
+        .iter()
+        .map(|s| power_of(&s.name).expect("catalog device"))
+        .collect();
+    let energy: f64 = report.stage_energy_joules(&power).iter().sum();
+    let spj = report.samples_per_joule(&power);
+    println!(
+        "{name:<22} {:>10.2} samples/s {:>8.1} W avg {:>10.3} samples/J",
+        report.throughput,
+        energy / report.makespan,
+        spj,
+    );
+    rows.push(Row {
+        cluster: name.into(),
+        throughput: report.throughput,
+        total_watts: energy / report.makespan,
+        samples_per_joule: spj,
+    });
+}
+
+fn main() {
+    header("Extension: energy across Table 1 power modes (EfficientNet-B1, 2-stage)");
+    let mut rows = Vec::new();
+    run_cluster("low  (Nano-L + TX2-Q)", vec![tx2_q(), nano_l()], &mut rows);
+    run_cluster("high (Nano-H + TX2-N)", vec![tx2_n(), nano_h()], &mut rows);
+
+    let (low, high) = (&rows[0], &rows[1]);
+    assert!(
+        high.throughput > low.throughput,
+        "high power modes must be faster"
+    );
+    assert!(
+        high.total_watts > low.total_watts,
+        "high power modes must draw more"
+    );
+    println!(
+        "\nShape checks passed: high-power modes are {:.2}x faster at {:.2}x the draw \
+         ({:.2}x the energy efficiency).",
+        high.throughput / low.throughput,
+        high.total_watts / low.total_watts,
+        high.samples_per_joule / low.samples_per_joule,
+    );
+    write_json("energy_modes", &rows);
+}

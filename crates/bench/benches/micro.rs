@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the hot algorithmic kernels:
+//! the Eq. 1 dynamic-programming partitioner, the event-driven pipeline
+//! executor, k-means latency clustering, JS divergence, FedAvg
+//! aggregation, client local training, and the tensor matmul that
+//! dominates it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ecofl_data::SyntheticSpec;
+use ecofl_fl::aggregate::weighted_average;
+use ecofl_fl::client::{local_train, LocalTrainConfig};
+use ecofl_grouping::kmeans_1d;
+use ecofl_models::{efficientnet_at, ModelArch};
+use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
+use ecofl_pipeline::orchestrator::k_bounds;
+use ecofl_pipeline::partition::partition_dp;
+use ecofl_pipeline::profiler::PipelineProfile;
+use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+use ecofl_tensor::Tensor;
+use ecofl_util::{js_divergence, Rng};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let model = efficientnet_at(6, 224);
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    let link = Link::mbps_100();
+    c.bench_function("partition_dp_b6_3dev", |b| {
+        b.iter(|| partition_dp(black_box(&model), &devices, &link, 16))
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let model = efficientnet_at(2, 224);
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, 16).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 16);
+    let k = k_bounds(&profile).expect("residency");
+    c.bench_function("executor_sync_round_m16", |b| {
+        b.iter(|| {
+            PipelineExecutor::new(
+                black_box(&profile),
+                SchedulePolicy::OneFOneBSync { k: k.clone() },
+            )
+            .run(16, 1)
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = Rng::new(5);
+    let points: Vec<f64> = (0..300).map(|_| rng.range_f64(5.0, 150.0)).collect();
+    c.bench_function("kmeans_300_clients_k5", |b| {
+        b.iter_batched(
+            || Rng::new(7),
+            |mut r| kmeans_1d(black_box(&points), 5, &mut r, 100),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_js(c: &mut Criterion) {
+    let p: Vec<f64> = (0..10).map(|i| (i + 1) as f64 / 55.0).collect();
+    let q = vec![0.1f64; 10];
+    c.bench_function("js_divergence_10_classes", |b| {
+        b.iter(|| js_divergence(black_box(&p), black_box(&q)))
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut rng = Rng::new(9);
+    let updates: Vec<Vec<f32>> = (0..20)
+        .map(|_| (0..4938).map(|_| rng.next_f32()).collect())
+        .collect();
+    c.bench_function("weighted_average_20x4938", |b| {
+        b.iter(|| {
+            let refs: Vec<(&[f32], f64)> = updates.iter().map(|u| (u.as_slice(), 60.0)).collect();
+            weighted_average(black_box(&refs))
+        })
+    });
+}
+
+fn bench_local_train(c: &mut Criterion) {
+    let spec = SyntheticSpec::mnist_like();
+    let protos = spec.prototypes(1);
+    let mut rng = Rng::new(2);
+    let data = protos.sample_balanced(6, &mut rng);
+    let start = ModelArch::Mlp
+        .build(spec.feature_dim, spec.num_classes, &mut Rng::new(3))
+        .params();
+    let cfg = LocalTrainConfig {
+        epochs: 3,
+        batch_size: 10,
+        lr: 0.05,
+        mu: 0.05,
+    };
+    c.bench_function("local_train_60samples_3epochs", |b| {
+        b.iter_batched(
+            || Rng::new(11),
+            |mut r| local_train(ModelArch::Mlp, black_box(&start), &data, &cfg, &mut r),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(13);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b_mat = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&b_mat)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_partition, bench_executor, bench_kmeans, bench_js,
+              bench_aggregate, bench_local_train, bench_matmul
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1 — specifications of the edge devices.
+//!
+//! Prints the device catalog exactly as the paper tabulates it, plus the
+//! derived effective training compute rate our simulator assigns to each
+//! power mode.
+
+use ecofl_bench::{header, write_json};
+use ecofl_simnet::catalog::{table1, NETWORK_MBPS};
+use ecofl_util::units::{fmt_bytes, fmt_flops};
+
+fn main() {
+    header("Table 1: Specifications of the used edge devices");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10} {:>22}",
+        "Hardware", "Memory", "Network", "", "Derived compute rate"
+    );
+    for spec in table1() {
+        println!(
+            "{:<10} {:>14} {:>9.0} Mbps {:>10} {:>18}/s",
+            spec.name,
+            fmt_bytes(spec.memory_bytes),
+            NETWORK_MBPS,
+            "",
+            fmt_flops(spec.compute_flops),
+        );
+    }
+    println!(
+        "\nPower-mode speed ratios (paper: frequency-proportional): \
+         Nano H/L = {:.2}, TX2 N/Q = {:.2}",
+        table1()[1].compute_flops / table1()[0].compute_flops,
+        table1()[3].compute_flops / table1()[2].compute_flops,
+    );
+    write_json("table1", &table1());
+}

@@ -1,0 +1,48 @@
+//! # ecofl-core
+//!
+//! The top-level public API of the Eco-FL reproduction: one crate to
+//! depend on, one builder to configure, and the whole two-level system —
+//! edge collaborative pipeline training per smart home, grouping-based
+//! hierarchical aggregation at the server — behind it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ecofl_core::prelude::*;
+//!
+//! // Three smart homes, each a small heterogeneous device cluster.
+//! let homes = vec![
+//!     SmartHome::new("home-a", vec![tx2_q(), nano_h()]),
+//!     SmartHome::new("home-b", vec![nano_h(), nano_l()]),
+//!     SmartHome::new("home-c", vec![nano_h()]),
+//! ];
+//! let report = EcoFlSystem::builder()
+//!     .homes(homes)
+//!     .replicate_homes(9)          // 9 clients cycling the 3 templates
+//!     .fl_config(FlConfig { horizon: 300.0, clients_per_round: 6,
+//!                           num_groups: 3, ..FlConfig::tiny() })
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid system")
+//!     .run();
+//! assert_eq!(report.pipeline_plans.len(), 3);
+//! assert!(report.fl.best_accuracy > 0.0);
+//! ```
+//!
+//! The sub-crates remain available for fine-grained use and are re-exported
+//! under [`prelude`].
+
+pub mod prelude;
+pub mod system;
+
+pub use system::{EcoFlReport, EcoFlSystem, EcoFlSystemBuilder, SmartHome};
+
+// Re-export the component crates wholesale for downstream users.
+pub use ecofl_data as data;
+pub use ecofl_fl as fl;
+pub use ecofl_grouping as grouping;
+pub use ecofl_models as models;
+pub use ecofl_pipeline as pipeline;
+pub use ecofl_simnet as simnet;
+pub use ecofl_tensor as tensor;
+pub use ecofl_util as util;

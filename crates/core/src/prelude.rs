@@ -1,0 +1,31 @@
+//! One-stop imports for Eco-FL users.
+//!
+//! ```
+//! use ecofl_core::prelude::*;
+//! let spec = SyntheticSpec::mnist_like();
+//! let devices = vec![tx2_q(), nano_h()];
+//! assert_eq!(devices.len(), 2);
+//! assert_eq!(spec.num_classes, 10);
+//! ```
+
+pub use crate::system::{EcoFlReport, EcoFlSystem, EcoFlSystemBuilder, SmartHome};
+
+pub use ecofl_data::federated::PartitionScheme;
+pub use ecofl_data::{Dataset, FederatedDataset, SyntheticSpec};
+pub use ecofl_fl::engine::{run as run_strategy, FlSetup, RunResult, Strategy};
+pub use ecofl_fl::{DynamicsConfig, FlConfig, LatencyModel};
+pub use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
+pub use ecofl_models::{
+    efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,
+};
+pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike};
+pub use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
+pub use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};
+pub use ecofl_pipeline::profiler::PipelineProfile;
+pub use ecofl_pipeline::runtime::PipelineTrainer;
+pub use ecofl_pipeline::{
+    data_parallel_epoch, single_device_epoch, ExecutionReport, PipelineExecutor, SchedulePolicy,
+};
+pub use ecofl_simnet::{nano_h, nano_l, tx2_n, tx2_q, Device, DeviceSpec, Link};
+pub use ecofl_tensor::{Network, Sgd, Tensor};
+pub use ecofl_util::{Rng, TimeSeries};

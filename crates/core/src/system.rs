@@ -1,0 +1,347 @@
+//! The end-to-end Eco-FL system.
+//!
+//! Ties the two halves of the paper together the way Fig. 2 draws them:
+//!
+//! 1. **Client side** — every smart home's device cluster is planned into
+//!    an edge collaborative pipeline (§4: Eq. 1 partitioning, §4.3
+//!    orchestration). The planned pipeline's simulated throughput
+//!    determines how fast that home finishes one FL round.
+//! 2. **Server side** — those pipeline-derived response latencies feed the
+//!    grouping-based hierarchical FL engine (§5), which trains a real
+//!    model over synthetic non-IID data with Eco-FL aggregation.
+
+use ecofl_data::federated::PartitionScheme;
+use ecofl_data::{FederatedDataset, SyntheticSpec};
+use ecofl_fl::engine::{run as run_fl, FlSetup, RunResult, Strategy};
+use ecofl_fl::FlConfig;
+use ecofl_models::{efficientnet, ModelArch, ModelProfile};
+use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
+use ecofl_simnet::{Device, DeviceSpec, Link};
+
+/// A participating client: a named cluster of trusted in-home devices.
+#[derive(Debug, Clone)]
+pub struct SmartHome {
+    /// Display name.
+    pub name: String,
+    /// The home's trusted devices (portal node first by convention).
+    pub devices: Vec<DeviceSpec>,
+}
+
+impl SmartHome {
+    /// Creates a home from its device list.
+    ///
+    /// # Panics
+    /// Panics if the device list is empty.
+    #[must_use]
+    pub fn new(name: &str, devices: Vec<DeviceSpec>) -> Self {
+        assert!(!devices.is_empty(), "SmartHome: need at least one device");
+        Self {
+            name: name.to_owned(),
+            devices,
+        }
+    }
+}
+
+/// Builder for [`EcoFlSystem`].
+#[derive(Debug, Clone)]
+pub struct EcoFlSystemBuilder {
+    homes: Vec<SmartHome>,
+    replicate_to: Option<usize>,
+    fl_config: FlConfig,
+    dataset: SyntheticSpec,
+    scheme: PartitionScheme,
+    samples_per_client: usize,
+    test_per_class: usize,
+    arch: ModelArch,
+    pipeline_model: ModelProfile,
+    orchestrator: OrchestratorConfig,
+    strategy: Strategy,
+    seed: u64,
+}
+
+impl Default for EcoFlSystemBuilder {
+    fn default() -> Self {
+        Self {
+            homes: Vec::new(),
+            replicate_to: None,
+            fl_config: FlConfig::default(),
+            dataset: SyntheticSpec::mnist_like(),
+            scheme: PartitionScheme::ClassesPerClient(2),
+            samples_per_client: 60,
+            test_per_class: 50,
+            arch: ModelArch::Mlp,
+            pipeline_model: efficientnet(0),
+            orchestrator: OrchestratorConfig {
+                global_batch: 64,
+                mbs_candidates: vec![16, 8, 4],
+                eval_rounds: 1,
+            },
+            strategy: Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            seed: 42,
+        }
+    }
+}
+
+impl EcoFlSystemBuilder {
+    /// Sets the smart-home templates (at least one required).
+    #[must_use]
+    pub fn homes(mut self, homes: Vec<SmartHome>) -> Self {
+        self.homes = homes;
+        self
+    }
+
+    /// Cycles the home templates to reach `n` FL clients (the paper uses
+    /// 300 clients built from a handful of hardware profiles).
+    #[must_use]
+    pub fn replicate_homes(mut self, n: usize) -> Self {
+        self.replicate_to = Some(n);
+        self
+    }
+
+    /// Overrides the FL configuration.
+    #[must_use]
+    pub fn fl_config(mut self, cfg: FlConfig) -> Self {
+        self.fl_config = cfg;
+        self
+    }
+
+    /// Selects the synthetic dataset family.
+    #[must_use]
+    pub fn dataset(mut self, spec: SyntheticSpec) -> Self {
+        self.dataset = spec;
+        self
+    }
+
+    /// Selects the non-IID partition scheme.
+    #[must_use]
+    pub fn partition(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets training samples per client.
+    #[must_use]
+    pub fn samples_per_client(mut self, n: usize) -> Self {
+        self.samples_per_client = n;
+        self
+    }
+
+    /// Selects the client model architecture.
+    #[must_use]
+    pub fn arch(mut self, arch: ModelArch) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the DNN whose pipeline training defines each home's speed.
+    #[must_use]
+    pub fn pipeline_model(mut self, model: ModelProfile) -> Self {
+        self.pipeline_model = model;
+        self
+    }
+
+    /// Selects the server aggregation strategy (default: Eco-FL with
+    /// dynamic grouping).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the global seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and assembles the system.
+    ///
+    /// # Errors
+    /// Returns a message when no homes are configured or some home admits
+    /// no feasible pipeline plan.
+    pub fn build(self) -> Result<EcoFlSystem, String> {
+        if self.homes.is_empty() {
+            return Err("EcoFlSystem: at least one smart home is required".into());
+        }
+        let link = Link::mbps_100();
+        let mut plans = Vec::with_capacity(self.homes.len());
+        for home in &self.homes {
+            let devices: Vec<Device> = home
+                .devices
+                .iter()
+                .map(|spec| Device::new(spec.clone()))
+                .collect();
+            let plan =
+                search_configuration(&self.pipeline_model, &devices, &link, &self.orchestrator)
+                    .ok_or_else(|| {
+                        format!(
+                            "EcoFlSystem: no feasible pipeline plan for home {}",
+                            home.name
+                        )
+                    })?;
+            plans.push(plan);
+        }
+        Ok(EcoFlSystem {
+            builder: self,
+            plans,
+        })
+    }
+
+    /// Shorthand: `EcoFlSystem::builder()`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Report of one full system run.
+#[derive(Debug, Clone)]
+pub struct EcoFlReport {
+    /// One pipeline plan per smart-home template, in input order.
+    pub pipeline_plans: Vec<PipelinePlan>,
+    /// Pipeline-derived base response delay per FL client, seconds.
+    pub client_delays: Vec<f64>,
+    /// The FL run result under the configured strategy.
+    pub fl: RunResult,
+}
+
+/// A validated, ready-to-run Eco-FL system.
+#[derive(Debug)]
+pub struct EcoFlSystem {
+    builder: EcoFlSystemBuilder,
+    plans: Vec<PipelinePlan>,
+}
+
+impl EcoFlSystem {
+    /// Starts building a system.
+    #[must_use]
+    pub fn builder() -> EcoFlSystemBuilder {
+        EcoFlSystemBuilder::default()
+    }
+
+    /// Pipeline plans per home template (available before running).
+    #[must_use]
+    pub fn plans(&self) -> &[PipelinePlan] {
+        &self.plans
+    }
+
+    /// Runs the full system: pipeline-derived latencies → hierarchical FL.
+    #[must_use]
+    pub fn run(&self) -> EcoFlReport {
+        let b = &self.builder;
+        let n_clients = b.replicate_to.unwrap_or(b.homes.len()).max(b.homes.len());
+
+        // One FL round ≈ e local epochs over the client's shard, executed
+        // by the home's pipeline at its simulated throughput.
+        let samples_per_round = (b.fl_config.local_epochs * b.samples_per_client) as f64;
+        let client_delays: Vec<f64> = (0..n_clients)
+            .map(|c| {
+                let plan = &self.plans[c % self.plans.len()];
+                samples_per_round / plan.report.throughput.max(1e-9)
+            })
+            .collect();
+
+        let rlg: Vec<usize> = (0..n_clients).map(|c| c % b.fl_config.num_groups).collect();
+        let needs_rlg = matches!(
+            b.scheme,
+            PartitionScheme::RlgIid | PartitionScheme::RlgNiid(_)
+        );
+        let data = FederatedDataset::generate(
+            &b.dataset,
+            n_clients,
+            b.samples_per_client,
+            b.test_per_class,
+            b.scheme,
+            needs_rlg.then_some(rlg.as_slice()),
+            b.seed,
+        );
+
+        let mut fl_config = b.fl_config.clone();
+        fl_config.num_clients = n_clients;
+        fl_config.base_delay_override = Some(client_delays.clone());
+        fl_config.seed = b.seed;
+
+        let setup = FlSetup {
+            data,
+            arch: b.arch,
+            config: fl_config,
+        };
+        let fl = run_fl(b.strategy, &setup);
+        EcoFlReport {
+            pipeline_plans: self.plans.clone(),
+            client_delays,
+            fl,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofl_simnet::{nano_h, nano_l, tx2_q};
+
+    fn homes() -> Vec<SmartHome> {
+        vec![
+            SmartHome::new("fast", vec![tx2_q(), nano_h()]),
+            SmartHome::new("slow", vec![nano_l()]),
+        ]
+    }
+
+    fn quick_cfg() -> FlConfig {
+        FlConfig {
+            horizon: 200.0,
+            eval_interval: 50.0,
+            clients_per_round: 4,
+            num_groups: 2,
+            ..FlConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn builder_requires_homes() {
+        assert!(EcoFlSystem::builder().build().is_err());
+    }
+
+    #[test]
+    fn system_plans_and_runs() {
+        let system = EcoFlSystem::builder()
+            .homes(homes())
+            .replicate_homes(8)
+            .fl_config(quick_cfg())
+            .seed(3)
+            .build()
+            .expect("feasible");
+        assert_eq!(system.plans().len(), 2);
+        let report = system.run();
+        assert_eq!(report.client_delays.len(), 8);
+        assert!(report.fl.global_updates > 0);
+        // The multi-device fast home must out-pace the lone Nano-L.
+        assert!(
+            report.client_delays[0] < report.client_delays[1],
+            "fast home delay {} vs slow {}",
+            report.client_delays[0],
+            report.client_delays[1]
+        );
+    }
+
+    #[test]
+    fn deterministic_system_runs() {
+        let make = || {
+            EcoFlSystem::builder()
+                .homes(homes())
+                .replicate_homes(6)
+                .fl_config(quick_cfg())
+                .seed(9)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.fl.accuracy, b.fl.accuracy);
+        assert_eq!(a.client_delays, b.client_delays);
+    }
+}

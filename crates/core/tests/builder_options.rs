@@ -1,0 +1,140 @@
+//! Coverage of the `EcoFlSystemBuilder` surface: every option, the error
+//! paths, and the interplay between options and the run.
+
+use ecofl_core::prelude::*;
+use ecofl_core::system::EcoFlSystemBuilder;
+
+fn homes() -> Vec<SmartHome> {
+    vec![
+        SmartHome::new("a", vec![tx2_q(), nano_h()]),
+        SmartHome::new("b", vec![nano_h()]),
+    ]
+}
+
+fn quick() -> FlConfig {
+    FlConfig {
+        num_clients: 10,
+        clients_per_round: 4,
+        num_groups: 2,
+        horizon: 200.0,
+        eval_interval: 60.0,
+        ..FlConfig::tiny()
+    }
+}
+
+#[test]
+fn empty_builder_fails_with_message() {
+    let err = EcoFlSystemBuilder::new().build().unwrap_err();
+    assert!(err.contains("smart home"), "unexpected message: {err}");
+}
+
+#[test]
+fn infeasible_home_fails_with_home_name() {
+    // A home with more devices than any model has layers per stage can't
+    // happen; instead give a device with absurdly little memory.
+    let tiny = DeviceSpec::new("tiny", 1e9, 1024, 1e8);
+    let err = EcoFlSystem::builder()
+        .homes(vec![SmartHome::new("broken-home", vec![tiny])])
+        .fl_config(quick())
+        .build()
+        .unwrap_err();
+    assert!(err.contains("broken-home"), "unexpected message: {err}");
+}
+
+#[test]
+fn dataset_and_partition_options_flow_through() {
+    let report = EcoFlSystem::builder()
+        .homes(homes())
+        .replicate_homes(10)
+        .dataset(SyntheticSpec::fashion_like())
+        .partition(PartitionScheme::Dirichlet(0.5))
+        .samples_per_client(24)
+        .fl_config(quick())
+        .seed(5)
+        .build()
+        .expect("builds")
+        .run();
+    assert_eq!(report.client_delays.len(), 10);
+    assert!(report.fl.global_updates > 0);
+}
+
+#[test]
+fn strategy_option_switches_algorithm() {
+    let base = EcoFlSystem::builder()
+        .homes(homes())
+        .replicate_homes(10)
+        .fl_config(quick())
+        .seed(6);
+    let fedavg = base
+        .clone()
+        .strategy(Strategy::FedAvg)
+        .build()
+        .unwrap()
+        .run();
+    let ecofl = base
+        .strategy(Strategy::EcoFl {
+            dynamic_grouping: true,
+        })
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(fedavg.fl.strategy, "FedAvg");
+    assert_eq!(ecofl.fl.strategy, "Eco-FL");
+}
+
+#[test]
+fn pipeline_model_option_changes_plans() {
+    let small = EcoFlSystem::builder()
+        .homes(homes())
+        .pipeline_model(efficientnet_at(0, 96))
+        .fl_config(quick())
+        .build()
+        .unwrap();
+    let big = EcoFlSystem::builder()
+        .homes(homes())
+        .pipeline_model(efficientnet_at(4, 224))
+        .fl_config(quick())
+        .build()
+        .unwrap();
+    // The lighter workload must plan to higher throughput on equal homes.
+    assert!(
+        small.plans()[0].report.throughput > big.plans()[0].report.throughput,
+        "B0@96 should out-run B4@224"
+    );
+}
+
+#[test]
+fn cnn_arch_option_runs() {
+    let report = EcoFlSystem::builder()
+        .homes(homes())
+        .replicate_homes(8)
+        .dataset(SyntheticSpec::image_like())
+        .arch(ModelArch::Cnn)
+        .samples_per_client(20)
+        .fl_config(FlConfig {
+            num_clients: 8,
+            clients_per_round: 4,
+            num_groups: 2,
+            horizon: 150.0,
+            eval_interval: 70.0,
+            ..FlConfig::tiny()
+        })
+        .seed(8)
+        .build()
+        .expect("builds")
+        .run();
+    assert!(report.fl.global_updates > 0);
+}
+
+#[test]
+fn replicate_homes_never_shrinks_below_templates() {
+    let system = EcoFlSystem::builder()
+        .homes(homes())
+        .replicate_homes(1) // fewer than templates: clamped up
+        .fl_config(quick())
+        .seed(4)
+        .build()
+        .unwrap();
+    let report = system.run();
+    assert!(report.client_delays.len() >= 2);
+}

@@ -1,0 +1,127 @@
+//! Model aggregation primitives.
+//!
+//! - [`weighted_average`] — the FedAvg/intra-group synchronous rule:
+//!   `w ← Σ_c (|D_c|/|D^g|) · w_c`,
+//! - [`fedasync_mix`] — the FedAsync/inter-group asynchronous rule:
+//!   `w(k) = (1−α) w(k−1) + α w_new`,
+//! - [`staleness_alpha`] — polynomial staleness discounting
+//!   `α_τ = α · (1 + k − τ)^{-a}` (Xie et al. 2019), which Eco-FL applies
+//!   to group models arriving late.
+
+/// Weighted average of parameter vectors.
+///
+/// # Panics
+/// Panics on empty input, mismatched lengths, or non-positive total
+/// weight.
+#[must_use]
+pub fn weighted_average(updates: &[(&[f32], f64)]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "weighted_average: no updates");
+    let dim = updates[0].0.len();
+    let total: f64 = updates.iter().map(|(_, w)| *w).sum();
+    assert!(
+        total > 0.0,
+        "weighted_average: total weight must be positive"
+    );
+    let mut out = vec![0.0f64; dim];
+    for (params, weight) in updates {
+        assert_eq!(params.len(), dim, "weighted_average: length mismatch");
+        let w = *weight / total;
+        for (acc, &p) in out.iter_mut().zip(*params) {
+            *acc += w * f64::from(p);
+        }
+    }
+    out.into_iter().map(|x| x as f32).collect()
+}
+
+/// FedAsync mixing: `w ← (1−α) w + α w_new`, in place.
+///
+/// # Panics
+/// Panics if lengths differ or `α` is outside `(0, 1]`.
+pub fn fedasync_mix(global: &mut [f32], new: &[f32], alpha: f64) {
+    assert_eq!(global.len(), new.len(), "fedasync_mix: length mismatch");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "fedasync_mix: alpha must be in (0,1], got {alpha}"
+    );
+    let a = alpha as f32;
+    for (g, &n) in global.iter_mut().zip(new) {
+        *g = (1.0 - a) * *g + a * n;
+    }
+}
+
+/// Staleness-adjusted mixing weight: `α · (1 + staleness)^(−exponent)`.
+///
+/// `staleness` is the number of global updates that happened since the
+/// contributor synchronized (`k − τ`).
+#[must_use]
+pub fn staleness_alpha(alpha: f64, staleness: u64, exponent: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0);
+    assert!(exponent >= 0.0);
+    alpha * (1.0 + staleness as f64).powf(-exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let p = [1.0f32, -2.0, 3.0];
+        let avg = weighted_average(&[(&p, 5.0), (&p, 3.0)]);
+        for (a, b) in avg.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weights_proportional() {
+        let a = [0.0f32];
+        let b = [10.0f32];
+        let avg = weighted_average(&[(&a, 1.0), (&b, 3.0)]);
+        assert!((avg[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preserves_weighted_mean_property() {
+        // Aggregating in two steps equals one step when weights compose.
+        let u1 = [1.0f32, 2.0];
+        let u2 = [3.0f32, 4.0];
+        let u3 = [5.0f32, 6.0];
+        let direct = weighted_average(&[(&u1, 1.0), (&u2, 1.0), (&u3, 2.0)]);
+        let partial = weighted_average(&[(&u1, 1.0), (&u2, 1.0)]);
+        let nested = weighted_average(&[(&partial, 2.0), (&u3, 2.0)]);
+        for (a, b) in direct.iter().zip(&nested) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn rejects_zero_weights() {
+        let p = [1.0f32];
+        let _ = weighted_average(&[(&p, 0.0)]);
+    }
+
+    #[test]
+    fn mix_moves_toward_new_model() {
+        let mut g = vec![0.0f32, 0.0];
+        fedasync_mix(&mut g, &[1.0, -1.0], 0.25);
+        assert!((g[0] - 0.25).abs() < 1e-6);
+        assert!((g[1] + 0.25).abs() < 1e-6);
+        fedasync_mix(&mut g, &[1.0, -1.0], 1.0);
+        assert_eq!(g, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn staleness_discounts_monotonically() {
+        let a0 = staleness_alpha(0.5, 0, 0.5);
+        let a1 = staleness_alpha(0.5, 1, 0.5);
+        let a8 = staleness_alpha(0.5, 8, 0.5);
+        assert_eq!(a0, 0.5);
+        assert!(a1 < a0);
+        assert!(a8 < a1);
+        assert!(a8 > 0.0);
+        // Zero exponent disables discounting.
+        assert_eq!(staleness_alpha(0.3, 100, 0.0), 0.3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Experiment configuration mirroring §6.1 of the paper.
+
+use ecofl_grouping::GroupingStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Runtime dynamics: clients periodically resample their collaborative
+/// degree, changing their response latency mid-training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Probability that a client resamples its degree after participating
+    /// in a round.
+    pub change_prob: f64,
+    /// The degree choices (paper: {0.2, 0.4, 0.6, 0.8, 1.0}).
+    pub degrees: Vec<f64>,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        Self {
+            change_prob: 0.15,
+            degrees: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        }
+    }
+}
+
+/// Full FL experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Total number of clients (paper: 300).
+    pub num_clients: usize,
+    /// Maximum clients training concurrently per round (paper: 20).
+    pub clients_per_round: usize,
+    /// Local epochs per round (paper: 3).
+    pub local_epochs: usize,
+    /// Local mini-batch size (paper: 10).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// FedProx proximal coefficient µ (paper: 0.05).
+    pub mu: f32,
+    /// FedAsync base mixing weight α.
+    pub alpha: f64,
+    /// Polynomial staleness exponent for async mixing.
+    pub staleness_exponent: f64,
+    /// Number of groups / response-latency groups (paper: 5).
+    pub num_groups: usize,
+    /// Grouping criterion for hierarchical strategies.
+    pub grouping: GroupingStrategy,
+    /// Latency threshold `RT_g` relative to the group center.
+    pub rt_relative: f64,
+    /// Absolute floor of `RT_g`, virtual seconds.
+    pub rt_min: f64,
+    /// Virtual-time horizon of the run, seconds.
+    pub horizon: f64,
+    /// Evaluate the global model at most once per this many virtual
+    /// seconds (keeps traces compact).
+    pub eval_interval: f64,
+    /// Mean of the base response-delay distribution, seconds.
+    pub base_delay_mean: f64,
+    /// Std-dev of the base response-delay distribution, seconds.
+    pub base_delay_std: f64,
+    /// Runtime dynamics; `None` freezes collaborative degrees.
+    pub dynamics: Option<DynamicsConfig>,
+    /// Explicit per-client base delays (seconds). When set, overrides the
+    /// normal-distribution sampling — used by the top-level system to feed
+    /// pipeline-derived response latencies into the FL engine.
+    pub base_delay_override: Option<Vec<f64>>,
+    /// Probability that a selected client fails to return its update
+    /// (crash, disconnect, battery). Synchronous aggregations proceed over
+    /// the survivors; a round whose every participant failed is skipped.
+    pub failure_prob: f64,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            num_clients: 300,
+            clients_per_round: 20,
+            local_epochs: 3,
+            batch_size: 10,
+            learning_rate: 0.05,
+            mu: 0.05,
+            alpha: 0.7,
+            staleness_exponent: 0.5,
+            num_groups: 5,
+            grouping: GroupingStrategy::EcoFl { lambda: 1000.0 },
+            rt_relative: 0.6,
+            rt_min: 5.0,
+            horizon: 3000.0,
+            eval_interval: 20.0,
+            base_delay_mean: 30.0,
+            base_delay_std: 10.0,
+            dynamics: Some(DynamicsConfig::default()),
+            base_delay_override: None,
+            failure_prob: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl FlConfig {
+    /// A small configuration for tests and doc examples: 24 clients, short
+    /// horizon.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            num_clients: 24,
+            clients_per_round: 8,
+            horizon: 600.0,
+            eval_interval: 30.0,
+            num_groups: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Clients sampled per group round in hierarchical strategies
+    /// (respects the global concurrency cap).
+    #[must_use]
+    pub fn clients_per_group_round(&self) -> usize {
+        (self.clients_per_round / self.num_groups).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FlConfig::default();
+        assert_eq!(c.num_clients, 300);
+        assert_eq!(c.clients_per_round, 20);
+        assert_eq!(c.local_epochs, 3);
+        assert_eq!(c.batch_size, 10);
+        assert!((c.mu - 0.05).abs() < 1e-9);
+        assert_eq!(c.num_groups, 5);
+        let d = c.dynamics.unwrap();
+        assert_eq!(d.degrees, vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+    }
+
+    #[test]
+    fn per_group_sampling_respects_cap() {
+        let c = FlConfig::default();
+        assert_eq!(c.clients_per_group_round(), 4);
+        let mut c2 = FlConfig::tiny();
+        c2.num_groups = 100;
+        assert_eq!(c2.clients_per_group_round(), 1);
+    }
+}

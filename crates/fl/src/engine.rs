@@ -1,0 +1,899 @@
+//! The virtual-time FL engine: five strategies, one clock.
+//!
+//! All strategies train *real* models (genuine SGD on every client's
+//! shard, parallelized across clients with rayon) while the clock advances
+//! by simulated response latencies:
+//!
+//! - [`Strategy::FedAvg`] — synchronous rounds over a random client
+//!   sample; the round lasts as long as its slowest participant,
+//! - [`Strategy::FedAsync`] — fully asynchronous single-client updates
+//!   with staleness-discounted mixing,
+//! - [`Strategy::FedAt`] — latency-only tiers, synchronous within a tier,
+//!   asynchronous (slower-tier-boosted) across tiers,
+//! - [`Strategy::Astraea`] — the hierarchical framework with Astraea's
+//!   data-only grouping,
+//! - [`Strategy::EcoFl`] — Eq. 4 grouping with FedProx intra-group rounds
+//!   and staleness-aware async inter-group mixing; `dynamic_grouping`
+//!   toggles Algorithm 1 (the "w/o DG" ablation of Fig. 7).
+
+use crate::aggregate::{fedasync_mix, staleness_alpha, weighted_average};
+use crate::client::{local_train, LocalTrainConfig, LocalUpdate};
+use crate::config::FlConfig;
+use crate::latency::LatencyModel;
+use ecofl_data::FederatedDataset;
+use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
+use ecofl_models::ModelArch;
+use ecofl_simnet::EventQueue;
+use ecofl_tensor::{Network, Tensor};
+use ecofl_util::{Rng, TimeSeries};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Fixed client↔server communication latency, seconds.
+const COMM_LATENCY: f64 = 1.0;
+
+/// Which FL algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Synchronous FedAvg (McMahan et al. 2017).
+    FedAvg,
+    /// Asynchronous FedAsync (Xie et al. 2019).
+    FedAsync,
+    /// FedAT latency tiers (Chai et al. 2021).
+    FedAt,
+    /// Hierarchical framework with Astraea's data-only grouping.
+    Astraea,
+    /// Eco-FL (this paper).
+    EcoFl {
+        /// Enable Algorithm 1 dynamic re-grouping.
+        dynamic_grouping: bool,
+    },
+}
+
+impl Strategy {
+    /// Display name used in figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::FedAvg => "FedAvg",
+            Strategy::FedAsync => "FedAsync",
+            Strategy::FedAt => "FedAT",
+            Strategy::Astraea => "Astraea",
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            } => "Eco-FL",
+            Strategy::EcoFl {
+                dynamic_grouping: false,
+            } => "Eco-FL w/o DG",
+        }
+    }
+}
+
+/// Everything a run needs.
+pub struct FlSetup {
+    /// Client shards + test set.
+    pub data: FederatedDataset,
+    /// Client model architecture.
+    pub arch: ModelArch,
+    /// Hyper-parameters and simulation knobs.
+    pub config: FlConfig,
+}
+
+/// Outcome of one strategy run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Test accuracy vs. virtual time.
+    pub accuracy: TimeSeries,
+    /// Accuracy at the horizon.
+    pub final_accuracy: f64,
+    /// Best accuracy observed.
+    pub best_accuracy: f64,
+    /// Global model updates performed.
+    pub global_updates: u64,
+    /// Dynamic re-grouping moves/drops/rejoins performed.
+    pub regroup_events: u64,
+    /// Clients in the drop-out pool at the horizon.
+    pub dropped_final: usize,
+    /// Per-class recall of the final global model on the test set —
+    /// non-IID damage shows up as collapsed recall on the classes a
+    /// biased aggregation under-serves.
+    pub final_recall: Vec<f64>,
+}
+
+/// Batched test-set evaluator that reuses one network instance.
+struct Evaluator {
+    net: Network,
+    batches: Vec<(Tensor, Vec<usize>)>,
+}
+
+impl Evaluator {
+    fn new(setup: &FlSetup) -> Self {
+        let mut rng = Rng::new(setup.config.seed ^ 0xEEAA);
+        let test = setup.data.test();
+        let net = setup
+            .arch
+            .build(test.feature_dim(), test.num_classes(), &mut rng);
+        let batches = (0..test.len())
+            .collect::<Vec<_>>()
+            .chunks(256)
+            .map(|chunk| {
+                let (feats, labels) = test.gather(chunk);
+                (
+                    Tensor::from_vec(feats, &[labels.len(), test.feature_dim()]),
+                    labels,
+                )
+            })
+            .collect();
+        Self { net, batches }
+    }
+
+    fn accuracy(&mut self, params: &[f32]) -> f64 {
+        self.net.set_params(params);
+        let mut correct = 0.0;
+        let mut total = 0.0;
+        for (x, y) in &self.batches {
+            let (_, acc) = self.net.evaluate(x, y);
+            correct += acc * y.len() as f64;
+            total += y.len() as f64;
+        }
+        correct / total.max(1.0)
+    }
+
+    /// Per-class recall of `params` on the test set.
+    fn recall(&mut self, params: &[f32], num_classes: usize) -> Vec<f64> {
+        self.net.set_params(params);
+        let mut correct = vec![0usize; num_classes];
+        let mut total = vec![0usize; num_classes];
+        for (x, y) in &self.batches {
+            let logits = self.net.forward(x);
+            self.net.clear_caches();
+            let k = logits.cols();
+            for (row, &t) in logits.data().chunks(k).zip(y) {
+                let argmax = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("nonempty row");
+                total[t] += 1;
+                if argmax == t {
+                    correct[t] += 1;
+                }
+            }
+        }
+        correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+            .collect()
+    }
+}
+
+/// Deterministic per-(client, round) RNG stream.
+fn client_rng(seed: u64, client: usize, tag: u64) -> Rng {
+    Rng::new(
+        seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag.wrapping_mul(0xD134_2543),
+    )
+}
+
+/// Trains `members` in parallel from `start` parameters.
+fn train_parallel(
+    setup: &FlSetup,
+    members: &[usize],
+    start: &[f32],
+    mu: f32,
+    tag: u64,
+) -> Vec<LocalUpdate> {
+    let cfg = LocalTrainConfig {
+        epochs: setup.config.local_epochs,
+        batch_size: setup.config.batch_size,
+        lr: setup.config.learning_rate,
+        mu,
+    };
+    members
+        .par_iter()
+        .map(|&c| {
+            let mut rng = client_rng(setup.config.seed, c, tag);
+            local_train(setup.arch, start, setup.data.client(c), &cfg, &mut rng)
+        })
+        .collect()
+}
+
+/// Applies the failure model: returns the indices of `members` that
+/// actually deliver their update this round.
+fn surviving(members: &[usize], failure_prob: f64, rng: &mut Rng) -> Vec<usize> {
+    if failure_prob <= 0.0 {
+        return members.to_vec();
+    }
+    members
+        .iter()
+        .copied()
+        .filter(|_| !rng.bernoulli(failure_prob))
+        .collect()
+}
+
+/// Initial global parameters (same for every strategy at equal seed).
+fn initial_params(setup: &FlSetup) -> Vec<f32> {
+    let mut rng = Rng::new(setup.config.seed ^ 0x11D0);
+    let test = setup.data.test();
+    setup
+        .arch
+        .build(test.feature_dim(), test.num_classes(), &mut rng)
+        .params()
+}
+
+/// Runs `strategy` on `setup` and returns its accuracy trace.
+///
+/// # Panics
+/// Panics on inconsistent setup (e.g. zero clients).
+#[must_use]
+pub fn run(strategy: Strategy, setup: &FlSetup) -> RunResult {
+    match strategy {
+        Strategy::FedAvg => run_fedavg(setup),
+        Strategy::FedAsync => run_fedasync(setup),
+        Strategy::FedAt => run_hierarchical(setup, HierKind::FedAt),
+        Strategy::Astraea => run_hierarchical(setup, HierKind::Astraea),
+        Strategy::EcoFl { dynamic_grouping } => {
+            run_hierarchical(setup, HierKind::EcoFl { dynamic_grouping })
+        }
+    }
+}
+
+/// Builds the latency model: explicit overrides win, otherwise sample.
+fn make_latency(cfg: &FlConfig, rng: &mut Rng) -> LatencyModel {
+    match &cfg.base_delay_override {
+        Some(delays) => {
+            assert_eq!(
+                delays.len(),
+                cfg.num_clients,
+                "base_delay_override length must match num_clients"
+            );
+            LatencyModel::from_delays(delays, cfg.dynamics.clone())
+        }
+        None => LatencyModel::sample(
+            cfg.num_clients,
+            cfg.base_delay_mean,
+            cfg.base_delay_std,
+            &[0.2, 0.4, 0.6, 0.8, 1.0],
+            cfg.dynamics.clone(),
+            rng,
+        ),
+    }
+}
+
+fn run_fedavg(setup: &FlSetup) -> RunResult {
+    let cfg = &setup.config;
+    let mut rng = Rng::new(cfg.seed ^ 0xFEDA);
+    let mut latency = make_latency(cfg, &mut rng);
+    let mut evaluator = Evaluator::new(setup);
+    let mut w = initial_params(setup);
+    let mut t = 0.0;
+    let mut accuracy = TimeSeries::new();
+    let mut updates = 0u64;
+    let mut last_eval = f64::NEG_INFINITY;
+    let mut round = 0u64;
+
+    accuracy.push(0.0, evaluator.accuracy(&w));
+    while t < cfg.horizon {
+        let members =
+            rng.sample_indices(cfg.num_clients, cfg.clients_per_round.min(cfg.num_clients));
+        // Synchronous: the round lasts as long as its slowest member (the
+        // server waits out failures as timeouts).
+        let round_time = members
+            .iter()
+            .map(|&c| latency.response_latency(c))
+            .fold(0.0, f64::max)
+            + COMM_LATENCY;
+        let survivors = surviving(&members, cfg.failure_prob, &mut rng);
+        if !survivors.is_empty() {
+            let results = train_parallel(setup, &survivors, &w, 0.0, round);
+            let refs: Vec<(&[f32], f64)> = results
+                .iter()
+                .map(|u| (u.params.as_slice(), u.num_samples as f64))
+                .collect();
+            w = weighted_average(&refs);
+            updates += 1;
+        }
+        t += round_time;
+        round += 1;
+        for &c in &members {
+            let _ = latency.maybe_perturb(c, &mut rng);
+        }
+        if t - last_eval >= cfg.eval_interval {
+            accuracy.push(t, evaluator.accuracy(&w));
+            last_eval = t;
+        }
+    }
+    let recall = evaluator.recall(&w, setup.data.num_classes());
+    finish("FedAvg", accuracy, updates, 0, 0, recall)
+}
+
+fn run_fedasync(setup: &FlSetup) -> RunResult {
+    let cfg = &setup.config;
+    let mut rng = Rng::new(cfg.seed ^ 0xA517);
+    let mut latency = make_latency(cfg, &mut rng);
+    let mut evaluator = Evaluator::new(setup);
+    let mut w = initial_params(setup);
+    let mut accuracy = TimeSeries::new();
+    accuracy.push(0.0, evaluator.accuracy(&w));
+
+    struct Pending {
+        client: usize,
+        start_params: Vec<f32>,
+        version: u64,
+    }
+    let mut queue: EventQueue<Pending> = EventQueue::new();
+    let mut version = 0u64;
+    let mut updates = 0u64;
+    let mut last_eval = 0.0f64;
+    let mut tag = 0u64;
+
+    let concurrent = cfg.clients_per_round.min(cfg.num_clients);
+    for _ in 0..concurrent {
+        let client = rng.range_usize(0, cfg.num_clients);
+        queue.schedule_after(
+            latency.response_latency(client) + COMM_LATENCY,
+            Pending {
+                client,
+                start_params: w.clone(),
+                version,
+            },
+        );
+    }
+
+    while let Some((t, pending)) = queue.pop() {
+        if t >= cfg.horizon {
+            break;
+        }
+        tag += 1;
+        let failed = cfg.failure_prob > 0.0 && rng.bernoulli(cfg.failure_prob);
+        if !failed {
+            let update = {
+                let mut crng = client_rng(cfg.seed, pending.client, tag);
+                local_train(
+                    setup.arch,
+                    &pending.start_params,
+                    setup.data.client(pending.client),
+                    &LocalTrainConfig {
+                        epochs: cfg.local_epochs,
+                        batch_size: cfg.batch_size,
+                        lr: cfg.learning_rate,
+                        mu: 0.0,
+                    },
+                    &mut crng,
+                )
+            };
+            // Vanilla FedAsync mixes with a constant α; the staleness-
+            // adaptive weighting is an optional variant in Xie et al.
+            // (Eco-FL's own inter-group aggregator uses the staleness-aware
+            // form, §5.1).
+            let _ = staleness_alpha(cfg.alpha, version - pending.version, cfg.staleness_exponent);
+            fedasync_mix(&mut w, &update.params, cfg.alpha.clamp(1e-3, 1.0));
+            version += 1;
+            updates += 1;
+        }
+        let _ = latency.maybe_perturb(pending.client, &mut rng);
+        // Immediately dispatch a replacement worker.
+        let client = rng.range_usize(0, cfg.num_clients);
+        queue.schedule_after(
+            latency.response_latency(client) + COMM_LATENCY,
+            Pending {
+                client,
+                start_params: w.clone(),
+                version,
+            },
+        );
+        if t - last_eval >= cfg.eval_interval {
+            accuracy.push(t, evaluator.accuracy(&w));
+            last_eval = t;
+        }
+    }
+    let recall = evaluator.recall(&w, setup.data.num_classes());
+    finish("FedAsync", accuracy, updates, 0, 0, recall)
+}
+
+/// Which hierarchical flavour to run.
+#[derive(Debug, Clone, Copy)]
+enum HierKind {
+    FedAt,
+    Astraea,
+    EcoFl { dynamic_grouping: bool },
+}
+
+impl HierKind {
+    fn grouping(self, lambda: f64) -> GroupingStrategy {
+        match self {
+            HierKind::FedAt => GroupingStrategy::LatencyOnly,
+            HierKind::Astraea => GroupingStrategy::DataOnly,
+            HierKind::EcoFl { .. } => GroupingStrategy::EcoFl { lambda },
+        }
+    }
+
+    fn dynamic(self) -> bool {
+        matches!(
+            self,
+            HierKind::EcoFl {
+                dynamic_grouping: true
+            }
+        )
+    }
+
+    fn proximal(self) -> bool {
+        !matches!(self, HierKind::FedAt)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            HierKind::FedAt => "FedAT",
+            HierKind::Astraea => "Astraea",
+            HierKind::EcoFl {
+                dynamic_grouping: true,
+            } => "Eco-FL",
+            HierKind::EcoFl {
+                dynamic_grouping: false,
+            } => "Eco-FL w/o DG",
+        }
+    }
+}
+
+fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
+    let cfg = &setup.config;
+    let mut rng = Rng::new(cfg.seed ^ 0x41E2);
+    let mut latency = make_latency(cfg, &mut rng);
+    let lambda = match cfg.grouping {
+        GroupingStrategy::EcoFl { lambda } => lambda,
+        _ => 1000.0,
+    };
+    let label_counts: Vec<Vec<f64>> = setup
+        .data
+        .clients()
+        .iter()
+        .map(|d| d.label_counts().iter().map(|&c| c as f64).collect())
+        .collect();
+    let mut grouper = Grouper::initial(
+        &latency.all_latencies(),
+        &label_counts,
+        GroupingConfig {
+            num_groups: cfg.num_groups,
+            strategy: kind.grouping(lambda),
+            rt_relative: cfg.rt_relative,
+            rt_min: cfg.rt_min,
+        },
+        &mut rng,
+    );
+
+    let mut evaluator = Evaluator::new(setup);
+    let mut w = initial_params(setup);
+    let mut accuracy = TimeSeries::new();
+    accuracy.push(0.0, evaluator.accuracy(&w));
+
+    struct GroupRound {
+        group: usize,
+        members: Vec<usize>,
+        start_params: Vec<f32>,
+        version: u64,
+    }
+    let mut queue: EventQueue<GroupRound> = EventQueue::new();
+    let mut version = 0u64;
+    let mut updates = 0u64;
+    let mut regroups = 0u64;
+    let mut last_eval = 0.0f64;
+    let mut tag = 0u64;
+    // FedAT keeps the latest model of every tier and recomputes the global
+    // as a straggler-boosted weighted average of tier models (Chai et al.
+    // 2021) — not incremental mixing. Averaging tier models that drift
+    // toward disjoint label subsets is exactly what degrades FedAT under
+    // RLG-NIID (Fig. 8).
+    let mut tier_models: Vec<Vec<f32>> = match kind {
+        HierKind::FedAt => vec![w.clone(); grouper.groups().len()],
+        _ => Vec::new(),
+    };
+
+    let per_group = cfg.clients_per_group_round();
+    let mu = if kind.proximal() { cfg.mu } else { 0.0 };
+
+    // Dispatches the next round for a group at the current global model.
+    let dispatch = |queue: &mut EventQueue<GroupRound>,
+                    grouper: &Grouper,
+                    latency: &LatencyModel,
+                    rng: &mut Rng,
+                    w: &[f32],
+                    version: u64,
+                    group: usize,
+                    retry_delay: f64| {
+        let members_all = &grouper.groups()[group].members;
+        if members_all.is_empty() {
+            // Empty group: retry later (members may be regrouped in).
+            queue.schedule_after(
+                retry_delay,
+                GroupRound {
+                    group,
+                    members: Vec::new(),
+                    start_params: Vec::new(),
+                    version,
+                },
+            );
+            return;
+        }
+        let take = per_group.min(members_all.len());
+        let picked = rng.sample_indices(members_all.len(), take);
+        let members: Vec<usize> = picked.into_iter().map(|i| members_all[i]).collect();
+        // Synchronous intra-group barrier: slowest sampled member.
+        let round_time = members
+            .iter()
+            .map(|&c| latency.response_latency(c))
+            .fold(0.0, f64::max)
+            + COMM_LATENCY;
+        queue.schedule_after(
+            round_time,
+            GroupRound {
+                group,
+                members,
+                start_params: w.to_vec(),
+                version,
+            },
+        );
+    };
+
+    #[allow(clippy::needless_range_loop)]
+    for g in 0..grouper.groups().len() {
+        let start: &[f32] = match kind {
+            // FedAT tiers evolve from their own tier model (semi-
+            // independent FedAvg per tier); the global weighted average is
+            // the served model only.
+            HierKind::FedAt => &tier_models[g],
+            _ => &w,
+        };
+        dispatch(
+            &mut queue,
+            &grouper,
+            &latency,
+            &mut rng,
+            start,
+            version,
+            g,
+            cfg.base_delay_mean,
+        );
+    }
+
+    while let Some((t, round)) = queue.pop() {
+        if t >= cfg.horizon {
+            break;
+        }
+        if round.members.is_empty() {
+            let start: &[f32] = match kind {
+                HierKind::FedAt => &tier_models[round.group],
+                _ => &w,
+            };
+            dispatch(
+                &mut queue,
+                &grouper,
+                &latency,
+                &mut rng,
+                start,
+                version,
+                round.group,
+                cfg.base_delay_mean,
+            );
+            continue;
+        }
+        tag += 1;
+        // Intra-group synchronous round (FedProx local solver for Eco-FL
+        // and Astraea; plain SGD for FedAT). Failed members time out and
+        // contribute nothing; the sync aggregator proceeds over survivors.
+        let survivors = surviving(&round.members, cfg.failure_prob, &mut rng);
+        if survivors.is_empty() {
+            // Whole cohort lost: skip the update, keep the group looping.
+            for &c in &round.members {
+                let _ = latency.maybe_perturb(c, &mut rng);
+            }
+            let start: &[f32] = match kind {
+                HierKind::FedAt => &tier_models[round.group],
+                _ => &w,
+            };
+            dispatch(
+                &mut queue,
+                &grouper,
+                &latency,
+                &mut rng,
+                start,
+                version,
+                round.group,
+                cfg.base_delay_mean,
+            );
+            continue;
+        }
+        let results = train_parallel(setup, &survivors, &round.start_params, mu, tag);
+        let refs: Vec<(&[f32], f64)> = results
+            .iter()
+            .map(|u| (u.params.as_slice(), u.num_samples as f64))
+            .collect();
+        let group_model = weighted_average(&refs);
+
+        // Inter-group aggregation.
+        match kind {
+            HierKind::FedAt => {
+                // FedAT: store the tier's fresh model and rebuild the
+                // global as a weighted average over all tier models, with
+                // slower tiers weighted higher to counter their lower
+                // update frequency.
+                tier_models[round.group] = group_model;
+                let mut centers: Vec<(usize, f64)> = grouper
+                    .groups()
+                    .iter()
+                    .map(|g| (g.id, g.center()))
+                    .collect();
+                centers.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                let t_count = centers.len();
+                let refs: Vec<(&[f32], f64)> = centers
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, &(id, _))| {
+                        (
+                            tier_models[id].as_slice(),
+                            (rank + 1) as f64 / t_count as f64,
+                        )
+                    })
+                    .collect();
+                w = weighted_average(&refs);
+            }
+            _ => {
+                let alpha =
+                    staleness_alpha(cfg.alpha, version - round.version, cfg.staleness_exponent);
+                fedasync_mix(&mut w, &group_model, alpha.clamp(1e-3, 1.0));
+            }
+        }
+        version += 1;
+        updates += 1;
+
+        // Runtime dynamics on participants, then Algorithm 1.
+        for &c in &round.members {
+            let changed = latency.maybe_perturb(c, &mut rng);
+            if kind.dynamic() && changed {
+                use ecofl_grouping::RegroupOutcome::*;
+                match grouper.observe_latency(c, latency.response_latency(c)) {
+                    Moved { .. } | Dropped { .. } | Rejoined { .. } => regroups += 1,
+                    Stayed | StillDropped => {}
+                }
+            }
+        }
+        // Give dropped clients a chance to rejoin.
+        if kind.dynamic() {
+            for c in grouper.dropped() {
+                use ecofl_grouping::RegroupOutcome::Rejoined;
+                if matches!(
+                    grouper.observe_latency(c, latency.response_latency(c)),
+                    Rejoined { .. }
+                ) {
+                    regroups += 1;
+                }
+            }
+        }
+
+        let start: &[f32] = match kind {
+            HierKind::FedAt => &tier_models[round.group],
+            _ => &w,
+        };
+        dispatch(
+            &mut queue,
+            &grouper,
+            &latency,
+            &mut rng,
+            start,
+            version,
+            round.group,
+            cfg.base_delay_mean,
+        );
+        if t - last_eval >= cfg.eval_interval {
+            accuracy.push(t, evaluator.accuracy(&w));
+            last_eval = t;
+        }
+    }
+    let recall = evaluator.recall(&w, setup.data.num_classes());
+    finish(
+        kind.name(),
+        accuracy,
+        updates,
+        regroups,
+        grouper.dropped().len(),
+        recall,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    name: &str,
+    accuracy: TimeSeries,
+    updates: u64,
+    regroups: u64,
+    dropped: usize,
+    final_recall: Vec<f64>,
+) -> RunResult {
+    let final_accuracy = accuracy.last().map_or(0.0, |(_, v)| v);
+    let best_accuracy = accuracy.max_value().unwrap_or(0.0);
+    RunResult {
+        strategy: name.to_owned(),
+        accuracy,
+        final_accuracy,
+        best_accuracy,
+        global_updates: updates,
+        regroup_events: regroups,
+        dropped_final: dropped,
+        final_recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofl_data::{federated::PartitionScheme, SyntheticSpec};
+
+    fn tiny_setup(scheme: PartitionScheme, seed: u64) -> FlSetup {
+        let cfg = FlConfig {
+            horizon: 400.0,
+            eval_interval: 40.0,
+            seed,
+            ..FlConfig::tiny()
+        };
+        let data = FederatedDataset::generate(
+            &SyntheticSpec::mnist_like(),
+            cfg.num_clients,
+            40,
+            20,
+            scheme,
+            None,
+            seed,
+        );
+        FlSetup {
+            data,
+            arch: ModelArch::Mlp,
+            config: cfg,
+        }
+    }
+
+    #[test]
+    fn fedavg_learns() {
+        let setup = tiny_setup(PartitionScheme::Iid, 1);
+        let r = run(Strategy::FedAvg, &setup);
+        assert!(r.global_updates > 2);
+        assert!(
+            r.best_accuracy > 0.3,
+            "FedAvg should learn the easy task, got {}",
+            r.best_accuracy
+        );
+        let first = r.accuracy.points()[0].1;
+        assert!(r.best_accuracy > first, "accuracy should improve");
+    }
+
+    #[test]
+    fn fedasync_makes_many_updates() {
+        let setup = tiny_setup(PartitionScheme::Iid, 2);
+        let avg = run(Strategy::FedAvg, &setup);
+        let asynchronous = run(Strategy::FedAsync, &setup);
+        assert!(
+            asynchronous.global_updates > avg.global_updates,
+            "async {} should update more often than sync {}",
+            asynchronous.global_updates,
+            avg.global_updates
+        );
+    }
+
+    #[test]
+    fn ecofl_runs_and_learns_non_iid() {
+        let setup = tiny_setup(PartitionScheme::ClassesPerClient(2), 3);
+        let r = run(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            &setup,
+        );
+        assert_eq!(r.strategy, "Eco-FL");
+        assert!(r.global_updates > 3);
+        assert!(r.best_accuracy > 0.25, "got {}", r.best_accuracy);
+    }
+
+    #[test]
+    fn hierarchy_produces_more_updates_than_fedavg() {
+        // Groups aggregate concurrently; wall-clock update rate must beat
+        // one global synchronous barrier.
+        let setup = tiny_setup(PartitionScheme::ClassesPerClient(2), 4);
+        let avg = run(Strategy::FedAvg, &setup);
+        let eco = run(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            &setup,
+        );
+        assert!(eco.global_updates > avg.global_updates);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let setup = tiny_setup(PartitionScheme::ClassesPerClient(2), 5);
+        let a = run(Strategy::FedAvg, &setup);
+        let b = run(Strategy::FedAvg, &setup);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.global_updates, b.global_updates);
+    }
+
+    #[test]
+    fn final_recall_is_well_formed() {
+        let setup = tiny_setup(PartitionScheme::Iid, 15);
+        let r = run(Strategy::FedAvg, &setup);
+        assert_eq!(r.final_recall.len(), setup.data.num_classes());
+        assert!(r.final_recall.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Mean recall on a balanced test set equals overall accuracy.
+        let mean_recall: f64 = r.final_recall.iter().sum::<f64>() / r.final_recall.len() as f64;
+        assert!(
+            (mean_recall - r.final_accuracy).abs() < 0.05,
+            "mean recall {mean_recall} should track final accuracy {}",
+            r.final_accuracy
+        );
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::FedAvg.name(), "FedAvg");
+        assert_eq!(
+            Strategy::EcoFl {
+                dynamic_grouping: false
+            }
+            .name(),
+            "Eco-FL w/o DG"
+        );
+    }
+
+    #[test]
+    fn cnn_clients_train_end_to_end() {
+        // The convolutional client path through the same engine.
+        let cfg = FlConfig {
+            num_clients: 8,
+            clients_per_round: 4,
+            num_groups: 2,
+            horizon: 250.0,
+            eval_interval: 60.0,
+            learning_rate: 0.1,
+            seed: 21,
+            ..FlConfig::tiny()
+        };
+        let data = FederatedDataset::generate(
+            &SyntheticSpec::image_like(),
+            cfg.num_clients,
+            30,
+            10,
+            PartitionScheme::ClassesPerClient(2),
+            None,
+            21,
+        );
+        let setup = FlSetup {
+            data,
+            arch: ModelArch::Cnn,
+            config: cfg,
+        };
+        let r = run(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            &setup,
+        );
+        assert!(r.global_updates > 0);
+        assert!(
+            r.best_accuracy > 0.15,
+            "CNN should beat chance, got {}",
+            r.best_accuracy
+        );
+    }
+
+    #[test]
+    fn fedat_and_astraea_run() {
+        let setup = tiny_setup(PartitionScheme::ClassesPerClient(2), 6);
+        let fedat = run(Strategy::FedAt, &setup);
+        let astraea = run(Strategy::Astraea, &setup);
+        assert!(fedat.global_updates > 0);
+        assert!(astraea.global_updates > 0);
+        assert_eq!(fedat.strategy, "FedAT");
+        assert_eq!(astraea.strategy, "Astraea");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ecofl-fl
+//!
+//! The federated-learning half of the Eco-FL reproduction (§5): a
+//! virtual-time simulation engine in which *real* models are trained with
+//! *real* SGD on every client, while response latencies, grouping,
+//! aggregation order and runtime dynamics follow the paper's §6.1 setup.
+//!
+//! - [`config`] — experiment configuration (300 clients, ≤20 concurrent,
+//!   `e = 3` local epochs, batch 10, FedProx `µ = 0.05`, 5 response-latency
+//!   groups, dynamic collaborative degrees in {0.2 … 1.0}),
+//! - [`client`] — local training: `e` epochs of mini-batch SGD with the
+//!   optional proximal pull toward the group model,
+//! - [`aggregate`] — weighted FedAvg averaging and FedAsync α-mixing with
+//!   polynomial staleness discounting,
+//! - [`latency`] — per-client response-latency model (normal base delay ×
+//!   collaborative degree) and the runtime degree-resampling dynamics,
+//! - [`engine`] — the five strategies under one event-driven virtual
+//!   clock: FedAvg, FedAsync, FedAT, Astraea-grouping, and Eco-FL with or
+//!   without dynamic re-grouping,
+//! - [`mod@reference`] — centralized accuracy-per-epoch reference curves used
+//!   to compose the Fig. 10 time-to-accuracy plots.
+
+pub mod aggregate;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod reference;
+
+pub use aggregate::{fedasync_mix, staleness_alpha, weighted_average};
+pub use client::{local_train, LocalTrainConfig};
+pub use config::{DynamicsConfig, FlConfig};
+pub use engine::{run, FlSetup, RunResult, Strategy};
+pub use latency::LatencyModel;
+pub use metrics::{summarize, ConvergenceSummary};

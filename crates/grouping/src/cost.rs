@@ -1,0 +1,228 @@
+//! Group state and the Eq. 4 assignment cost.
+
+use ecofl_util::{js_divergence, normalize_distribution};
+use serde::{Deserialize, Serialize};
+
+/// Mutable state of one client group.
+///
+/// Tracks member ids, their latencies (for the group center `L_g`), and
+/// the pooled label counts (for the group distribution `π^g`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupState {
+    /// Group index.
+    pub id: usize,
+    /// Member client ids.
+    pub members: Vec<usize>,
+    /// Member latencies, parallel to `members`.
+    member_latencies: Vec<f64>,
+    /// Pooled label counts over members.
+    label_counts: Vec<f64>,
+    /// Central response latency `L_g` (mean of member latencies; seeded
+    /// from the k-means centroid while empty).
+    center: f64,
+}
+
+impl GroupState {
+    /// Creates an empty group seeded at a latency centroid.
+    #[must_use]
+    pub fn new(id: usize, seed_center: f64, num_classes: usize) -> Self {
+        Self {
+            id,
+            members: Vec::new(),
+            member_latencies: Vec::new(),
+            label_counts: vec![0.0; num_classes],
+            center: seed_center,
+        }
+    }
+
+    /// Current group latency center `L_g`.
+    #[must_use]
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Normalized pooled label distribution `π^g`.
+    #[must_use]
+    pub fn distribution(&self) -> Vec<f64> {
+        normalize_distribution(&self.label_counts)
+    }
+
+    /// JS divergence of the pooled distribution from uniform.
+    #[must_use]
+    pub fn js_from_iid(&self) -> f64 {
+        let n = self.label_counts.len();
+        js_divergence(&self.distribution(), &vec![1.0 / n as f64; n])
+    }
+
+    /// JS-from-IID of the group *after* hypothetically absorbing a client
+    /// with the given label counts — the `JS(π_n^g, π_iid)` term of Eq. 4.
+    #[must_use]
+    pub fn union_js_from_iid(&self, client_counts: &[f64]) -> f64 {
+        assert_eq!(
+            client_counts.len(),
+            self.label_counts.len(),
+            "union_js: class-count mismatch"
+        );
+        let union: Vec<f64> = self
+            .label_counts
+            .iter()
+            .zip(client_counts)
+            .map(|(a, b)| a + b)
+            .collect();
+        let n = union.len();
+        js_divergence(&normalize_distribution(&union), &vec![1.0 / n as f64; n])
+    }
+
+    /// Adds a member.
+    pub fn admit(&mut self, client: usize, latency: f64, client_counts: &[f64]) {
+        debug_assert!(!self.members.contains(&client), "duplicate admit");
+        self.members.push(client);
+        self.member_latencies.push(latency);
+        for (acc, &c) in self.label_counts.iter_mut().zip(client_counts) {
+            *acc += c;
+        }
+        self.recompute_center();
+    }
+
+    /// Removes a member.
+    ///
+    /// # Panics
+    /// Panics if the client is not a member.
+    pub fn remove(&mut self, client: usize, client_counts: &[f64]) {
+        let idx = self
+            .members
+            .iter()
+            .position(|&m| m == client)
+            .expect("remove: client not in group");
+        self.members.swap_remove(idx);
+        self.member_latencies.swap_remove(idx);
+        for (acc, &c) in self.label_counts.iter_mut().zip(client_counts) {
+            *acc = (*acc - c).max(0.0);
+        }
+        self.recompute_center();
+    }
+
+    /// Updates a member's recorded latency (runtime drift).
+    ///
+    /// # Panics
+    /// Panics if the client is not a member.
+    pub fn update_latency(&mut self, client: usize, latency: f64) {
+        let idx = self
+            .members
+            .iter()
+            .position(|&m| m == client)
+            .expect("update_latency: client not in group");
+        self.member_latencies[idx] = latency;
+        self.recompute_center();
+    }
+
+    fn recompute_center(&mut self) {
+        if !self.member_latencies.is_empty() {
+            self.center =
+                self.member_latencies.iter().sum::<f64>() / self.member_latencies.len() as f64;
+        }
+    }
+}
+
+/// The Eq. 4 cost of assigning a client to a group:
+/// `|L_g − L_n| + λ · JS(π_n^g, π_iid)`.
+///
+/// With `latency_weight = 0` this is Astraea's data-only criterion; with
+/// `lambda = 0` it is FedAT's latency-only criterion.
+#[must_use]
+pub fn assignment_cost(
+    group: &GroupState,
+    client_latency: f64,
+    client_counts: &[f64],
+    lambda: f64,
+    latency_weight: f64,
+) -> f64 {
+    latency_weight * (group.center() - client_latency).abs()
+        + lambda * group.union_js_from_iid(client_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(spec: &[(usize, f64)], k: usize) -> Vec<f64> {
+        let mut v = vec![0.0; k];
+        for &(i, c) in spec {
+            v[i] = c;
+        }
+        v
+    }
+
+    #[test]
+    fn admit_remove_round_trip() {
+        let mut g = GroupState::new(0, 5.0, 4);
+        assert!(g.is_empty());
+        assert_eq!(g.center(), 5.0);
+        let c0 = counts(&[(0, 10.0)], 4);
+        let c1 = counts(&[(1, 10.0)], 4);
+        g.admit(7, 4.0, &c0);
+        g.admit(9, 6.0, &c1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.center(), 5.0);
+        assert_eq!(g.distribution(), vec![0.5, 0.5, 0.0, 0.0]);
+        g.remove(7, &c0);
+        assert_eq!(g.members, vec![9]);
+        assert_eq!(g.center(), 6.0);
+        assert_eq!(g.distribution(), vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn union_js_improves_when_client_fills_gap() {
+        let mut g = GroupState::new(0, 1.0, 2);
+        g.admit(0, 1.0, &counts(&[(0, 10.0)], 2));
+        // Client with the missing class lowers divergence; same class
+        // keeps it.
+        let fills = g.union_js_from_iid(&counts(&[(1, 10.0)], 2));
+        let skews = g.union_js_from_iid(&counts(&[(0, 10.0)], 2));
+        assert!(fills < skews);
+        assert!(fills < g.js_from_iid());
+    }
+
+    #[test]
+    fn cost_tradeoff_matches_lambda() {
+        let mut g = GroupState::new(0, 10.0, 2);
+        g.admit(0, 10.0, &counts(&[(0, 5.0)], 2));
+        let near_skewed = assignment_cost(&g, 10.0, &counts(&[(0, 5.0)], 2), 0.0, 1.0);
+        let far_balanced = assignment_cost(&g, 20.0, &counts(&[(1, 5.0)], 2), 0.0, 1.0);
+        // λ = 0: latency decides.
+        assert!(near_skewed < far_balanced);
+        let near_skewed = assignment_cost(&g, 10.0, &counts(&[(0, 5.0)], 2), 1000.0, 1.0);
+        let far_balanced = assignment_cost(&g, 20.0, &counts(&[(1, 5.0)], 2), 1000.0, 1.0);
+        // Huge λ: data decides.
+        assert!(near_skewed > far_balanced);
+    }
+
+    #[test]
+    fn latency_update_moves_center() {
+        let mut g = GroupState::new(0, 0.0, 2);
+        g.admit(1, 10.0, &counts(&[(0, 1.0)], 2));
+        g.admit(2, 20.0, &counts(&[(1, 1.0)], 2));
+        assert_eq!(g.center(), 15.0);
+        g.update_latency(2, 40.0);
+        assert_eq!(g.center(), 25.0);
+    }
+
+    #[test]
+    fn empty_group_distribution_is_uniform() {
+        let g = GroupState::new(0, 1.0, 5);
+        assert_eq!(g.distribution(), vec![0.2; 5]);
+        assert!(g.js_from_iid() < 1e-12);
+    }
+}

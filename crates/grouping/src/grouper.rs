@@ -1,0 +1,527 @@
+//! Initial grouping and Algorithm 1's dynamic re-grouping.
+
+use crate::cost::{assignment_cost, GroupState};
+use crate::kmeans::kmeans_1d;
+use ecofl_util::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which grouping criterion to apply — Eco-FL's Eq. 4 or one of the two
+/// degenerate baselines the paper compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GroupingStrategy {
+    /// Eq. 4 with the given λ.
+    EcoFl {
+        /// Data-heterogeneity weight λ.
+        lambda: f64,
+    },
+    /// FedAT: response latency only (λ = 0).
+    LatencyOnly,
+    /// Astraea: data distribution only (no latency term, no latency
+    /// thresholds).
+    DataOnly,
+}
+
+impl GroupingStrategy {
+    fn lambda(self) -> f64 {
+        match self {
+            GroupingStrategy::EcoFl { lambda } => lambda,
+            GroupingStrategy::LatencyOnly => 0.0,
+            // A large but finite weight: data dominates any latency gap.
+            GroupingStrategy::DataOnly => 1.0,
+        }
+    }
+
+    fn latency_weight(self) -> f64 {
+        match self {
+            GroupingStrategy::DataOnly => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    fn uses_threshold(self) -> bool {
+        !matches!(self, GroupingStrategy::DataOnly)
+    }
+}
+
+/// Configuration of the grouping scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Grouping criterion.
+    pub strategy: GroupingStrategy,
+    /// Latency threshold `RT_g` as a fraction of the group center
+    /// (`RT_g = rt_relative · L_g`), floored at `rt_min` seconds.
+    pub rt_relative: f64,
+    /// Absolute floor for `RT_g`, seconds.
+    pub rt_min: f64,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        Self {
+            num_groups: 5,
+            strategy: GroupingStrategy::EcoFl { lambda: 1000.0 },
+            rt_relative: 0.5,
+            rt_min: 2.0,
+        }
+    }
+}
+
+/// What Algorithm 1 did with a client after a latency report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegroupOutcome {
+    /// Latency still within its group's threshold.
+    Stayed,
+    /// Moved to a better-fitting group.
+    Moved {
+        /// Previous group.
+        from: usize,
+        /// New group.
+        to: usize,
+    },
+    /// No group admits the client; temporarily dropped.
+    Dropped {
+        /// Group the client left.
+        from: usize,
+    },
+    /// A previously dropped client rejoined.
+    Rejoined {
+        /// Group joined.
+        to: usize,
+    },
+    /// Still dropped (no group in range).
+    StillDropped,
+}
+
+/// The grouping scheduler: owns group states, per-client profiles, and the
+/// drop-out pool.
+#[derive(Debug, Clone)]
+pub struct Grouper {
+    config: GroupingConfig,
+    groups: Vec<GroupState>,
+    /// Client → group index (None = dropped).
+    membership: Vec<Option<usize>>,
+    /// Latest profiled latency per client.
+    latencies: Vec<f64>,
+    /// Label counts per client.
+    label_counts: Vec<Vec<f64>>,
+}
+
+impl Grouper {
+    /// Runs profiling + initial grouping (§5.2).
+    ///
+    /// `latencies[i]` and `label_counts[i]` are client `i`'s profiled
+    /// response latency and raw label histogram.
+    ///
+    /// # Panics
+    /// Panics on empty inputs or length mismatches.
+    #[must_use]
+    pub fn initial(
+        latencies: &[f64],
+        label_counts: &[Vec<f64>],
+        config: GroupingConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!latencies.is_empty(), "Grouper: no clients");
+        assert_eq!(
+            latencies.len(),
+            label_counts.len(),
+            "Grouper: profile length mismatch"
+        );
+        let num_classes = label_counts[0].len();
+        assert!(num_classes > 0);
+
+        // Seed group centers with k-means over latencies.
+        let km = kmeans_1d(latencies, config.num_groups, rng, 100);
+        let mut groups: Vec<GroupState> = km
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(g, &c)| GroupState::new(g, c, num_classes))
+            .collect();
+
+        let mut membership = vec![None; latencies.len()];
+        let mut pool: Vec<usize> = (0..latencies.len()).collect();
+
+        // Greedy association: each group in turn picks its cheapest
+        // admissible client until nothing can be placed.
+        let lambda = config.strategy.lambda();
+        let lat_w = config.strategy.latency_weight();
+        loop {
+            let mut placed_any = false;
+            #[allow(clippy::needless_range_loop)]
+            for g in 0..groups.len() {
+                let mut best: Option<(f64, usize)> = None;
+                for (pi, &client) in pool.iter().enumerate() {
+                    let within = !config.strategy.uses_threshold()
+                        || (groups[g].center() - latencies[client]).abs()
+                            <= rt_threshold(&config, groups[g].center());
+                    if !within {
+                        continue;
+                    }
+                    let cost = assignment_cost(
+                        &groups[g],
+                        latencies[client],
+                        &label_counts[client],
+                        lambda,
+                        lat_w,
+                    );
+                    if best.is_none_or(|(b, _)| cost < b) {
+                        best = Some((cost, pi));
+                    }
+                }
+                if let Some((_, pi)) = best {
+                    let client = pool.swap_remove(pi);
+                    groups[g].admit(client, latencies[client], &label_counts[client]);
+                    membership[client] = Some(g);
+                    placed_any = true;
+                }
+            }
+            if !placed_any || pool.is_empty() {
+                break;
+            }
+        }
+        // Whatever remains is dropped until its latency fits some group.
+
+        Self {
+            config,
+            groups,
+            membership,
+            latencies: latencies.to_vec(),
+            label_counts: label_counts.to_vec(),
+        }
+    }
+
+    /// Group index of a client (`None` while dropped).
+    #[must_use]
+    pub fn group_of(&self, client: usize) -> Option<usize> {
+        self.membership[client]
+    }
+
+    /// All group states.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupState] {
+        &self.groups
+    }
+
+    /// Clients currently in the drop-out pool.
+    #[must_use]
+    pub fn dropped(&self) -> Vec<usize> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Latest recorded latency of a client.
+    #[must_use]
+    pub fn latency_of(&self, client: usize) -> f64 {
+        self.latencies[client]
+    }
+
+    /// Mean JS-from-IID across groups (the Fig. 9 left axis).
+    #[must_use]
+    pub fn avg_group_js(&self) -> f64 {
+        let active: Vec<f64> = self
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(GroupState::js_from_iid)
+            .collect();
+        ecofl_util::mean(&active)
+    }
+
+    /// Mean group latency center.
+    #[must_use]
+    pub fn avg_group_latency(&self) -> f64 {
+        let active: Vec<f64> = self
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(GroupState::center)
+            .collect();
+        ecofl_util::mean(&active)
+    }
+
+    /// Mean synchronous-barrier latency across groups: each group's
+    /// intra-group round lasts as long as its slowest member, so this is
+    /// the effective per-round response latency the Fig. 9 right axis
+    /// tracks. It rises with λ as slow clients join faster groups for
+    /// their data.
+    #[must_use]
+    pub fn avg_group_barrier_latency(&self) -> f64 {
+        let active: Vec<f64> = self
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|&c| self.latencies[c])
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        ecofl_util::mean(&active)
+    }
+
+    /// Algorithm 1: processes a fresh latency report for `client`.
+    ///
+    /// If the client is grouped and its latency deviates from its group
+    /// center beyond `RT_g`, it is re-associated with the cheapest group
+    /// whose threshold admits it, or dropped. Dropped clients rejoin the
+    /// cheapest admitting group as soon as their latency fits.
+    pub fn observe_latency(&mut self, client: usize, latency: f64) -> RegroupOutcome {
+        self.latencies[client] = latency;
+        match self.membership[client] {
+            Some(g) => {
+                self.groups[g].update_latency(client, latency);
+                if !self.config.strategy.uses_threshold() {
+                    return RegroupOutcome::Stayed;
+                }
+                let threshold = rt_threshold(&self.config, self.groups[g].center());
+                if (self.groups[g].center() - latency).abs() <= threshold {
+                    return RegroupOutcome::Stayed;
+                }
+                // Deviated: leave current group, find the cheapest
+                // admitting group.
+                self.groups[g].remove(client, &self.label_counts[client]);
+                self.membership[client] = None;
+                match self.best_admitting_group(client) {
+                    Some(t) => {
+                        self.groups[t].admit(client, latency, &self.label_counts[client]);
+                        self.membership[client] = Some(t);
+                        if t == g {
+                            RegroupOutcome::Stayed
+                        } else {
+                            RegroupOutcome::Moved { from: g, to: t }
+                        }
+                    }
+                    None => RegroupOutcome::Dropped { from: g },
+                }
+            }
+            None => match self.best_admitting_group(client) {
+                Some(t) => {
+                    self.groups[t].admit(client, latency, &self.label_counts[client]);
+                    self.membership[client] = Some(t);
+                    RegroupOutcome::Rejoined { to: t }
+                }
+                None => RegroupOutcome::StillDropped,
+            },
+        }
+    }
+
+    /// The cheapest group whose `RT` threshold admits the client.
+    fn best_admitting_group(&self, client: usize) -> Option<usize> {
+        let lambda = self.config.strategy.lambda();
+        let lat_w = self.config.strategy.latency_weight();
+        let latency = self.latencies[client];
+        let mut best: Option<(f64, usize)> = None;
+        for (g, group) in self.groups.iter().enumerate() {
+            if self.config.strategy.uses_threshold() {
+                let threshold = rt_threshold(&self.config, group.center());
+                if (group.center() - latency).abs() > threshold {
+                    continue;
+                }
+            }
+            let cost = assignment_cost(group, latency, &self.label_counts[client], lambda, lat_w);
+            if best.is_none_or(|(b, _)| cost < b) {
+                best = Some((cost, g));
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+}
+
+fn rt_threshold(config: &GroupingConfig, center: f64) -> f64 {
+    (config.rt_relative * center).max(config.rt_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 20 clients in two latency bands; each client holds one class.
+    fn profiles() -> (Vec<f64>, Vec<Vec<f64>>) {
+        let mut latencies = Vec::new();
+        let mut counts = Vec::new();
+        for i in 0..20 {
+            let fast = i < 10;
+            latencies.push(if fast {
+                10.0 + i as f64 * 0.1
+            } else {
+                50.0 + i as f64 * 0.1
+            });
+            let mut c = vec![0.0; 4];
+            c[i % 4] = 30.0;
+            counts.push(c);
+        }
+        (latencies, counts)
+    }
+
+    fn config(strategy: GroupingStrategy) -> GroupingConfig {
+        GroupingConfig {
+            num_groups: 2,
+            strategy,
+            rt_relative: 0.5,
+            rt_min: 2.0,
+        }
+    }
+
+    #[test]
+    fn initial_grouping_places_everyone_in_band() {
+        let (lat, counts) = profiles();
+        let g = Grouper::initial(
+            &lat,
+            &counts,
+            config(GroupingStrategy::EcoFl { lambda: 10.0 }),
+            &mut Rng::new(1),
+        );
+        assert!(g.dropped().is_empty(), "all clients fit a band");
+        // Fast clients share a group; slow share the other.
+        let g0 = g.group_of(0).unwrap();
+        for i in 0..10 {
+            assert_eq!(g.group_of(i), Some(g0), "client {i}");
+        }
+        let g1 = g.group_of(10).unwrap();
+        assert_ne!(g0, g1);
+        for i in 10..20 {
+            assert_eq!(g.group_of(i), Some(g1), "client {i}");
+        }
+    }
+
+    #[test]
+    fn ecofl_grouping_balances_data_better_than_latency_only() {
+        // Clients with mixed latencies within each band: Eco-FL should
+        // pick class-complementary members first, lowering group JS.
+        let mut latencies = Vec::new();
+        let mut counts = Vec::new();
+        // One latency band, so latency-only has no signal; 4 groups over
+        // 16 clients, each holding one of 4 classes.
+        for i in 0..16 {
+            latencies.push(20.0 + (i % 7) as f64 * 0.3);
+            let mut c = vec![0.0; 4];
+            c[i % 4] = 10.0;
+            counts.push(c);
+        }
+        let cfg_eco = GroupingConfig {
+            num_groups: 4,
+            strategy: GroupingStrategy::EcoFl { lambda: 500.0 },
+            rt_relative: 1.0,
+            rt_min: 10.0,
+        };
+        let cfg_lat = GroupingConfig {
+            strategy: GroupingStrategy::LatencyOnly,
+            ..cfg_eco
+        };
+        let eco = Grouper::initial(&latencies, &counts, cfg_eco, &mut Rng::new(3));
+        let lat = Grouper::initial(&latencies, &counts, cfg_lat, &mut Rng::new(3));
+        assert!(
+            eco.avg_group_js() < lat.avg_group_js() + 1e-9,
+            "eco {} should not exceed latency-only {}",
+            eco.avg_group_js(),
+            lat.avg_group_js()
+        );
+    }
+
+    #[test]
+    fn algorithm1_moves_deviating_client() {
+        let (lat, counts) = profiles();
+        let mut g = Grouper::initial(
+            &lat,
+            &counts,
+            config(GroupingStrategy::EcoFl { lambda: 10.0 }),
+            &mut Rng::new(1),
+        );
+        let fast_group = g.group_of(0).unwrap();
+        let slow_group = g.group_of(10).unwrap();
+        // Client 0 suddenly becomes slow → must move to the slow group.
+        let outcome = g.observe_latency(0, 51.0);
+        assert_eq!(
+            outcome,
+            RegroupOutcome::Moved {
+                from: fast_group,
+                to: slow_group
+            }
+        );
+        assert_eq!(g.group_of(0), Some(slow_group));
+    }
+
+    #[test]
+    fn algorithm1_drops_out_of_range_client() {
+        let (lat, counts) = profiles();
+        let mut g = Grouper::initial(
+            &lat,
+            &counts,
+            config(GroupingStrategy::EcoFl { lambda: 10.0 }),
+            &mut Rng::new(1),
+        );
+        let from = g.group_of(5).unwrap();
+        let outcome = g.observe_latency(5, 500.0);
+        assert_eq!(outcome, RegroupOutcome::Dropped { from });
+        assert_eq!(g.group_of(5), None);
+        assert!(g.dropped().contains(&5));
+        // Recovery: latency returns → rejoin.
+        let outcome = g.observe_latency(5, 11.0);
+        assert!(matches!(outcome, RegroupOutcome::Rejoined { .. }));
+        assert!(g.group_of(5).is_some());
+    }
+
+    #[test]
+    fn stable_client_stays() {
+        let (lat, counts) = profiles();
+        let mut g = Grouper::initial(
+            &lat,
+            &counts,
+            config(GroupingStrategy::EcoFl { lambda: 10.0 }),
+            &mut Rng::new(1),
+        );
+        assert_eq!(g.observe_latency(3, 10.5), RegroupOutcome::Stayed);
+    }
+
+    #[test]
+    fn data_only_strategy_ignores_latency() {
+        let (lat, counts) = profiles();
+        let mut g = Grouper::initial(
+            &lat,
+            &counts,
+            config(GroupingStrategy::DataOnly),
+            &mut Rng::new(2),
+        );
+        // Astraea never drops on latency.
+        assert_eq!(g.observe_latency(0, 10_000.0), RegroupOutcome::Stayed);
+        assert!(g.dropped().is_empty());
+    }
+
+    #[test]
+    fn fig9_metrics_move_with_lambda() {
+        // Higher λ → lower avg group JS (data better balanced).
+        let mut latencies = Vec::new();
+        let mut counts = Vec::new();
+        let mut rng = Rng::new(7);
+        for i in 0..60 {
+            latencies.push(rng.range_f64(5.0, 60.0));
+            let mut c = vec![0.0; 10];
+            c[i % 10] = 20.0;
+            c[(i + 3) % 10] = 10.0;
+            counts.push(c);
+        }
+        let js_at = |lambda: f64| {
+            let cfg = GroupingConfig {
+                num_groups: 5,
+                strategy: GroupingStrategy::EcoFl { lambda },
+                rt_relative: 0.8,
+                rt_min: 5.0,
+            };
+            Grouper::initial(&latencies, &counts, cfg, &mut Rng::new(11)).avg_group_js()
+        };
+        let low = js_at(0.0);
+        let high = js_at(2000.0);
+        assert!(
+            high <= low,
+            "higher λ should not worsen data balance: js(0)={low} js(2000)={high}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for grouping invariants: membership consistency
+//! under arbitrary latency-report sequences, k-means assignment
+//! optimality, and the Eq. 4 cost's λ-limits.
+
+use ecofl_grouping::{assignment_cost, kmeans_1d, Grouper, GroupingConfig, GroupingStrategy};
+use ecofl_util::Rng;
+use proptest::prelude::*;
+
+fn profiles(n: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut rng = Rng::new(seed);
+    let latencies = (0..n).map(|_| rng.range_f64(5.0, 100.0)).collect();
+    let counts = (0..n)
+        .map(|_| {
+            let mut c = vec![0.0; 6];
+            c[rng.range_usize(0, 6)] = 20.0;
+            c[rng.range_usize(0, 6)] += 10.0;
+            c
+        })
+        .collect();
+    (latencies, counts)
+}
+
+fn config(lambda: f64) -> GroupingConfig {
+    GroupingConfig {
+        num_groups: 4,
+        strategy: GroupingStrategy::EcoFl { lambda },
+        rt_relative: 0.6,
+        rt_min: 5.0,
+    }
+}
+
+/// Checks structural invariants of a grouper state.
+fn check_invariants(g: &Grouper, n: usize) {
+    // Every client appears exactly once: in one group or in the pool.
+    let mut seen = vec![0usize; n];
+    for group in g.groups() {
+        for &m in &group.members {
+            seen[m] += 1;
+        }
+    }
+    for c in g.dropped() {
+        seen[c] += 1;
+    }
+    assert!(
+        seen.iter().all(|&s| s == 1),
+        "client membership must partition the population: {seen:?}"
+    );
+    // Group centers equal the mean member latency.
+    for group in g.groups() {
+        if group.is_empty() {
+            continue;
+        }
+        let mean: f64 =
+            group.members.iter().map(|&c| g.latency_of(c)).sum::<f64>() / group.len() as f64;
+        assert!(
+            (group.center() - mean).abs() < 1e-9,
+            "center {} != member mean {mean}",
+            group.center()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn initial_grouping_partitions_population(seed in any::<u64>(), n in 4usize..60) {
+        let (lat, counts) = profiles(n, seed);
+        let g = Grouper::initial(&lat, &counts, config(500.0), &mut Rng::new(seed ^ 1));
+        check_invariants(&g, n);
+    }
+
+    #[test]
+    fn invariants_survive_arbitrary_latency_reports(
+        seed in any::<u64>(),
+        n in 4usize..40,
+        reports in proptest::collection::vec((0usize..40, 1.0f64..500.0), 0..60),
+    ) {
+        let (lat, counts) = profiles(n, seed);
+        let mut g = Grouper::initial(&lat, &counts, config(500.0), &mut Rng::new(seed ^ 1));
+        for (client, latency) in reports {
+            let client = client % n;
+            let _ = g.observe_latency(client, latency);
+            check_invariants(&g, n);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(
+        seed in any::<u64>(),
+        points in proptest::collection::vec(0.0f64..1e3, 1..80),
+        k in 1usize..6,
+    ) {
+        let mut rng = Rng::new(seed);
+        let r = kmeans_1d(&points, k, &mut rng, 100);
+        for (i, &p) in points.iter().enumerate() {
+            let assigned = (p - r.centroids[r.assignment[i]]).abs();
+            for &c in &r.centroids {
+                prop_assert!(assigned <= (p - c).abs() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_cost_is_pure_latency(seed in any::<u64>(), n in 4usize..30) {
+        let (lat, counts) = profiles(n, seed);
+        let g = Grouper::initial(&lat, &counts, config(0.0), &mut Rng::new(seed ^ 1));
+        for group in g.groups() {
+            if group.is_empty() { continue; }
+            // With λ = 0 the cost of a client at the center is 0.
+            let cost = assignment_cost(group, group.center(), &counts[group.members[0]], 0.0, 1.0);
+            prop_assert!(cost.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_lambda_never_worsens_average_js(seed in any::<u64>(), n in 24usize..80) {
+        // Greedy association is not perfectly monotone in λ for small
+        // populations; at realistic population sizes a large λ must not
+        // leave the groups meaningfully less balanced than λ = 0.
+        let (lat, counts) = profiles(n, seed);
+        let js_low = Grouper::initial(&lat, &counts, config(0.0), &mut Rng::new(seed ^ 2))
+            .avg_group_js();
+        let js_high = Grouper::initial(&lat, &counts, config(5000.0), &mut Rng::new(seed ^ 2))
+            .avg_group_js();
+        prop_assert!(js_high <= js_low + 0.1, "λ=5000 js {js_high} vs λ=0 js {js_low}");
+    }
+
+    #[test]
+    fn algorithm1_postcondition_holds_after_latency_swings(
+        seed in any::<u64>(), n in 6usize..30,
+    ) {
+        // Algorithm 1's postcondition: after processing a report, the
+        // client either sits in a group whose RT threshold admits its
+        // latency, or it is in the drop-out pool with *no* group (its own
+        // excluded) admitting it.
+        let (lat, counts) = profiles(n, seed);
+        let mut g = Grouper::initial(&lat, &counts, config(500.0), &mut Rng::new(seed ^ 3));
+        let client = 0usize;
+        for &latency in &[1e6, lat[client], 3.0, lat[client]] {
+            let _ = g.observe_latency(client, latency);
+            let threshold = |center: f64| (0.6 * center).max(5.0);
+            match g.group_of(client) {
+                Some(idx) => {
+                    let center = g.groups()[idx].center();
+                    prop_assert!(
+                        (center - latency).abs() <= threshold(center) + 1e-9,
+                        "client sits in a group that does not admit it:                          center {center}, latency {latency}"
+                    );
+                }
+                None => {
+                    for group in g.groups() {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        prop_assert!(
+                            (group.center() - latency).abs() > threshold(group.center()) - 1e-9,
+                            "dropped client would be admitted by group at center {}",
+                            group.center()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the analytic profile zoo.
+
+use ecofl_models::profiles::{efficientnet_at, fl_mlp_profile, mlp_profile, mobilenet_v2_at};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn effnet_flops_monotone_in_resolution(b in 0usize..7, lo in 32usize..128, delta in 16usize..128) {
+        let small = efficientnet_at(b, lo);
+        let large = efficientnet_at(b, lo + delta);
+        prop_assert!(large.total_flops() > small.total_flops());
+        prop_assert!(large.peak_activation_bytes() >= small.peak_activation_bytes());
+        // Parameters are resolution-independent for conv nets.
+        prop_assert_eq!(large.total_param_bytes(), small.total_param_bytes());
+    }
+
+    #[test]
+    fn effnet_layer_count_independent_of_resolution(b in 0usize..7, res in 32usize..256) {
+        let native = efficientnet_at(b, 224);
+        let custom = efficientnet_at(b, res);
+        prop_assert_eq!(native.num_layers(), custom.num_layers());
+    }
+
+    #[test]
+    fn mobilenet_flops_grow_with_width(res in 32usize..160, w in 1u32..4) {
+        let narrow = mobilenet_v2_at(f64::from(w), res);
+        let wide = mobilenet_v2_at(f64::from(w) + 0.5, res);
+        prop_assert!(wide.total_flops() > narrow.total_flops());
+        prop_assert!(wide.total_param_bytes() > narrow.total_param_bytes());
+    }
+
+    #[test]
+    fn range_flops_partitions_total(b in 0usize..5, cut_frac in 0.01f64..0.99) {
+        let p = efficientnet_at(b, 96);
+        let l = p.num_layers();
+        let cut = ((l as f64 * cut_frac) as usize).clamp(1, l - 1);
+        let split = p.range_flops(0..cut) + p.range_flops(cut..l);
+        prop_assert!((split - p.total_flops()).abs() < 1e-6 * p.total_flops());
+    }
+
+    #[test]
+    fn every_layer_physically_sane(b in 0usize..7) {
+        let p = efficientnet_at(b, 128);
+        for layer in &p.layers {
+            prop_assert!(layer.flops_fwd > 0.0);
+            prop_assert!(layer.flops_bwd >= layer.flops_fwd);
+            prop_assert!(layer.activation_bytes > 0);
+            prop_assert!(layer.train_activation_bytes > 0);
+            prop_assert!(layer.param_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn mlp_profile_dimensions(dims in proptest::collection::vec(1usize..128, 2..6)) {
+        let p = mlp_profile(&dims);
+        prop_assert_eq!(p.num_layers(), dims.len() - 1);
+        // Last layer's activation is the output width.
+        prop_assert_eq!(
+            p.layers.last().unwrap().activation_bytes,
+            *dims.last().unwrap() as u64 * 4
+        );
+        // Param bytes: sum of (in*out + out) * 4.
+        let expected: u64 = dims
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64 * 4)
+            .sum();
+        prop_assert_eq!(p.total_param_bytes(), expected);
+    }
+
+    #[test]
+    fn fl_mlp_profile_tracks_real_model(dim in 2usize..64, classes in 2usize..12) {
+        let p = fl_mlp_profile(dim, classes);
+        let mut rng = ecofl_util::Rng::new(1);
+        let net = ecofl_models::mlp_for(dim, classes, &mut rng);
+        prop_assert_eq!(p.total_param_bytes(), net.param_len() as u64 * 4);
+    }
+}

@@ -1,0 +1,817 @@
+//! Discrete-event execution of pipeline-training schedules.
+//!
+//! One executor runs both schedule policies the paper compares:
+//!
+//! - **1F1B-Sync** (Eco-FL, §4.1): every stage prefers the earliest ready
+//!   backward task (the *early backward schedule* that releases activation
+//!   memory for reuse) and admits a new forward only while fewer than
+//!   `K_s` micro-batches are resident;
+//! - **BAF-Sync** (Gpipe): forwards for the whole sync-round run first,
+//!   backwards only begin after the last stage has forwarded every
+//!   micro-batch, so all `M` activations stay resident.
+//!
+//! Memory is *accounted, not assumed*: each forward allocates the stage's
+//! per-micro-batch activation bytes on the simulated device and each
+//! backward releases them; exceeding capacity aborts the run with
+//! [`ExecError::Oom`] — which is exactly how the Gpipe rows of Table 2
+//! fail while 1F1B-Sync fits.
+//!
+//! Devices execute one compute task at a time; links serialize transfers
+//! per direction. A fixed per-task dispatch overhead models kernel-launch
+//! and synchronization costs, making "GPU utilization" (useful compute ÷
+//! makespan) improve with micro-batch size the way Table 2 reports.
+
+use crate::profiler::PipelineProfile;
+use ecofl_simnet::{BusyTracker, Device, EventQueue, ThroughputTracker};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default per-compute-task dispatch overhead in seconds (kernel launch,
+/// synchronization, scheduler hop).
+pub const DEFAULT_TASK_OVERHEAD: f64 = 0.002;
+
+/// Which pipeline schedule to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Eco-FL's memory-efficient synchronous 1F1B with per-stage
+    /// residency limits `K_s`.
+    OneFOneBSync {
+        /// Max forwards resident per stage (`K_s = min(P_s, Q_s)`).
+        k: Vec<usize>,
+    },
+    /// Gpipe's backward-after-forward synchronous schedule: all `M`
+    /// forwards precede any backward.
+    BafSync,
+    /// PipeDream's asynchronous 1F1B: same per-stage ordering as
+    /// 1F1B-Sync but no pipeline flush — micro-batches stream across
+    /// sync-round boundaries, which removes the SSB but requires each
+    /// stage to stash one weight version per in-flight micro-batch
+    /// (`K_s` copies of its parameters). That weight-stashing memory is
+    /// the reason §2 rules PipeDream out for memory-limited IoT devices.
+    OneFOneBAsync {
+        /// Max forwards resident per stage.
+        k: Vec<usize>,
+    },
+}
+
+impl SchedulePolicy {
+    /// Per-stage residency limit, if the policy bounds one.
+    fn residency(&self, stage: usize) -> Option<usize> {
+        match self {
+            SchedulePolicy::OneFOneBSync { k } | SchedulePolicy::OneFOneBAsync { k } => {
+                Some(k[stage])
+            }
+            SchedulePolicy::BafSync => None,
+        }
+    }
+
+    /// Weight versions stashed per stage (1 unless weight-stashing async).
+    fn weight_versions(&self, stage: usize) -> u64 {
+        match self {
+            SchedulePolicy::OneFOneBAsync { k } => k[stage] as u64,
+            _ => 1,
+        }
+    }
+
+    /// Whether micro-batches stream across round boundaries (no flush).
+    fn flush_free(&self) -> bool {
+        matches!(self, SchedulePolicy::OneFOneBAsync { .. })
+    }
+}
+
+/// Why a run aborted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecError {
+    /// Stage `stage` exceeded its device memory at micro-batch `micro`.
+    Oom {
+        /// Stage index that overflowed.
+        stage: usize,
+        /// Micro-batch whose forward allocation failed.
+        micro: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Oom { stage, micro } => {
+                write!(f, "OOM on stage {stage} at micro-batch {micro}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One executed compute task, for schedule visualization and bubble
+/// forensics (the Fig. 3 Gantt of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// Stage that executed the task.
+    pub stage: usize,
+    /// Micro-batch index within its sync-round.
+    pub micro: usize,
+    /// Sync-round index.
+    pub round: usize,
+    /// True for a forward pass, false for a backward pass.
+    pub forward: bool,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds (includes dispatch overhead).
+    pub end: f64,
+}
+
+/// Measured results of a pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Total simulated makespan, seconds.
+    pub makespan: f64,
+    /// Average sync-round time, seconds.
+    pub round_time: f64,
+    /// Training throughput, samples per second.
+    pub throughput: f64,
+    /// Busy fraction (incl. overhead) per stage over the makespan.
+    pub stage_busy_utilization: Vec<f64>,
+    /// Useful-compute fraction per stage over the makespan — the paper's
+    /// "Avg. GPU Utilization".
+    pub stage_gpu_utilization: Vec<f64>,
+    /// Peak memory per stage, bytes (static + resident activations).
+    pub stage_peak_memory: Vec<u64>,
+    /// Idle time per stage within the makespan, seconds.
+    pub stage_idle_time: Vec<f64>,
+    /// Analytic synchronous static bubble per sync-round (Eq. 2), seconds.
+    pub ssb_per_round: f64,
+    /// Measured data-dependency bubble per stage per sync-round (idle
+    /// beyond the analytic SSB), seconds.
+    pub ddb_per_round: Vec<f64>,
+    /// Number of sync-rounds executed.
+    pub rounds: usize,
+    /// Micro-batches per sync-round.
+    pub micro_batches: usize,
+    /// Every executed compute task in dispatch order (schedule trace).
+    pub task_spans: Vec<TaskSpan>,
+}
+
+impl ExecutionReport {
+    /// Energy consumed per stage in joules, given each stage device's
+    /// power profile (two-state model: idle draw plus load draw while
+    /// executing FP/BP work).
+    ///
+    /// # Panics
+    /// Panics if `power.len()` differs from the stage count.
+    #[must_use]
+    pub fn stage_energy_joules(&self, power: &[ecofl_simnet::PowerProfile]) -> Vec<f64> {
+        assert_eq!(
+            power.len(),
+            self.stage_busy_utilization.len(),
+            "stage_energy_joules: power profile count mismatch"
+        );
+        self.stage_busy_utilization
+            .iter()
+            .zip(power)
+            .map(|(&busy_frac, p)| {
+                let busy_time = busy_frac * self.makespan;
+                p.idle_watts * self.makespan + (p.load_watts - p.idle_watts) * busy_time
+            })
+            .collect()
+    }
+
+    /// Samples trained per joule across the whole pipeline — the energy
+    /// efficiency a battery-conscious deployment optimizes.
+    ///
+    /// # Panics
+    /// Panics if `power.len()` differs from the stage count.
+    #[must_use]
+    pub fn samples_per_joule(&self, power: &[ecofl_simnet::PowerProfile]) -> f64 {
+        let total: f64 = self.stage_energy_joules(power).iter().sum();
+        let samples = self.throughput * self.makespan;
+        samples / total.max(1e-12)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    Fp(usize),
+    Bp(usize),
+}
+
+#[derive(Debug)]
+enum Event {
+    ComputeDone { stage: usize, task: Task },
+    FwdArrive { stage: usize, micro: usize },
+    BwdArrive { stage: usize, micro: usize },
+}
+
+struct StageState {
+    device: Device,
+    /// Next micro-batch index to forward.
+    fp_next: usize,
+    /// Forwards completed this round.
+    fp_done: usize,
+    /// Activations arrived from upstream, in arrival order.
+    fp_inbox: VecDeque<usize>,
+    /// Backward tasks ready to run.
+    bp_ready: VecDeque<usize>,
+    /// Backwards completed this round.
+    bp_done: usize,
+    /// Micro-batches resident (FP issued, BP not finished).
+    in_flight: usize,
+    busy: bool,
+    peak_mem: u64,
+    useful_time: f64,
+    /// Serialization horizon for the outgoing forward link.
+    fwd_link_free: f64,
+    /// Serialization horizon for the outgoing backward link.
+    bwd_link_free: f64,
+}
+
+/// Event-driven pipeline executor.
+pub struct PipelineExecutor<'a> {
+    profile: &'a PipelineProfile,
+    policy: SchedulePolicy,
+    /// Per-compute-task dispatch overhead, seconds.
+    pub task_overhead: f64,
+}
+
+impl<'a> PipelineExecutor<'a> {
+    /// Creates an executor for `profile` under `policy`.
+    ///
+    /// # Panics
+    /// Panics if a `OneFOneBSync` residency vector has the wrong length or
+    /// a zero entry.
+    #[must_use]
+    pub fn new(profile: &'a PipelineProfile, policy: SchedulePolicy) -> Self {
+        if let SchedulePolicy::OneFOneBSync { k } | SchedulePolicy::OneFOneBAsync { k } = &policy {
+            assert_eq!(
+                k.len(),
+                profile.num_stages(),
+                "executor: K vector length mismatch"
+            );
+            assert!(k.iter().all(|&x| x > 0), "executor: K entries must be ≥ 1");
+        }
+        Self {
+            profile,
+            policy,
+            task_overhead: DEFAULT_TASK_OVERHEAD,
+        }
+    }
+
+    /// Overrides the per-task dispatch overhead.
+    #[must_use]
+    pub fn with_task_overhead(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 0.0);
+        self.task_overhead = overhead;
+        self
+    }
+
+    /// Runs `rounds` sync-rounds of `micro_batches` micro-batches each.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::Oom`] when a forward's activation allocation
+    /// exceeds a stage device's memory.
+    pub fn run(&self, micro_batches: usize, rounds: usize) -> Result<ExecutionReport, ExecError> {
+        assert!(micro_batches > 0 && rounds > 0);
+        let s_count = self.profile.num_stages();
+        let stages = self.profile.stages();
+
+        let mut oom_setup: Option<usize> = None;
+        let mut state: Vec<StageState> = stages
+            .iter()
+            .map(|sp| {
+                let mut device = Device::new(sp.clone_device_spec());
+                // Static footprint: params + grads + optimizer state,
+                // multiplied by stashed weight versions for async 1F1B.
+                let static_total = sp.static_bytes() * self.policy.weight_versions(sp.device);
+                let ok = device.try_allocate(static_total);
+                // Weight stashing can itself overflow the device.
+                if !ok {
+                    oom_setup = Some(sp.device);
+                }
+                let peak_mem = device.allocated_bytes();
+                StageState {
+                    device,
+                    fp_next: 0,
+                    fp_done: 0,
+                    fp_inbox: VecDeque::new(),
+                    bp_ready: VecDeque::new(),
+                    bp_done: 0,
+                    in_flight: 0,
+                    busy: false,
+                    peak_mem,
+                    useful_time: 0.0,
+                    fwd_link_free: 0.0,
+                    bwd_link_free: 0.0,
+                }
+            })
+            .collect();
+
+        if let Some(stage) = oom_setup {
+            return Err(ExecError::Oom { stage, micro: 0 });
+        }
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut busy_trackers = vec![BusyTracker::new(); s_count];
+        let mut completions = ThroughputTracker::new();
+        let mut round_ends = Vec::with_capacity(rounds);
+        let mut task_spans: Vec<TaskSpan> = Vec::new();
+        #[allow(unused_assignments)]
+        let mut current_round = 0usize;
+
+        // Flush-free schedules stream every micro-batch through one
+        // continuous 1F1B window; synchronous schedules flush per round.
+        let (outer_rounds, batch_per_round) = if self.policy.flush_free() {
+            (1, micro_batches * rounds)
+        } else {
+            (rounds, micro_batches)
+        };
+        for round in 0..outer_rounds {
+            current_round = round;
+            let micro_batches = batch_per_round;
+            // Reset per-round counters (weights update at the flush; its
+            // cost is negligible next to FP/BP and omitted, as in §4.3's
+            // ideal model).
+            for st in state.iter_mut() {
+                st.fp_next = 0;
+                st.fp_done = 0;
+                st.bp_done = 0;
+                debug_assert!(st.fp_inbox.is_empty());
+                debug_assert!(st.bp_ready.is_empty());
+                debug_assert_eq!(st.in_flight, 0);
+            }
+            let round_start = queue.now();
+            // Kick stage 0 (and any stage that can self-start — only 0).
+            self.try_dispatch(
+                0,
+                &mut state,
+                &mut queue,
+                micro_batches,
+                &mut busy_trackers,
+                &mut task_spans,
+                current_round,
+            )?;
+
+            while let Some((now, ev)) = queue.pop() {
+                match ev {
+                    Event::ComputeDone { stage, task } => {
+                        let done = self.on_compute_done(
+                            stage,
+                            task,
+                            now,
+                            &mut state,
+                            &mut queue,
+                            micro_batches,
+                            &mut completions,
+                        );
+                        if done {
+                            // Last backward of the round at stage 0.
+                        }
+                        self.try_dispatch(
+                            stage,
+                            &mut state,
+                            &mut queue,
+                            micro_batches,
+                            &mut busy_trackers,
+                            &mut task_spans,
+                            current_round,
+                        )?;
+                    }
+                    Event::FwdArrive { stage, micro } => {
+                        state[stage].fp_inbox.push_back(micro);
+                        self.try_dispatch(
+                            stage,
+                            &mut state,
+                            &mut queue,
+                            micro_batches,
+                            &mut busy_trackers,
+                            &mut task_spans,
+                            current_round,
+                        )?;
+                    }
+                    Event::BwdArrive { stage, micro } => {
+                        state[stage].bp_ready.push_back(micro);
+                        self.try_dispatch(
+                            stage,
+                            &mut state,
+                            &mut queue,
+                            micro_batches,
+                            &mut busy_trackers,
+                            &mut task_spans,
+                            current_round,
+                        )?;
+                    }
+                }
+            }
+            let round_end = queue.now();
+            debug_assert!(
+                state.iter().all(|st| st.bp_done == micro_batches),
+                "round ended with incomplete backwards"
+            );
+            debug_assert!(round_end > round_start);
+            round_ends.push(round_end);
+        }
+
+        let makespan = queue.now();
+        let samples = (rounds * micro_batches * self.profile.micro_batch()) as f64;
+        let ssb = stages[..s_count.saturating_sub(1)]
+            .iter()
+            .map(|sp| sp.full_width())
+            .sum::<f64>();
+        let mut stage_busy = Vec::with_capacity(s_count);
+        let mut stage_gpu = Vec::with_capacity(s_count);
+        let mut stage_idle = Vec::with_capacity(s_count);
+        let mut ddb = Vec::with_capacity(s_count);
+        for (i, st) in state.iter().enumerate() {
+            let busy = busy_trackers[i].busy_time(0.0, makespan);
+            stage_busy.push(busy / makespan);
+            stage_gpu.push(st.useful_time / makespan);
+            let idle = makespan - busy;
+            stage_idle.push(idle);
+            ddb.push(((idle / rounds as f64) - ssb).max(0.0));
+        }
+
+        Ok(ExecutionReport {
+            makespan,
+            round_time: makespan / rounds as f64,
+            throughput: samples / makespan,
+            stage_busy_utilization: stage_busy,
+            stage_gpu_utilization: stage_gpu,
+            stage_peak_memory: state.iter().map(|st| st.peak_mem).collect(),
+            stage_idle_time: stage_idle,
+            ssb_per_round: ssb,
+            ddb_per_round: ddb,
+            rounds,
+            micro_batches,
+            task_spans,
+        })
+    }
+
+    /// Handles a finished compute task; returns true when the round's last
+    /// backward at stage 0 completed.
+    #[allow(clippy::too_many_arguments)]
+    fn on_compute_done(
+        &self,
+        stage: usize,
+        task: Task,
+        now: f64,
+        state: &mut [StageState],
+        queue: &mut EventQueue<Event>,
+        micro_batches: usize,
+        completions: &mut ThroughputTracker,
+    ) -> bool {
+        let s_count = state.len();
+        let sp = &self.profile.stages()[stage];
+        state[stage].busy = false;
+        match task {
+            Task::Fp(m) => {
+                state[stage].fp_done += 1;
+                if stage + 1 < s_count {
+                    // Serialize on the forward link.
+                    let start = now.max(state[stage].fwd_link_free);
+                    let done = start + sp.c_fwd;
+                    state[stage].fwd_link_free = done;
+                    queue.schedule(
+                        done,
+                        Event::FwdArrive {
+                            stage: stage + 1,
+                            micro: m,
+                        },
+                    );
+                } else {
+                    // Last stage: its own backward becomes ready (possibly
+                    // gated for BAF).
+                    state[stage].bp_ready.push_back(m);
+                }
+            }
+            Task::Bp(m) => {
+                state[stage].bp_done += 1;
+                state[stage].in_flight -= 1;
+                state[stage].device.free(sp.activation_bytes_per_mb);
+                if stage > 0 {
+                    let up = &self.profile.stages()[stage - 1];
+                    let start = now.max(state[stage].bwd_link_free);
+                    let done = start + up.c_bwd;
+                    state[stage].bwd_link_free = done;
+                    queue.schedule(
+                        done,
+                        Event::BwdArrive {
+                            stage: stage - 1,
+                            micro: m,
+                        },
+                    );
+                } else {
+                    completions.record(now, self.profile.micro_batch() as u64);
+                    if state[0].bp_done == micro_batches {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Dispatches the next task on `stage` if the device is idle and the
+    /// policy admits one.
+    #[allow(clippy::too_many_arguments)]
+    fn try_dispatch(
+        &self,
+        stage: usize,
+        state: &mut [StageState],
+        queue: &mut EventQueue<Event>,
+        micro_batches: usize,
+        busy_trackers: &mut [BusyTracker],
+        task_spans: &mut Vec<TaskSpan>,
+        round: usize,
+    ) -> Result<(), ExecError> {
+        {
+            if state[stage].busy {
+                return Ok(());
+            }
+            let sp = &self.profile.stages()[stage];
+            let s_count = state.len();
+            let now = queue.now();
+
+            let bp_allowed = match &self.policy {
+                SchedulePolicy::OneFOneBSync { .. } | SchedulePolicy::OneFOneBAsync { .. } => true,
+                SchedulePolicy::BafSync => {
+                    // Gpipe: the last stage flips to backwards only after
+                    // forwarding everything; upstream stages receive
+                    // gradients late enough that this gate only matters at
+                    // the last stage.
+                    stage != s_count - 1 || state[stage].fp_done == micro_batches
+                }
+            };
+            let fp_allowed = self
+                .policy
+                .residency(stage)
+                .is_none_or(|k| state[stage].in_flight < k);
+            let fp_available = state[stage].fp_next < micro_batches
+                && (stage == 0 || {
+                    // In-order arrival: the inbox head must be the next
+                    // micro-batch.
+                    state[stage].fp_inbox.front() == Some(&state[stage].fp_next)
+                });
+
+            // 1F1B prefers backward (early backward schedule); BAF prefers
+            // forward.
+            let prefer_bp = !matches!(self.policy, SchedulePolicy::BafSync);
+            let run_bp = bp_allowed && !state[stage].bp_ready.is_empty();
+            let run_fp = fp_allowed && fp_available;
+
+            let task = if run_bp && (prefer_bp || !run_fp) {
+                let m = state[stage].bp_ready.pop_front().expect("nonempty");
+                Task::Bp(m)
+            } else if run_fp {
+                let m = state[stage].fp_next;
+                if !state[stage].device.try_allocate(sp.activation_bytes_per_mb) {
+                    return Err(ExecError::Oom { stage, micro: m });
+                }
+                state[stage].in_flight += 1;
+                state[stage].peak_mem = state[stage]
+                    .peak_mem
+                    .max(state[stage].device.allocated_bytes());
+                state[stage].fp_next += 1;
+                if stage > 0 {
+                    let head = state[stage].fp_inbox.pop_front();
+                    debug_assert_eq!(head, Some(m));
+                }
+                Task::Fp(m)
+            } else {
+                return Ok(());
+            };
+
+            // Wall-clock duration is the profiled (efficiency-corrected)
+            // stage time plus dispatch overhead; only the fraction of it
+            // doing peak-rate arithmetic counts as "GPU-useful".
+            let wall = match task {
+                Task::Fp(_) => sp.t_fwd,
+                Task::Bp(_) => sp.t_bwd,
+            };
+            let duration = wall + self.task_overhead;
+            state[stage].busy = true;
+            state[stage].useful_time += wall * sp.efficiency;
+            busy_trackers[stage].record(now, now + duration);
+            let (micro, forward) = match task {
+                Task::Fp(m) => (m, true),
+                Task::Bp(m) => (m, false),
+            };
+            task_spans.push(TaskSpan {
+                stage,
+                micro,
+                round,
+                forward,
+                start: now,
+                end: now + duration,
+            });
+            queue.schedule(now + duration, Event::ComputeDone { stage, task });
+            Ok(())
+        }
+    }
+}
+
+// Small helper: StageProfile carries times, not a DeviceSpec; reconstruct
+// a memory-only spec for accounting. Compute rate is irrelevant here since
+// stage times are pre-computed.
+impl crate::profiler::StageProfile {
+    fn clone_device_spec(&self) -> ecofl_simnet::DeviceSpec {
+        ecofl_simnet::DeviceSpec::new(
+            &format!("stage{}", self.device),
+            1.0,
+            self.memory_budget_bytes,
+            1.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::p_bounds;
+    use crate::profiler::PipelineProfile;
+    use ecofl_models::efficientnet;
+    use ecofl_simnet::{nano_h, tx2_n, Device, Link};
+
+    fn profile(mbs: usize) -> PipelineProfile {
+        let model = efficientnet(0);
+        let l = model.num_layers();
+        let devices = vec![Device::new(tx2_n()), Device::new(nano_h())];
+        PipelineProfile::new(&model, &[0, l / 2, l], &devices, &Link::mbps_100(), mbs)
+    }
+
+    #[test]
+    fn one_f_one_b_completes_all_micro_batches() {
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k });
+        let r = exec.run(8, 2).expect("no OOM");
+        assert_eq!(r.rounds, 2);
+        assert!(r.throughput > 0.0);
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.stage_peak_memory.len(), 2);
+    }
+
+    #[test]
+    fn throughput_grows_with_micro_batch_count() {
+        // More micro-batches per round amortize the SSB.
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k });
+        let t4 = exec.run(4, 2).unwrap().throughput;
+        let t16 = exec.run(16, 2).unwrap().throughput;
+        assert!(t16 > t4, "throughput {t16} should exceed {t4}");
+    }
+
+    #[test]
+    fn gpipe_holds_more_memory_than_1f1b() {
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let m = 8;
+        let ours = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .run(m, 1)
+            .unwrap();
+        let gpipe = PipelineExecutor::new(&p, SchedulePolicy::BafSync)
+            .run(m, 1)
+            .unwrap();
+        assert!(
+            gpipe.stage_peak_memory[0] > ours.stage_peak_memory[0],
+            "Gpipe peak {} must exceed 1F1B peak {}",
+            gpipe.stage_peak_memory[0],
+            ours.stage_peak_memory[0]
+        );
+    }
+
+    #[test]
+    fn equal_results_across_runs_deterministic() {
+        let p = profile(8);
+        let k = p_bounds(&p);
+        let e1 = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .run(8, 3)
+            .unwrap();
+        let e2 = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .run(8, 3)
+            .unwrap();
+        assert_eq!(e1.makespan, e2.makespan);
+        assert_eq!(e1.stage_peak_memory, e2.stage_peak_memory);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let p = profile(8);
+        let k = p_bounds(&p);
+        let r = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .run(8, 2)
+            .unwrap();
+        for (&b, &g) in r
+            .stage_busy_utilization
+            .iter()
+            .zip(&r.stage_gpu_utilization)
+        {
+            assert!((0.0..=1.0).contains(&b));
+            assert!(g <= b, "useful fraction cannot exceed busy fraction");
+        }
+    }
+
+    #[test]
+    fn energy_accounting_two_state() {
+        use ecofl_simnet::PowerProfile;
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let r = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .run(8, 1)
+            .unwrap();
+        let power = vec![PowerProfile::new(2.0, 10.0); 2];
+        let energy = r.stage_energy_joules(&power);
+        assert_eq!(energy.len(), 2);
+        for (e, &u) in energy.iter().zip(&r.stage_busy_utilization) {
+            let expected = 2.0 * r.makespan + 8.0 * u * r.makespan;
+            assert!((e - expected).abs() < 1e-9);
+        }
+        assert!(r.samples_per_joule(&power) > 0.0);
+    }
+
+    #[test]
+    fn async_1f1b_streams_without_flush() {
+        // Flush-free streaming must beat the synchronous schedule for the
+        // same total work (SSB paid once, not per round).
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let sync = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .run(8, 4)
+            .unwrap();
+        let asynchronous = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBAsync { k })
+            .run(8, 4)
+            .unwrap();
+        assert!(
+            asynchronous.throughput > sync.throughput,
+            "async {} must beat sync {}",
+            asynchronous.throughput,
+            sync.throughput
+        );
+        // Same total work either way.
+        let a = asynchronous.throughput * asynchronous.makespan;
+        let b = sync.throughput * sync.makespan;
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn async_1f1b_stashes_weight_versions() {
+        // PipeDream-style weight stashing multiplies the static footprint
+        // by K_s — the §2 memory objection.
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let sync = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .run(4, 1)
+            .unwrap();
+        let asynchronous =
+            PipelineExecutor::new(&p, SchedulePolicy::OneFOneBAsync { k: k.clone() })
+                .run(4, 1)
+                .unwrap();
+        assert!(
+            asynchronous.stage_peak_memory[0] > sync.stage_peak_memory[0],
+            "stage 0 must hold {} weight versions",
+            k[0]
+        );
+    }
+
+    #[test]
+    fn async_weight_stashing_can_oom_where_sync_fits() {
+        // Shrink the stage-0 budget until K weight copies overflow but a
+        // single copy plus activations still fits.
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let mut stages = p.stages().to_vec();
+        let s0 = &mut stages[0];
+        // One byte under the async peak (K weight copies + K resident
+        // activations) but comfortably above the sync peak (one copy).
+        s0.memory_budget_bytes = (s0.static_bytes() + s0.activation_bytes_per_mb) * k[0] as u64 - 1;
+        let tight = PipelineProfile::from_stages(stages, p.micro_batch());
+        assert!(
+            PipelineExecutor::new(&tight, SchedulePolicy::OneFOneBSync { k: k.clone() })
+                .run(4, 1)
+                .is_ok()
+        );
+        assert!(matches!(
+            PipelineExecutor::new(&tight, SchedulePolicy::OneFOneBAsync { k }).run(4, 1),
+            Err(ExecError::Oom { stage: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn small_k_creates_ddb() {
+        // Starving the first stage with K=1 forces dependency bubbles
+        // downstream relative to the proper P bounds.
+        let p = profile(4);
+        let proper = p_bounds(&p);
+        let starved = vec![1; p.num_stages()];
+        let good = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: proper })
+            .run(12, 1)
+            .unwrap();
+        let bad = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: starved })
+            .run(12, 1)
+            .unwrap();
+        assert!(
+            bad.makespan > good.makespan,
+            "starved pipeline {} should be slower than {}",
+            bad.makespan,
+            good.makespan
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! ASCII Gantt rendering of executed pipeline schedules.
+//!
+//! Turns an [`ExecutionReport`](crate::executor::ExecutionReport)'s task
+//! trace into the schedule pictures of the paper's Figs. 3–4: one row per
+//! stage, forward passes as the micro-batch digit, backward passes as the
+//! digit in brackets-free lowercase band (distinguished by style), idle
+//! time as dots. Useful for eyeballing SSB/DDB structure and for docs.
+
+use crate::executor::TaskSpan;
+
+/// Renders the spans of one sync-round as an ASCII Gantt chart.
+///
+/// `width` is the number of character columns the round's duration maps
+/// onto. Forward tasks paint `F<digit>`-style cells using the micro-batch
+/// index (mod 10); backward tasks paint the index in `()`-less lowercase
+/// via `b`-prefixed cells; idle time is `·`.
+///
+/// Returns one line per stage, prefixed with the stage index.
+#[must_use]
+pub fn render_round(spans: &[TaskSpan], round: usize, width: usize) -> Vec<String> {
+    assert!(width >= 10, "render_round: width too small");
+    let round_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.round == round).collect();
+    if round_spans.is_empty() {
+        return Vec::new();
+    }
+    let t0 = round_spans
+        .iter()
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = round_spans
+        .iter()
+        .map(|s| s.end)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let stages = round_spans.iter().map(|s| s.stage).max().unwrap_or(0) + 1;
+    let scale = width as f64 / (t1 - t0).max(1e-12);
+
+    let mut rows = vec![vec!['·'; width]; stages];
+    for span in &round_spans {
+        let a = (((span.start - t0) * scale) as usize).min(width - 1);
+        let b = (((span.end - t0) * scale).ceil() as usize).clamp(a + 1, width);
+        let digit = char::from_digit((span.micro % 10) as u32, 10).expect("digit");
+        let cell = if span.forward {
+            digit
+        } else {
+            // Backward cells render as letters a–j so the two phases are
+            // visually distinct in plain ASCII.
+            (b'a' + (span.micro % 10) as u8) as char
+        };
+        for c in rows[span.stage].iter_mut().take(b).skip(a) {
+            *c = cell;
+        }
+    }
+    rows.into_iter()
+        .enumerate()
+        .map(|(s, row)| format!("stage {s} |{}|", row.into_iter().collect::<String>()))
+        .collect()
+}
+
+/// Renders a compact legend for [`render_round`] output.
+#[must_use]
+pub fn legend() -> &'static str {
+    "digits = forward pass of micro-batch n, letters a–j = backward pass of \
+     micro-batch n, · = idle"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{PipelineExecutor, SchedulePolicy};
+    use crate::orchestrator::p_bounds;
+    use crate::partition::partition_dp;
+    use crate::profiler::PipelineProfile;
+    use ecofl_models::efficientnet_at;
+    use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+
+    fn trace() -> crate::executor::ExecutionReport {
+        let model = efficientnet_at(0, 224);
+        let devices = vec![
+            Device::new(tx2_q()),
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+        ];
+        let link = Link::mbps_100();
+        let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
+        let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
+        let k = p_bounds(&profile);
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .run(6, 2)
+            .expect("runs")
+    }
+
+    #[test]
+    fn renders_one_row_per_stage() {
+        let report = trace();
+        let rows = render_round(&report.task_spans, 0, 80);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.starts_with("stage "));
+            assert!(row.len() > 80);
+        }
+    }
+
+    #[test]
+    fn every_micro_batch_appears_forward_and_backward() {
+        let report = trace();
+        let spans: Vec<_> = report.task_spans.iter().filter(|s| s.round == 0).collect();
+        for stage in 0..3 {
+            for micro in 0..6 {
+                assert!(
+                    spans
+                        .iter()
+                        .any(|s| s.stage == stage && s.micro == micro && s.forward),
+                    "missing FP({micro}) at stage {stage}"
+                );
+                assert!(
+                    spans
+                        .iter()
+                        .any(|s| s.stage == stage && s.micro == micro && !s.forward),
+                    "missing BP({micro}) at stage {stage}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_serial_per_stage() {
+        let report = trace();
+        for stage in 0..3 {
+            let mut spans: Vec<_> = report
+                .task_spans
+                .iter()
+                .filter(|s| s.stage == stage)
+                .collect();
+            spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end - 1e-9,
+                    "device must execute one task at a time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_precedes_backward_per_micro_batch() {
+        let report = trace();
+        for stage in 0..3 {
+            for micro in 0..6 {
+                let fp = report
+                    .task_spans
+                    .iter()
+                    .find(|s| s.round == 0 && s.stage == stage && s.micro == micro && s.forward)
+                    .unwrap();
+                let bp = report
+                    .task_spans
+                    .iter()
+                    .find(|s| s.round == 0 && s.stage == stage && s.micro == micro && !s.forward)
+                    .unwrap();
+                assert!(bp.start >= fp.end - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_round_renders_nothing() {
+        let report = trace();
+        assert!(render_round(&report.task_spans, 99, 40).is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! Pipeline orchestration (§4.3): bubble bounds, residency limits, and the
+//! device-order / micro-batch-size search.
+//!
+//! - [`p_bounds`] — the per-stage in-flight forward bounds `P_s` of Eq. 3,
+//!   the smallest residency that avoids data-dependency bubbles (DDB),
+//! - [`q_bounds`] — memory-feasible residency `Q_s` per stage,
+//! - [`search_configuration`] — the paper's search: start from a large
+//!   micro-batch size; if no device order can hold `K_s = P_s` forwards on
+//!   every stage, shrink the micro-batch until one does, and pick the
+//!   order with the best simulated throughput (Fig. 5's Config A vs B/C).
+
+use crate::executor::{ExecutionReport, PipelineExecutor, SchedulePolicy};
+use crate::partition::{partition_dp, Partition};
+use crate::profiler::PipelineProfile;
+use ecofl_models::ModelProfile;
+use ecofl_simnet::{Device, Link};
+use serde::{Deserialize, Serialize};
+
+/// Computes the Eq. 3 residency bounds `P_s`.
+///
+/// Iterating from the last stage (`P_{S-1} = 1`):
+///
+/// ```text
+/// P_{s-1} = P_s + ⌈ (T_{t,f}^{s-1} + T_{t,b}^{s-1} + T_{c,f}^{s-1} + T_{c,b}^{s-1})
+///                   / (T_{t,f}^s + T_{t,b}^s) ⌉
+/// ```
+///
+/// For balanced stages this reduces to the paper's closed forms:
+/// `P_s = S − s` when communication is negligible and
+/// `P_s = 2(S−s) − 1` when boundary transfers cost about as much as
+/// compute.
+#[must_use]
+pub fn p_bounds(profile: &PipelineProfile) -> Vec<usize> {
+    let stages = profile.stages();
+    let s_count = stages.len();
+    let mut p = vec![1usize; s_count];
+    for s in (1..s_count).rev() {
+        let width = stages[s - 1].full_width();
+        let pace = stages[s].t_total();
+        let extra = if pace > 0.0 {
+            (width / pace).ceil() as usize
+        } else {
+            1
+        };
+        p[s - 1] = p[s] + extra.max(1);
+    }
+    p
+}
+
+/// Memory-feasible residency `Q_s` for every stage.
+#[must_use]
+pub fn q_bounds(profile: &PipelineProfile) -> Vec<usize> {
+    profile
+        .stages()
+        .iter()
+        .map(|sp| sp.max_residency(sp.memory_budget_bytes))
+        .collect()
+}
+
+/// `K_s = min(P_s, Q_s)` — the actual residency the runtime enforces.
+///
+/// Returns `None` when some stage cannot hold even one micro-batch.
+#[must_use]
+pub fn k_bounds(profile: &PipelineProfile) -> Option<Vec<usize>> {
+    let p = p_bounds(profile);
+    let q = q_bounds(profile);
+    let k: Vec<usize> = p.iter().zip(&q).map(|(&a, &b)| a.min(b)).collect();
+    if k.contains(&0) {
+        None
+    } else {
+        Some(k)
+    }
+}
+
+/// Analytic sync-round time under the §4.3 ideal model: `M` micro-batches
+/// paced by the bottleneck stage plus the synchronous static bubble of
+/// Eq. 2 (the leading/trailing trapezoid). Valid for DDB-free pipelines
+/// (`K_s = P_s`); the executor should land close to this, which the tests
+/// verify — a strong cross-check between the formula the paper reasons
+/// with and the event-driven engine we measure with.
+#[must_use]
+pub fn analytic_round_time(profile: &PipelineProfile, micro_batches: usize) -> f64 {
+    let stages = profile.stages();
+    let bottleneck = stages
+        .iter()
+        .map(crate::profiler::StageProfile::t_total)
+        .fold(0.0, f64::max);
+    let ssb: f64 = stages[..stages.len().saturating_sub(1)]
+        .iter()
+        .map(crate::profiler::StageProfile::full_width)
+        .sum();
+    micro_batches as f64 * bottleneck + ssb
+}
+
+/// Search-space configuration for [`search_configuration`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Global mini-batch size per sync-round.
+    pub global_batch: usize,
+    /// Candidate micro-batch sizes, tried largest-first.
+    pub mbs_candidates: Vec<usize>,
+    /// Sync-rounds simulated when scoring a candidate.
+    pub eval_rounds: usize,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            global_batch: 128,
+            mbs_candidates: vec![32, 16, 8, 4, 2, 1],
+            eval_rounds: 2,
+        }
+    }
+}
+
+/// A fully resolved pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelinePlan {
+    /// Device order: `order[s]` is the index (into the search's device
+    /// list) of the device running stage `s`.
+    pub order: Vec<usize>,
+    /// Stage boundaries.
+    pub partition: Partition,
+    /// Chosen micro-batch size.
+    pub micro_batch: usize,
+    /// Micro-batches per sync-round (`M = global_batch / mbs`).
+    pub micro_batches: usize,
+    /// Residency limits `K_s`.
+    pub k: Vec<usize>,
+    /// Whether every stage satisfies `K_s = P_s` (no DDB expected).
+    pub ddb_free: bool,
+    /// Simulated execution report for this plan.
+    pub report: ExecutionReport,
+}
+
+/// Generates all permutations of `0..n` (n ≤ 8 kept sane by assertion).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    assert!(
+        n <= 8,
+        "permutation search is factorial; {n} devices is too many"
+    );
+    let mut result = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    fn heap_rec(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k == 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap_rec(k - 1, arr, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    heap_rec(n, &mut current, &mut result);
+    result
+}
+
+/// Runs the §4.3 configuration search.
+///
+/// Tries micro-batch sizes largest-first; within one size, evaluates every
+/// device order via the Eq. 1 partitioner and the event-driven executor.
+/// Prefers DDB-free plans (`K_s = P_s` everywhere); if a size admits none,
+/// it falls to the next smaller size, and only if *no* size is DDB-free
+/// does it return the best feasible plan with `K_s = min(P_s, Q_s)`.
+///
+/// Returns `None` when no order/size combination is executable at all.
+#[must_use]
+pub fn search_configuration(
+    model: &ModelProfile,
+    devices: &[Device],
+    link: &Link,
+    config: &OrchestratorConfig,
+) -> Option<PipelinePlan> {
+    let orders = permutations(devices.len());
+    let mut best_fallback: Option<PipelinePlan> = None;
+    let mut best_ddb_free: Option<PipelinePlan> = None;
+
+    for &mbs in &config.mbs_candidates {
+        if mbs == 0 || mbs > config.global_batch {
+            continue;
+        }
+        let m = config.global_batch / mbs;
+        if m == 0 {
+            continue;
+        }
+        for order in &orders {
+            let ordered: Vec<Device> = order.iter().map(|&i| devices[i].clone()).collect();
+            let Some(partition) = partition_dp(model, &ordered, link, mbs) else {
+                continue;
+            };
+            let profile = PipelineProfile::new(model, &partition.boundaries, &ordered, link, mbs);
+            let p = p_bounds(&profile);
+            let Some(k) = k_bounds(&profile) else {
+                continue;
+            };
+            let ddb_free = k == p && m >= *p.iter().max().unwrap_or(&1);
+            let exec =
+                PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() });
+            let Ok(report) = exec.run(m, config.eval_rounds) else {
+                continue;
+            };
+            let plan = PipelinePlan {
+                order: order.clone(),
+                partition: partition.clone(),
+                micro_batch: mbs,
+                micro_batches: m,
+                k,
+                ddb_free,
+                report,
+            };
+            if ddb_free {
+                if best_ddb_free
+                    .as_ref()
+                    .is_none_or(|b| plan.report.throughput > b.report.throughput)
+                {
+                    best_ddb_free = Some(plan);
+                }
+            } else if best_fallback
+                .as_ref()
+                .is_none_or(|b| plan.report.throughput > b.report.throughput)
+            {
+                best_fallback = Some(plan);
+            }
+        }
+    }
+    // Prefer the best-throughput DDB-free plan across all admissible
+    // micro-batch sizes; the paper stops at the largest feasible size, but
+    // scoring by simulated sync-round time is strictly consistent with its
+    // stated goal ("pick up a devices' order resulting in the least
+    // sync-round time") and never worse.
+    best_ddb_free.or(best_fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofl_models::efficientnet;
+    use ecofl_simnet::{nano_h, tx2_q, Device};
+
+    fn profile3(mbs: usize) -> PipelineProfile {
+        let model = efficientnet(0);
+        let devices = vec![
+            Device::new(tx2_q()),
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+        ];
+        let partition = partition_dp(&model, &devices, &Link::mbps_100(), mbs).expect("feasible");
+        PipelineProfile::new(
+            &model,
+            &partition.boundaries,
+            &devices,
+            &Link::mbps_100(),
+            mbs,
+        )
+    }
+
+    #[test]
+    fn p_bounds_decrease_along_pipeline() {
+        let p = profile3(8);
+        let bounds = p_bounds(&p);
+        assert_eq!(*bounds.last().unwrap(), 1, "last stage holds exactly one");
+        for w in bounds.windows(2) {
+            assert!(w[0] > w[1], "P must strictly decrease: {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn p_bounds_closed_forms() {
+        // Balanced synthetic stages: equal compute, no comm → P_s = S - s;
+        // comm equal to compute → P_s = 2(S-s)-1.
+        use crate::profiler::StageProfile;
+        fn synthetic(c: f64) -> PipelineProfile {
+            let stages: Vec<StageProfile> = (0..4)
+                .map(|s| StageProfile {
+                    device: s,
+                    layers: s..s + 1,
+                    t_fwd: 0.5,
+                    t_bwd: 0.5,
+                    c_fwd: if s < 3 { c / 2.0 } else { 0.0 },
+                    c_bwd: if s < 3 { c / 2.0 } else { 0.0 },
+                    param_bytes: 1,
+                    activation_bytes_per_mb: 1,
+                    boundary_bytes: 1,
+                    memory_budget_bytes: 1 << 30,
+                    efficiency: 1.0,
+                })
+                .collect();
+            PipelineProfile::from_stages(stages, 1)
+        }
+        assert_eq!(p_bounds(&synthetic(0.0)), vec![4, 3, 2, 1]);
+        assert_eq!(p_bounds(&synthetic(1.0)), vec![7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn q_bounds_reflect_memory() {
+        let p = profile3(8);
+        let q = q_bounds(&p);
+        assert_eq!(q.len(), 3);
+        assert!(
+            q.iter().all(|&x| x >= 1),
+            "all stages should fit ≥1 mb: {q:?}"
+        );
+    }
+
+    #[test]
+    fn search_finds_a_plan() {
+        let model = efficientnet(0);
+        let devices = vec![
+            Device::new(tx2_q()),
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+        ];
+        let cfg = OrchestratorConfig {
+            global_batch: 64,
+            mbs_candidates: vec![16, 8, 4],
+            eval_rounds: 1,
+        };
+        let plan = search_configuration(&model, &devices, &Link::mbps_100(), &cfg).expect("plan");
+        assert_eq!(plan.order.len(), 3);
+        assert_eq!(plan.micro_batches, 64 / plan.micro_batch);
+        assert!(plan.report.throughput > 0.0);
+    }
+
+    #[test]
+    fn search_prefers_fast_device_first_for_activation_heavy_model() {
+        // EfficientNet's front layers carry the largest activations and
+        // most work; the search should not leave the TX2 idle at the back.
+        let model = efficientnet(1);
+        let devices = vec![
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+            Device::new(tx2_q()),
+        ];
+        let cfg = OrchestratorConfig {
+            global_batch: 64,
+            mbs_candidates: vec![16, 8],
+            eval_rounds: 1,
+        };
+        let plan = search_configuration(&model, &devices, &Link::mbps_100(), &cfg).expect("plan");
+        // Whatever the order, throughput must beat the worst order.
+        let worst_order = vec![
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+            Device::new(tx2_q()),
+        ];
+        let worst_partition =
+            partition_dp(&model, &worst_order, &Link::mbps_100(), plan.micro_batch).unwrap();
+        let worst_profile = PipelineProfile::new(
+            &model,
+            &worst_partition.boundaries,
+            &worst_order,
+            &Link::mbps_100(),
+            plan.micro_batch,
+        );
+        let worst_k = k_bounds(&worst_profile).unwrap();
+        let worst =
+            PipelineExecutor::new(&worst_profile, SchedulePolicy::OneFOneBSync { k: worst_k })
+                .run(plan.micro_batches, 1)
+                .unwrap();
+        assert!(plan.report.throughput >= worst.throughput * 0.999);
+    }
+
+    #[test]
+    fn executor_matches_analytic_round_time_when_ddb_free() {
+        let model = efficientnet(0);
+        let devices = vec![
+            Device::new(tx2_q()),
+            Device::new(nano_h()),
+            Device::new(nano_h()),
+        ];
+        let link = Link::mbps_100();
+        for (mbs, m) in [(4usize, 16usize), (8, 12), (8, 24)] {
+            let partition = partition_dp(&model, &devices, &link, mbs).expect("feasible");
+            let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+            let p = p_bounds(&profile);
+            let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p })
+                .with_task_overhead(0.0)
+                .run(m, 1)
+                .expect("runs");
+            let analytic = analytic_round_time(&profile, m);
+            let rel = (report.round_time - analytic).abs() / analytic;
+            assert!(
+                rel < 0.15,
+                "mbs {mbs}, M {m}: measured {:.4} vs analytic {analytic:.4} ({:.1}% off)",
+                report.round_time,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(1).len(), 1);
+        let perms = permutations(4);
+        assert_eq!(perms.len(), 24);
+        let mut unique = perms.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 24);
+    }
+}

@@ -1,0 +1,395 @@
+//! Heterogeneity-aware workload partitioning (§4.2, Eq. 1).
+//!
+//! Finds stage boundaries that minimize the lagger — the slowest stage's
+//! per-micro-batch time — while accounting for inter-stage communication
+//! and per-device memory capacity. The recurrence is the paper's Eq. 1:
+//!
+//! ```text
+//! A(0→j, D_n) = min_{s} max{ A(0→s, D_{n-1}),
+//!                            (a_s + g_s) / B_{n-2},
+//!                            T(s+1→j, n−1) }
+//! ```
+//!
+//! solved bottom-up in `O(D · L²)`. [`partition_even`] is the PipeDream
+//! baseline of Fig. 12: it balances raw FLOPs assuming homogeneous
+//! devices, ignoring their actual speeds.
+
+use crate::profiler::PARAM_STATE_FACTOR;
+use ecofl_models::ModelProfile;
+use ecofl_simnet::{Device, Link};
+use serde::{Deserialize, Serialize};
+
+/// A pipeline partition: `boundaries[s]..boundaries[s+1]` is the layer
+/// range of stage `s`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Stage boundaries; `len() == num_stages + 1`, first is 0, last is
+    /// the model's layer count.
+    pub boundaries: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Layer range of stage `s`.
+    #[must_use]
+    pub fn stage_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.boundaries[s]..self.boundaries[s + 1]
+    }
+}
+
+/// Per-micro-batch compute time of layers `range` on a device.
+fn seg_time(model: &ModelProfile, range: std::ops::Range<usize>, rate: f64, mbs: usize) -> f64 {
+    mbs as f64 * model.range_flops(range) / rate
+}
+
+/// Whether layers `range` fit in `device`'s memory with at least one
+/// resident micro-batch.
+fn fits(model: &ModelProfile, range: std::ops::Range<usize>, device: &Device, mbs: usize) -> bool {
+    let params: u64 = model.layers[range.clone()]
+        .iter()
+        .map(|l| l.param_bytes)
+        .sum();
+    let act: u64 = model.layers[range]
+        .iter()
+        .map(|l| l.train_activation_bytes)
+        .sum::<u64>()
+        * mbs as u64;
+    params * PARAM_STATE_FACTOR + act <= device.spec().memory_bytes
+}
+
+/// Combined forward+backward boundary-transfer time for a cut after layer
+/// `cut − 1` (the `(a_s + g_s)/B` term of Eq. 1).
+fn comm_time(model: &ModelProfile, cut: usize, link: &Link, mbs: usize) -> f64 {
+    let bytes = 2 * model.activation_bytes_after(cut - 1) * mbs as u64;
+    link.transfer_time(bytes)
+}
+
+/// Runs the Eq. 1 dynamic program.
+///
+/// `devices` is the pipeline order (stage `s` runs on `devices[s]`).
+/// Returns `None` when no feasible partition exists — fewer layers than
+/// devices, or no split satisfies every stage's memory constraint.
+#[must_use]
+pub fn partition_dp(
+    model: &ModelProfile,
+    devices: &[Device],
+    link: &Link,
+    mbs: usize,
+) -> Option<Partition> {
+    let l = model.num_layers();
+    let d = devices.len();
+    if d == 0 || l < d {
+        return None;
+    }
+    if d == 1 {
+        if !fits(model, 0..l, &devices[0], mbs) {
+            return None;
+        }
+        return Some(Partition {
+            boundaries: vec![0, l],
+        });
+    }
+
+    const INF: f64 = f64::INFINITY;
+    // best[n][j]: optimal lagger using first n devices for layers 0..j.
+    let mut best = vec![vec![INF; l + 1]; d + 1];
+    // choice[n][j]: the prefix length s chosen at the optimum.
+    let mut choice = vec![vec![usize::MAX; l + 1]; d + 1];
+
+    #[allow(clippy::needless_range_loop)]
+    for j in 1..=l {
+        if fits(model, 0..j, &devices[0], mbs) {
+            best[1][j] = seg_time(model, 0..j, devices[0].effective_flops(), mbs);
+        }
+    }
+
+    for n in 2..=d {
+        let rate = devices[n - 1].effective_flops();
+        // Need at least n layers for n non-empty stages, and leave enough
+        // layers for the remaining devices.
+        for j in n..=l {
+            let mut best_cost = INF;
+            let mut best_s = usize::MAX;
+            #[allow(clippy::needless_range_loop)]
+            for s in (n - 1)..j {
+                let prefix = best[n - 1][s];
+                if !prefix.is_finite() {
+                    continue;
+                }
+                if !fits(model, s..j, &devices[n - 1], mbs) {
+                    continue;
+                }
+                let cost = prefix.max(comm_time(model, s, link, mbs)).max(seg_time(
+                    model,
+                    s..j,
+                    rate,
+                    mbs,
+                ));
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_s = s;
+                }
+            }
+            best[n][j] = best_cost;
+            choice[n][j] = best_s;
+        }
+    }
+
+    if !best[d][l].is_finite() {
+        return None;
+    }
+    // Reconstruct boundaries from the choice table.
+    let mut boundaries = vec![0usize; d + 1];
+    boundaries[d] = l;
+    let mut j = l;
+    for n in (2..=d).rev() {
+        let s = choice[n][j];
+        debug_assert_ne!(s, usize::MAX);
+        boundaries[n - 1] = s;
+        j = s;
+    }
+    Some(Partition { boundaries })
+}
+
+/// The lagger value of a given partition under the Eq. 1 objective
+/// (maximum over stage compute times and cut communication times).
+#[must_use]
+pub fn partition_objective(
+    model: &ModelProfile,
+    partition: &Partition,
+    devices: &[Device],
+    link: &Link,
+    mbs: usize,
+) -> f64 {
+    let mut worst = 0.0f64;
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..partition.num_stages() {
+        let range = partition.stage_range(s);
+        worst = worst.max(seg_time(model, range, devices[s].effective_flops(), mbs));
+        if s + 1 < partition.num_stages() {
+            worst = worst.max(comm_time(model, partition.boundaries[s + 1], link, mbs));
+        }
+    }
+    worst
+}
+
+/// Whether every stage of `partition` fits its device's memory.
+#[must_use]
+pub fn partition_feasible(
+    model: &ModelProfile,
+    partition: &Partition,
+    devices: &[Device],
+    mbs: usize,
+) -> bool {
+    (0..partition.num_stages()).all(|s| fits(model, partition.stage_range(s), &devices[s], mbs))
+}
+
+/// PipeDream-style homogeneous partitioning (the Fig. 12 baseline).
+///
+/// Splits layers so each stage holds an (approximately) equal share of
+/// total FLOPs, ignoring device heterogeneity — "the workload will be
+/// evenly divided into different stages". Greedy prefix packing: stage `s`
+/// takes layers until its share reaches `total / D`.
+///
+/// Returns `None` if there are fewer layers than devices.
+#[must_use]
+pub fn partition_even(model: &ModelProfile, num_stages: usize) -> Option<Partition> {
+    let l = model.num_layers();
+    if num_stages == 0 || l < num_stages {
+        return None;
+    }
+    let total = model.total_flops();
+    let target = total / num_stages as f64;
+    let mut boundaries = Vec::with_capacity(num_stages + 1);
+    boundaries.push(0usize);
+    let mut acc = 0.0;
+    let mut next_target = target;
+    for (i, layer) in model.layers.iter().enumerate() {
+        acc += layer.total_flops();
+        let stages_done = boundaries.len(); // includes leading 0
+        let remaining_layers = l - (i + 1);
+        let remaining_stages = num_stages - stages_done;
+        if stages_done < num_stages && (acc >= next_target || remaining_layers == remaining_stages)
+        {
+            boundaries.push(i + 1);
+            next_target += target;
+        }
+    }
+    boundaries.push(l);
+    debug_assert_eq!(boundaries.len(), num_stages + 1);
+    Some(Partition { boundaries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofl_models::{efficientnet, mobilenet_v2};
+    use ecofl_simnet::{nano_h, nano_l, tx2_n, tx2_q};
+
+    fn devices2() -> Vec<Device> {
+        vec![Device::new(tx2_n()), Device::new(nano_h())]
+    }
+
+    /// Exhaustive search over all boundary placements (small inputs only).
+    fn brute_force(
+        model: &ModelProfile,
+        devices: &[Device],
+        link: &Link,
+        mbs: usize,
+    ) -> Option<(f64, Partition)> {
+        let l = model.num_layers();
+        let d = devices.len();
+        let mut best: Option<(f64, Partition)> = None;
+        // Choose d-1 cut positions from 1..l.
+        fn rec(
+            cuts: &mut Vec<usize>,
+            start: usize,
+            need: usize,
+            l: usize,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if need == 0 {
+                out.push(cuts.clone());
+                return;
+            }
+            for c in start..l {
+                cuts.push(c);
+                rec(cuts, c + 1, need - 1, l, out);
+                cuts.pop();
+            }
+        }
+        let mut all = Vec::new();
+        rec(&mut Vec::new(), 1, d - 1, l, &mut all);
+        for cuts in all {
+            let mut boundaries = vec![0];
+            boundaries.extend(cuts);
+            boundaries.push(l);
+            let p = Partition { boundaries };
+            if !partition_feasible(model, &p, devices, mbs) {
+                continue;
+            }
+            let obj = partition_objective(model, &p, devices, link, mbs);
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, p));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn dp_matches_brute_force_small() {
+        let model = efficientnet(0);
+        let link = Link::mbps_100();
+        for (devices, mbs) in [
+            (devices2(), 4usize),
+            (
+                vec![
+                    Device::new(nano_h()),
+                    Device::new(tx2_q()),
+                    Device::new(nano_h()),
+                ],
+                8,
+            ),
+            (vec![Device::new(nano_l()), Device::new(tx2_n())], 16),
+        ] {
+            let dp = partition_dp(&model, &devices, &link, mbs).expect("feasible");
+            let dp_obj = partition_objective(&model, &dp, &devices, &link, mbs);
+            let (bf_obj, _) = brute_force(&model, &devices, &link, mbs).expect("feasible");
+            assert!(
+                (dp_obj - bf_obj).abs() < 1e-9,
+                "DP {dp_obj} != brute force {bf_obj} for {} devices mbs={mbs}",
+                devices.len()
+            );
+        }
+    }
+
+    #[test]
+    fn dp_gives_fast_device_more_work() {
+        let model = mobilenet_v2(1.0);
+        let link = Link::mbps_100();
+        // TX2-N is ~2.8× a Nano-L: its stage should carry more FLOPs.
+        let devices = vec![Device::new(tx2_n()), Device::new(nano_l())];
+        let p = partition_dp(&model, &devices, &link, 8).expect("feasible");
+        let f0 = model.range_flops(p.stage_range(0));
+        let f1 = model.range_flops(p.stage_range(1));
+        assert!(
+            f0 > 1.5 * f1,
+            "fast stage flops {f0} should dominate slow stage {f1}"
+        );
+    }
+
+    #[test]
+    fn even_split_balances_flops_not_time() {
+        let model = efficientnet(1);
+        let p = partition_even(&model, 2).expect("feasible");
+        let f0 = model.range_flops(p.stage_range(0));
+        let f1 = model.range_flops(p.stage_range(1));
+        let ratio = f0.max(f1) / f0.min(f1);
+        assert!(
+            ratio < 1.6,
+            "even split should roughly balance flops, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn dp_beats_even_split_on_heterogeneous_devices() {
+        let model = efficientnet(1);
+        let link = Link::mbps_100();
+        let devices = vec![Device::new(tx2_n()), Device::new(nano_h())];
+        let dp = partition_dp(&model, &devices, &link, 8).expect("dp feasible");
+        let even = partition_even(&model, 2).expect("even feasible");
+        let dp_obj = partition_objective(&model, &dp, &devices, &link, 8);
+        let even_obj = partition_objective(&model, &even, &devices, &link, 8);
+        assert!(
+            dp_obj < even_obj,
+            "heterogeneity-aware {dp_obj} must beat even split {even_obj}"
+        );
+    }
+
+    #[test]
+    fn infeasible_when_fewer_layers_than_devices() {
+        let model = efficientnet(0);
+        let n = model.num_layers();
+        let devices: Vec<Device> = (0..=n).map(|_| Device::new(nano_h())).collect();
+        assert!(partition_dp(&model, &devices, &Link::mbps_100(), 4).is_none());
+    }
+
+    #[test]
+    fn memory_constraint_can_forbid_partitions() {
+        let model = efficientnet(4);
+        // A device with absurdly small memory cannot host any stage.
+        let tiny = Device::new(ecofl_simnet::DeviceSpec::new("tiny", 1e9, 1024, 1e8));
+        let devices = vec![tiny.clone(), tiny];
+        assert!(partition_dp(&model, &devices, &Link::mbps_100(), 8).is_none());
+    }
+
+    #[test]
+    fn single_device_partition() {
+        let model = efficientnet(0);
+        let devices = vec![Device::new(tx2_n())];
+        let p = partition_dp(&model, &devices, &Link::mbps_100(), 4).expect("fits");
+        assert_eq!(p.num_stages(), 1);
+        assert_eq!(p.stage_range(0), 0..model.num_layers());
+    }
+
+    #[test]
+    fn boundaries_are_strictly_increasing() {
+        let model = mobilenet_v2(2.0);
+        let devices = vec![
+            Device::new(nano_h()),
+            Device::new(tx2_q()),
+            Device::new(nano_h()),
+        ];
+        let p = partition_dp(&model, &devices, &Link::mbps_100(), 8).expect("feasible");
+        for w in p.boundaries.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(p.boundaries[0], 0);
+        assert_eq!(*p.boundaries.last().unwrap(), model.num_layers());
+    }
+}

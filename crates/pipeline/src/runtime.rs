@@ -1,0 +1,616 @@
+//! Multi-threaded 1F1B-Sync pipeline prototype.
+//!
+//! Where [`crate::executor`] *simulates* pipeline timing on modelled
+//! hardware, this module actually *trains*: each stage is an OS thread
+//! owning a contiguous segment of a real `ecofl-tensor` network, and
+//! micro-batch activations/gradients flow through crossbeam channels,
+//! serialized to `bytes::Bytes` exactly as they would cross a network.
+//!
+//! The schedule is the paper's 1F1B-Sync: stage `s` warms up with `K_s`
+//! forwards, then strictly alternates backward/forward, and the sync-round
+//! ends with a pipeline flush that applies the accumulated gradients.
+//! Because gradient accumulation is order-preserving per layer, the
+//! resulting parameter updates are **bit-identical** to single-device
+//! gradient-accumulation training over the same micro-batches — the
+//! schedule changes execution order, never semantics. The tests assert
+//! this exactly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ecofl_tensor::{Layer, SoftmaxCrossEntropy, Tensor};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Serializes a tensor (shape + payload) into wire bytes.
+#[must_use]
+pub fn encode_tensor(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + t.shape().len() * 8 + t.len() * 4);
+    buf.put_u64_le(t.shape().len() as u64);
+    for &d in t.shape() {
+        buf.put_u64_le(d as u64);
+    }
+    for &x in t.data() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tensor produced by [`encode_tensor`].
+///
+/// # Panics
+/// Panics on a malformed buffer.
+#[must_use]
+pub fn decode_tensor(mut bytes: Bytes) -> Tensor {
+    let rank = bytes.get_u64_le() as usize;
+    let shape: Vec<usize> = (0..rank).map(|_| bytes.get_u64_le() as usize).collect();
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(bytes.get_f32_le());
+    }
+    Tensor::from_vec(data, &shape)
+}
+
+/// Bytes moved across each stage boundary, shared with the portal.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Forward (activation) bytes per boundary.
+    pub fwd_bytes: Vec<u64>,
+    /// Backward (gradient) bytes per boundary.
+    pub bwd_bytes: Vec<u64>,
+}
+
+enum Ctrl {
+    /// Run one sync-round of `m` micro-batches with warmup residency `k`.
+    Round {
+        m: usize,
+        k: usize,
+    },
+    /// Apply accumulated gradients: SGD with `lr`, gradients scaled by
+    /// `scale`, then zero gradients.
+    Apply {
+        lr: f32,
+        scale: f32,
+    },
+    /// Send this stage's flat parameters to the portal.
+    Collect,
+    /// Overwrite this stage's parameters.
+    SetParams(Vec<f32>),
+    Shutdown,
+}
+
+enum Reply {
+    Params(Vec<f32>),
+    RoundDone { losses: Vec<f32> },
+    Applied,
+}
+
+struct StageThread {
+    ctrl_tx: Sender<Ctrl>,
+    reply_rx: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A running multi-threaded pipeline trainer (the "smart home" prototype).
+pub struct PipelineTrainer {
+    stages: Vec<StageThread>,
+    input_tx: Sender<Bytes>,
+    target_tx: Sender<Vec<usize>>,
+    k: Vec<usize>,
+    comm: Arc<Mutex<CommStats>>,
+    /// Micro-batches fully processed (backward done at the last stage).
+    /// Relaxed ordering suffices: it is a monitoring counter, not a
+    /// synchronization point.
+    progress: Arc<AtomicU64>,
+}
+
+struct StageCtx {
+    layers: Vec<Box<dyn Layer>>,
+    is_last: bool,
+    upstream_grad_tx: Option<Sender<Bytes>>,
+    input_rx: Receiver<Bytes>,
+    downstream_act_tx: Option<Sender<Bytes>>,
+    grad_rx: Option<Receiver<Bytes>>,
+    target_rx: Option<Receiver<Vec<usize>>>,
+    ctrl_rx: Receiver<Ctrl>,
+    reply_tx: Sender<Reply>,
+    comm: Arc<Mutex<CommStats>>,
+    progress: Arc<AtomicU64>,
+    stage_idx: usize,
+}
+
+fn stage_main(mut ctx: StageCtx) {
+    let mut head = SoftmaxCrossEntropy::new();
+    // Logits awaiting their backward at the last stage (FIFO).
+    let mut pending_logits: std::collections::VecDeque<Tensor> = std::collections::VecDeque::new();
+
+    let fwd = |ctx: &mut StageCtx, pending_logits: &mut std::collections::VecDeque<Tensor>| {
+        let bytes = ctx.input_rx.recv().expect("activation channel closed");
+        let x = decode_tensor(bytes);
+        let mut out = x;
+        for layer in &mut ctx.layers {
+            out = layer.forward(&out);
+        }
+        if ctx.is_last {
+            pending_logits.push_back(out);
+        } else {
+            let encoded = encode_tensor(&out);
+            ctx.comm.lock().fwd_bytes[ctx.stage_idx] += encoded.len() as u64;
+            ctx.downstream_act_tx
+                .as_ref()
+                .expect("non-last stage has downstream")
+                .send(encoded)
+                .expect("downstream closed");
+        }
+    };
+
+    let bwd = |ctx: &mut StageCtx,
+               head: &mut SoftmaxCrossEntropy,
+               pending_logits: &mut std::collections::VecDeque<Tensor>,
+               losses: &mut Vec<f32>| {
+        let mut grad = if ctx.is_last {
+            let logits = pending_logits.pop_front().expect("logit for backward");
+            let targets = ctx
+                .target_rx
+                .as_ref()
+                .expect("last stage has targets")
+                .recv()
+                .expect("target channel closed");
+            let (loss, grad) = head.loss_and_grad(&logits, &targets);
+            losses.push(loss);
+            ctx.progress.fetch_add(1, Ordering::Relaxed);
+            grad
+        } else {
+            let bytes = ctx
+                .grad_rx
+                .as_ref()
+                .expect("non-last stage has grad channel")
+                .recv()
+                .expect("grad channel closed");
+            decode_tensor(bytes)
+        };
+        for layer in ctx.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        if let Some(tx) = &ctx.upstream_grad_tx {
+            let encoded = encode_tensor(&grad);
+            ctx.comm.lock().bwd_bytes[ctx.stage_idx - 1] += encoded.len() as u64;
+            tx.send(encoded).expect("upstream closed");
+        }
+    };
+
+    loop {
+        match ctx.ctrl_rx.recv() {
+            Ok(Ctrl::Round { m, k }) => {
+                let mut losses = Vec::new();
+                // 1F1B-Sync: warmup with K forwards, then alternate BP/FP,
+                // drain remaining backwards.
+                let warmup = k.min(m);
+                let mut fp_done = 0usize;
+                let mut bp_done = 0usize;
+                for _ in 0..warmup {
+                    fwd(&mut ctx, &mut pending_logits);
+                    fp_done += 1;
+                }
+                while bp_done < m {
+                    bwd(&mut ctx, &mut head, &mut pending_logits, &mut losses);
+                    bp_done += 1;
+                    if fp_done < m {
+                        fwd(&mut ctx, &mut pending_logits);
+                        fp_done += 1;
+                    }
+                }
+                ctx.reply_tx
+                    .send(Reply::RoundDone { losses })
+                    .expect("portal closed");
+            }
+            Ok(Ctrl::Apply { lr, scale }) => {
+                // Pipeline flush: local SGD on the accumulated gradients.
+                let mut params = Vec::new();
+                let mut grads = Vec::new();
+                for layer in &ctx.layers {
+                    layer.write_params(&mut params);
+                    layer.write_grads(&mut grads);
+                }
+                for (p, g) in params.iter_mut().zip(&grads) {
+                    *p -= lr * g * scale;
+                }
+                let mut offset = 0;
+                for layer in &mut ctx.layers {
+                    offset += layer.read_params(&params[offset..]);
+                    layer.zero_grads();
+                }
+                ctx.reply_tx.send(Reply::Applied).expect("portal closed");
+            }
+            Ok(Ctrl::Collect) => {
+                let mut params = Vec::new();
+                for layer in &ctx.layers {
+                    layer.write_params(&mut params);
+                }
+                ctx.reply_tx
+                    .send(Reply::Params(params))
+                    .expect("portal closed");
+            }
+            Ok(Ctrl::SetParams(params)) => {
+                let mut offset = 0;
+                for layer in &mut ctx.layers {
+                    offset += layer.read_params(&params[offset..]);
+                }
+                debug_assert_eq!(offset, params.len());
+            }
+            Ok(Ctrl::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+impl PipelineTrainer {
+    /// Launches one thread per stage.
+    ///
+    /// `segments[s]` is the ordered layer list of stage `s`; `k[s]` is the
+    /// warmup residency (use `S − s`, the §4.3 bound with negligible
+    /// communication, for an in-memory channel transport).
+    ///
+    /// # Panics
+    /// Panics on empty segments or a `k` length mismatch.
+    #[must_use]
+    pub fn launch(segments: Vec<Vec<Box<dyn Layer>>>, k: Vec<usize>) -> Self {
+        let s_count = segments.len();
+        assert!(s_count > 0, "PipelineTrainer: need at least one stage");
+        assert_eq!(k.len(), s_count, "PipelineTrainer: K length mismatch");
+        assert!(k.iter().all(|&x| x >= 1));
+
+        let comm = Arc::new(Mutex::new(CommStats {
+            fwd_bytes: vec![0; s_count.saturating_sub(1)],
+            bwd_bytes: vec![0; s_count.saturating_sub(1)],
+        }));
+        let progress = Arc::new(AtomicU64::new(0));
+
+        // Data channels: input into stage 0, activations between stages,
+        // gradients between stages (bounded to keep memory honest).
+        let (input_tx, first_rx) = unbounded::<Bytes>();
+        let mut act_rx = Some(first_rx);
+        let mut grad_txs: Vec<Option<Sender<Bytes>>> = vec![None; s_count];
+        let mut grad_rxs: Vec<Option<Receiver<Bytes>>> = vec![None; s_count];
+        for s in 0..s_count.saturating_sub(1) {
+            let (tx, rx) = bounded::<Bytes>(64);
+            grad_txs[s + 1] = Some(tx); // stage s+1 sends grads up to s
+            grad_rxs[s] = Some(rx);
+        }
+        let (target_tx, target_rx) = unbounded::<Vec<usize>>();
+
+        let mut stages = Vec::with_capacity(s_count);
+        let mut segments = segments;
+        for (s, layers) in segments.drain(..).enumerate() {
+            assert!(!layers.is_empty(), "PipelineTrainer: stage {s} empty");
+            let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
+            let (reply_tx, reply_rx) = unbounded::<Reply>();
+            let is_last = s == s_count - 1;
+            let (downstream_act_tx, next_rx) = if is_last {
+                (None, None)
+            } else {
+                let (tx, rx) = bounded::<Bytes>(64);
+                (Some(tx), Some(rx))
+            };
+            let ctx = StageCtx {
+                layers,
+                is_last,
+                upstream_grad_tx: grad_txs[s].take(),
+                input_rx: act_rx.take().expect("input channel"),
+                downstream_act_tx,
+                grad_rx: grad_rxs[s].take(),
+                target_rx: is_last.then(|| target_rx.clone()),
+                ctrl_rx,
+                reply_tx,
+                comm: Arc::clone(&comm),
+                progress: Arc::clone(&progress),
+                stage_idx: s,
+            };
+            act_rx = next_rx;
+            let handle = std::thread::Builder::new()
+                .name(format!("ecofl-stage-{s}"))
+                .spawn(move || stage_main(ctx))
+                .expect("spawn stage thread");
+            stages.push(StageThread {
+                ctrl_tx,
+                reply_rx,
+                handle: Some(handle),
+            });
+        }
+
+        Self {
+            stages,
+            input_tx,
+            target_tx,
+            k,
+            comm,
+            progress,
+        }
+    }
+
+    /// Micro-batches whose loss has been computed so far — a lock-free
+    /// progress probe for monitoring threads.
+    #[must_use]
+    pub fn micro_batches_processed(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Trains one sync-round over `micro_batches` and flushes with plain
+    /// SGD at `lr` (gradients averaged over the micro-batch count).
+    /// Returns the mean micro-batch loss.
+    ///
+    /// # Panics
+    /// Panics if `micro_batches` is empty or a stage thread died.
+    pub fn train_round(&mut self, micro_batches: &[(Tensor, Vec<usize>)], lr: f32) -> f32 {
+        let m = micro_batches.len();
+        assert!(m > 0, "train_round: need at least one micro-batch");
+        for (s, stage) in self.stages.iter().enumerate() {
+            stage
+                .ctrl_tx
+                .send(Ctrl::Round { m, k: self.k[s] })
+                .expect("stage alive");
+        }
+        for (x, targets) in micro_batches {
+            self.input_tx.send(encode_tensor(x)).expect("stage 0 alive");
+            self.target_tx
+                .send(targets.clone())
+                .expect("last stage alive");
+        }
+        let mut mean_loss = 0.0f32;
+        for stage in &self.stages {
+            match stage.reply_rx.recv().expect("stage alive") {
+                Reply::RoundDone { losses } => {
+                    if !losses.is_empty() {
+                        mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
+                    }
+                }
+                _ => panic!("unexpected reply during round"),
+            }
+        }
+        // Pipeline flush: synchronized update with 1/M gradient scaling.
+        let scale = 1.0 / m as f32;
+        for stage in &self.stages {
+            stage
+                .ctrl_tx
+                .send(Ctrl::Apply { lr, scale })
+                .expect("stage alive");
+        }
+        for stage in &self.stages {
+            match stage.reply_rx.recv().expect("stage alive") {
+                Reply::Applied => {}
+                _ => panic!("unexpected reply during apply"),
+            }
+        }
+        mean_loss
+    }
+
+    /// Collects the full flat parameter vector (stage order).
+    ///
+    /// # Panics
+    /// Panics if a stage thread died.
+    #[must_use]
+    pub fn params(&self) -> Vec<f32> {
+        let mut all = Vec::new();
+        for stage in &self.stages {
+            stage.ctrl_tx.send(Ctrl::Collect).expect("stage alive");
+            match stage.reply_rx.recv().expect("stage alive") {
+                Reply::Params(p) => all.extend(p),
+                _ => panic!("unexpected reply during collect"),
+            }
+        }
+        all
+    }
+
+    /// Overwrites the full flat parameter vector (stage order).
+    ///
+    /// # Panics
+    /// Panics if a stage thread died.
+    pub fn set_params(&mut self, params: &[f32], stage_lens: &[usize]) {
+        assert_eq!(stage_lens.len(), self.stages.len());
+        let mut offset = 0;
+        for (stage, &len) in self.stages.iter().zip(stage_lens) {
+            stage
+                .ctrl_tx
+                .send(Ctrl::SetParams(params[offset..offset + len].to_vec()))
+                .expect("stage alive");
+            offset += len;
+        }
+        assert_eq!(offset, params.len(), "set_params: length mismatch");
+    }
+
+    /// Snapshot of cross-boundary traffic so far.
+    #[must_use]
+    pub fn comm_stats(&self) -> (Vec<u64>, Vec<u64>) {
+        let c = self.comm.lock();
+        (c.fwd_bytes.clone(), c.bwd_bytes.clone())
+    }
+
+    /// Stops all stage threads.
+    pub fn shutdown(mut self) {
+        for stage in &self.stages {
+            let _ = stage.ctrl_tx.send(Ctrl::Shutdown);
+        }
+        for stage in &mut self.stages {
+            if let Some(h) = stage.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for PipelineTrainer {
+    fn drop(&mut self) {
+        for stage in &self.stages {
+            let _ = stage.ctrl_tx.send(Ctrl::Shutdown);
+        }
+        for stage in &mut self.stages {
+            if let Some(h) = stage.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofl_tensor::{Linear, Network, ReLU};
+    use ecofl_util::Rng;
+
+    type Segments = Vec<Vec<Box<dyn Layer>>>;
+
+    /// Builds identical layer stacks twice: once as pipeline segments,
+    /// once as a monolithic network.
+    fn build(seed: u64) -> (Segments, Network, Vec<usize>) {
+        let mk = |rng: &mut Rng| -> Vec<Vec<Box<dyn Layer>>> {
+            vec![
+                vec![
+                    Box::new(Linear::new(8, 16, rng)) as Box<dyn Layer>,
+                    Box::new(ReLU::new()),
+                ],
+                vec![
+                    Box::new(Linear::new(16, 12, rng)) as Box<dyn Layer>,
+                    Box::new(ReLU::new()),
+                ],
+                vec![Box::new(Linear::new(12, 4, rng)) as Box<dyn Layer>],
+            ]
+        };
+        let mut rng1 = Rng::new(seed);
+        let segments = mk(&mut rng1);
+        let mut rng2 = Rng::new(seed);
+        let reference_layers: Vec<Box<dyn Layer>> = mk(&mut rng2).into_iter().flatten().collect();
+        let reference = Network::new(reference_layers);
+        let stage_lens = vec![8 * 16 + 16, 16 * 12 + 12, 12 * 4 + 4];
+        (segments, reference, stage_lens)
+    }
+
+    fn micro_batches(seed: u64, m: usize, bs: usize) -> Vec<(Tensor, Vec<usize>)> {
+        let mut rng = Rng::new(seed);
+        (0..m)
+            .map(|_| {
+                let x = Tensor::randn(&[bs, 8], 1.0, &mut rng);
+                let y = (0..bs).map(|_| rng.range_usize(0, 4)).collect();
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tensor_codec_round_trip() {
+        let mut rng = Rng::new(1);
+        let t = Tensor::randn(&[3, 5, 2], 1.0, &mut rng);
+        let decoded = decode_tensor(encode_tensor(&t));
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn pipeline_matches_single_device_exactly() {
+        let (segments, mut reference, _) = build(77);
+        let k = vec![3, 2, 1];
+        let mut trainer = PipelineTrainer::launch(segments, k);
+        let batches = micro_batches(5, 6, 4);
+        let lr = 0.1;
+
+        // Pipeline round.
+        let pipe_loss = trainer.train_round(&batches, lr);
+
+        // Reference: gradient accumulation then one scaled update.
+        let mut ref_loss = 0.0;
+        reference.zero_grads();
+        for (x, y) in &batches {
+            ref_loss += reference.train_step(x, y);
+        }
+        ref_loss /= batches.len() as f32;
+        let mut params = reference.params();
+        let grads = reference.grads();
+        let scale = 1.0 / batches.len() as f32;
+        for (p, g) in params.iter_mut().zip(&grads) {
+            *p -= lr * g * scale;
+        }
+        reference.set_params(&params);
+
+        assert!(
+            (pipe_loss - ref_loss).abs() < 1e-6,
+            "{pipe_loss} vs {ref_loss}"
+        );
+        let pipe_params = trainer.params();
+        assert_eq!(
+            pipe_params, params,
+            "1F1B-Sync must be bit-identical to gradient accumulation"
+        );
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn multiple_rounds_reduce_loss() {
+        let (segments, _, _) = build(88);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        // Fixed batches make the loss monotone-ish under SGD.
+        let batches = micro_batches(9, 4, 8);
+        let first = trainer.train_round(&batches, 0.2);
+        let mut last = first;
+        for _ in 0..30 {
+            last = trainer.train_round(&batches, 0.2);
+        }
+        assert!(last < first * 0.8, "loss {first} -> {last} should drop");
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn progress_counter_tracks_micro_batches() {
+        let (segments, _, _) = build(42);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        assert_eq!(trainer.micro_batches_processed(), 0);
+        let _ = trainer.train_round(&micro_batches(1, 5, 4), 0.1);
+        assert_eq!(trainer.micro_batches_processed(), 5);
+        let _ = trainer.train_round(&micro_batches(2, 3, 4), 0.1);
+        assert_eq!(trainer.micro_batches_processed(), 8);
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn comm_stats_track_boundary_traffic() {
+        let (segments, _, _) = build(99);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        let batches = micro_batches(2, 3, 4);
+        let _ = trainer.train_round(&batches, 0.1);
+        let (fwd, bwd) = trainer.comm_stats();
+        assert_eq!(fwd.len(), 2);
+        // Boundary 0 carries [4,16] activations thrice; boundary 1 [4,12].
+        assert!(fwd[0] > 0 && fwd[1] > 0);
+        assert!(bwd[0] > 0 && bwd[1] > 0);
+        assert!(fwd[0] > fwd[1], "wider boundary moves more bytes");
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn set_params_round_trip() {
+        let (segments, _, stage_lens) = build(55);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        let mut params = trainer.params();
+        for p in params.iter_mut() {
+            *p = 0.5;
+        }
+        trainer.set_params(&params, &stage_lens);
+        assert_eq!(trainer.params(), params);
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn single_stage_pipeline_works() {
+        let mut rng = Rng::new(3);
+        let segments: Vec<Vec<Box<dyn Layer>>> = vec![vec![Box::new(Linear::new(8, 4, &mut rng))]];
+        let mut trainer = PipelineTrainer::launch(segments, vec![1]);
+        let batches = micro_batches(4, 2, 4);
+        let loss = trainer.train_round(&batches, 0.1);
+        assert!(loss.is_finite() && loss > 0.0);
+        trainer.shutdown();
+    }
+}

@@ -1,0 +1,198 @@
+//! Plan validation — a defensive check a deployment runs before pushing a
+//! pipeline configuration to real devices.
+//!
+//! [`validate_plan`] re-derives every invariant a
+//! [`PipelinePlan`](crate::orchestrator::PipelinePlan) must satisfy
+//! against the model and device list it claims to be for, returning every
+//! violation rather than stopping at the first. The orchestrator always
+//! produces valid plans (the tests assert it); this API exists for plans
+//! that crossed a serialization boundary or were edited by hand.
+
+use crate::orchestrator::{p_bounds, PipelinePlan};
+use crate::profiler::PipelineProfile;
+use ecofl_models::ModelProfile;
+use ecofl_simnet::{Device, Link};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// `order` is not a permutation of the device indices.
+    OrderNotPermutation,
+    /// Stage boundaries do not cover the model's layers contiguously.
+    BadBoundaries,
+    /// The stage count differs from the device count.
+    StageCountMismatch,
+    /// The micro-batch size does not divide into the sync-round.
+    MicroBatchInconsistent,
+    /// `K` has the wrong length or a zero entry.
+    BadResidency,
+    /// Some `K_s` exceeds the Eq. 3 bound `P_s` (wasted memory, no gain).
+    ResidencyAboveP {
+        /// Offending stage.
+        stage: usize,
+    },
+    /// A stage's working set exceeds its device memory at residency `K_s`.
+    MemoryOverflow {
+        /// Offending stage.
+        stage: usize,
+    },
+}
+
+/// Validates `plan` against the model and devices it targets.
+///
+/// Returns all violations found (empty = valid).
+#[must_use]
+pub fn validate_plan(
+    plan: &PipelinePlan,
+    model: &ModelProfile,
+    devices: &[Device],
+    link: &Link,
+) -> Vec<PlanViolation> {
+    let mut violations = Vec::new();
+
+    // Order must be a permutation of 0..n.
+    let mut seen = vec![false; devices.len()];
+    let mut perm_ok = plan.order.len() == devices.len();
+    for &i in &plan.order {
+        if i >= devices.len() || seen[i] {
+            perm_ok = false;
+            break;
+        }
+        seen[i] = true;
+    }
+    if !perm_ok {
+        violations.push(PlanViolation::OrderNotPermutation);
+        return violations; // everything below needs a sane order
+    }
+
+    // Boundaries must cover the model contiguously.
+    let b = &plan.partition.boundaries;
+    let boundaries_ok = b.first() == Some(&0)
+        && b.last() == Some(&model.num_layers())
+        && b.windows(2).all(|w| w[0] < w[1]);
+    if !boundaries_ok {
+        violations.push(PlanViolation::BadBoundaries);
+        return violations;
+    }
+    if plan.partition.num_stages() != devices.len() {
+        violations.push(PlanViolation::StageCountMismatch);
+        return violations;
+    }
+    if plan.micro_batch == 0
+        || plan.micro_batches == 0
+        || plan.k.len() != devices.len()
+        || plan.k.contains(&0)
+    {
+        if plan.micro_batch == 0 || plan.micro_batches == 0 {
+            violations.push(PlanViolation::MicroBatchInconsistent);
+        }
+        if plan.k.len() != devices.len() || plan.k.contains(&0) {
+            violations.push(PlanViolation::BadResidency);
+        }
+        return violations;
+    }
+
+    let ordered: Vec<Device> = plan.order.iter().map(|&i| devices[i].clone()).collect();
+    let profile = PipelineProfile::new(
+        model,
+        &plan.partition.boundaries,
+        &ordered,
+        link,
+        plan.micro_batch,
+    );
+    let p = p_bounds(&profile);
+    for (s, (&k, &p_s)) in plan.k.iter().zip(&p).enumerate() {
+        if k > p_s {
+            violations.push(PlanViolation::ResidencyAboveP { stage: s });
+        }
+    }
+    for (s, stage) in profile.stages().iter().enumerate() {
+        if stage.memory_with_residency(plan.k[s]) > stage.memory_budget_bytes {
+            violations.push(PlanViolation::MemoryOverflow { stage: s });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::{search_configuration, OrchestratorConfig};
+    use ecofl_models::efficientnet_at;
+    use ecofl_simnet::{nano_h, tx2_q};
+
+    fn plan_and_devices() -> (PipelinePlan, ModelProfile, Vec<Device>, Link) {
+        let model = efficientnet_at(0, 224);
+        let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+        let link = Link::mbps_100();
+        let plan = search_configuration(
+            &model,
+            &devices,
+            &link,
+            &OrchestratorConfig {
+                global_batch: 32,
+                mbs_candidates: vec![8, 4],
+                eval_rounds: 1,
+            },
+        )
+        .expect("plan");
+        (plan, model, devices, link)
+    }
+
+    #[test]
+    fn orchestrator_plans_validate_clean() {
+        let (plan, model, devices, link) = plan_and_devices();
+        assert!(validate_plan(&plan, &model, &devices, &link).is_empty());
+    }
+
+    #[test]
+    fn detects_corrupt_order() {
+        let (mut plan, model, devices, link) = plan_and_devices();
+        plan.order = vec![0, 0];
+        assert_eq!(
+            validate_plan(&plan, &model, &devices, &link),
+            vec![PlanViolation::OrderNotPermutation]
+        );
+    }
+
+    #[test]
+    fn detects_bad_boundaries() {
+        let (mut plan, model, devices, link) = plan_and_devices();
+        *plan.partition.boundaries.last_mut().unwrap() -= 1;
+        assert_eq!(
+            validate_plan(&plan, &model, &devices, &link),
+            vec![PlanViolation::BadBoundaries]
+        );
+    }
+
+    #[test]
+    fn detects_zero_residency() {
+        let (mut plan, model, devices, link) = plan_and_devices();
+        plan.k[0] = 0;
+        assert_eq!(
+            validate_plan(&plan, &model, &devices, &link),
+            vec![PlanViolation::BadResidency]
+        );
+    }
+
+    #[test]
+    fn detects_residency_above_p() {
+        let (mut plan, model, devices, link) = plan_and_devices();
+        plan.k[0] += 100;
+        let violations = validate_plan(&plan, &model, &devices, &link);
+        assert!(violations.contains(&PlanViolation::ResidencyAboveP { stage: 0 }));
+    }
+
+    #[test]
+    fn detects_memory_overflow() {
+        let (mut plan, model, _, link) = plan_and_devices();
+        // Shrink device memory under the plan's working set.
+        let tiny = ecofl_simnet::DeviceSpec::new("tiny", 1e11, 1 << 20, 1e8);
+        let devices = vec![Device::new(tiny.clone()), Device::new(tiny)];
+        plan.k = vec![1, 1]; // keep residency legal so memory is the issue
+        let violations = validate_plan(&plan, &model, &devices, &link);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::MemoryOverflow { .. })));
+    }
+}

@@ -1,0 +1,85 @@
+//! Validation of the §4.1 claim that pipeline parallelism "can effectively
+//! hide the transmission overhead by overlapping communication with
+//! computation" — and of its stated limit ("we will not choose pipeline
+//! parallelism to train the DNN models with huge inter-stage
+//! activations").
+
+use ecofl_models::efficientnet_at;
+use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
+use ecofl_pipeline::orchestrator::k_bounds;
+use ecofl_pipeline::partition::partition_dp;
+use ecofl_pipeline::profiler::PipelineProfile;
+use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+
+fn throughput_with_link(link: Link, mbs: usize) -> f64 {
+    let model = efficientnet_at(1, 224);
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    // Partition against the *realistic* link so both runs use the same
+    // stage map; only transfer times differ.
+    let realistic = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &realistic, mbs).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+    let k = k_bounds(&profile).expect("fits");
+    PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .run(16, 3)
+        .expect("runs")
+        .throughput
+}
+
+#[test]
+fn transmission_overhead_is_mostly_hidden() {
+    // With the Eq. 3 residency bounds, 100 Mbps transfers should cost only
+    // a small fraction of throughput relative to an infinitely fast link.
+    let realistic = throughput_with_link(Link::mbps_100(), 8);
+    let infinite = throughput_with_link(Link::new(1e15, 0.0), 8);
+    let hidden_fraction = realistic / infinite;
+    assert!(
+        hidden_fraction > 0.85,
+        "pipelining should hide most of the 100 Mbps transfer cost: \
+         {realistic:.2} vs {infinite:.2} samples/s ({:.0}%)",
+        hidden_fraction * 100.0
+    );
+}
+
+#[test]
+fn slow_links_do_bottleneck_eventually() {
+    // The §4.1 caveat: on a sufficiently slow link, transfers stop being
+    // hideable and throughput collapses — which is why the DP's Eq. 1
+    // includes the communication term at all.
+    let realistic = throughput_with_link(Link::mbps_100(), 8);
+    let crawling = throughput_with_link(
+        Link::new(ecofl_util::units::mbps_to_bytes_per_sec(2.0), 0.002),
+        8,
+    );
+    assert!(
+        crawling < realistic * 0.6,
+        "a 2 Mbps link must visibly bottleneck: {crawling:.2} vs {realistic:.2}"
+    );
+}
+
+#[test]
+fn dp_partitioner_avoids_communication_heavy_cuts() {
+    // At equal compute balance, the Eq. 1 objective must never pick a cut
+    // whose transfer time exceeds the resulting lagger.
+    let model = efficientnet_at(2, 224);
+    let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+    let link = Link::mbps_100();
+    for mbs in [4usize, 8, 16] {
+        let Some(partition) = partition_dp(&model, &devices, &link, mbs) else {
+            continue;
+        };
+        let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+        let lagger = profile.bottleneck_time();
+        for stage in &profile.stages()[..profile.num_stages() - 1] {
+            let comm = stage.c_fwd + stage.c_bwd;
+            assert!(
+                comm <= lagger + 1e-9,
+                "mbs {mbs}: cut transfer {comm} exceeds the lagger {lagger}"
+            );
+        }
+    }
+}

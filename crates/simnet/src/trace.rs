@@ -1,0 +1,233 @@
+//! Busy-interval and throughput traces.
+//!
+//! The paper's "Avg. GPU Utilization" figures (5, 12, 13 and Table 2) are
+//! reproduced as the fraction of simulated time a device spends executing
+//! FP/BP work; its throughput plots (Fig. 13d) come from counting completed
+//! samples in sliding windows. Both are recorded here from the event loop.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Records disjoint busy intervals for one resource and answers
+/// utilization queries over arbitrary windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BusyTracker {
+    /// Closed-open `[start, end)` busy intervals in increasing order.
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl BusyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end)`.
+    ///
+    /// Intervals must be appended in non-decreasing start order and must
+    /// not overlap the previous interval (a device executes one task at a
+    /// time); adjacent intervals are merged.
+    ///
+    /// # Panics
+    /// Panics on a negative-length or overlapping interval.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        assert!(
+            end >= start,
+            "BusyTracker: negative interval [{start}, {end})"
+        );
+        if let Some(&(_, prev_end)) = self.intervals.last() {
+            assert!(
+                start >= prev_end - 1e-9,
+                "BusyTracker: overlapping interval (start {start} < prev end {prev_end})"
+            );
+            if (start - prev_end).abs() < 1e-9 {
+                // Merge back-to-back intervals.
+                self.intervals.last_mut().expect("nonempty").1 = end;
+                return;
+            }
+        }
+        if end > start {
+            self.intervals.push((start, end));
+        }
+    }
+
+    /// Total busy time inside `[from, to)`.
+    #[must_use]
+    pub fn busy_time(&self, from: SimTime, to: SimTime) -> SimTime {
+        if to <= from {
+            return 0.0;
+        }
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (e.min(to) - s.max(from)).max(0.0))
+            .sum()
+    }
+
+    /// Utilization (busy fraction) of the window `[from, to)`.
+    #[must_use]
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.busy_time(from, to) / (to - from)
+    }
+
+    /// End of the last busy interval, or 0 if never busy.
+    #[must_use]
+    pub fn last_busy_end(&self) -> SimTime {
+        self.intervals.last().map_or(0.0, |&(_, e)| e)
+    }
+
+    /// All recorded intervals.
+    #[must_use]
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
+    /// Utilization sampled over consecutive windows of `width` covering
+    /// `[0, horizon)` — the per-timestamp utilization traces of Fig. 13.
+    #[must_use]
+    pub fn utilization_series(&self, width: SimTime, horizon: SimTime) -> Vec<(SimTime, f64)> {
+        assert!(width > 0.0, "utilization_series: width must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < horizon {
+            let end = (t + width).min(horizon);
+            out.push((t, self.utilization(t, end)));
+            t += width;
+        }
+        out
+    }
+}
+
+/// Counts discrete completions (samples, micro-batches, rounds) over time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputTracker {
+    /// `(time, count)` completion records in non-decreasing time order.
+    events: Vec<(SimTime, u64)>,
+}
+
+impl ThroughputTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` completions at time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the previous record.
+    pub fn record(&mut self, t: SimTime, count: u64) {
+        if let Some(&(prev, _)) = self.events.last() {
+            assert!(t >= prev, "ThroughputTracker: time went backwards");
+        }
+        self.events.push((t, count));
+    }
+
+    /// Total completions in `[from, to)`.
+    #[must_use]
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> u64 {
+        self.events
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Mean rate (completions per second) over `[from, to)`.
+    #[must_use]
+    pub fn rate(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.count_in(from, to) as f64 / (to - from)
+    }
+
+    /// Rate sampled over consecutive windows of `width` covering
+    /// `[0, horizon)` — the throughput-vs-time series of Fig. 13d.
+    #[must_use]
+    pub fn rate_series(&self, width: SimTime, horizon: SimTime) -> Vec<(SimTime, f64)> {
+        assert!(width > 0.0, "rate_series: width must be positive");
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < horizon {
+            let end = (t + width).min(horizon);
+            out.push((t, self.rate(t, end)));
+            t += width;
+        }
+        out
+    }
+
+    /// Total completions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.events.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut b = BusyTracker::new();
+        b.record(0.0, 1.0);
+        b.record(2.0, 3.0);
+        assert_eq!(b.busy_time(0.0, 4.0), 2.0);
+        assert_eq!(b.utilization(0.0, 4.0), 0.5);
+        assert_eq!(b.utilization(0.5, 1.5), 0.5);
+        assert_eq!(b.utilization(3.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let mut b = BusyTracker::new();
+        b.record(0.0, 1.0);
+        b.record(1.0, 2.0);
+        assert_eq!(b.intervals().len(), 1);
+        assert_eq!(b.busy_time(0.0, 2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn rejects_overlap() {
+        let mut b = BusyTracker::new();
+        b.record(0.0, 2.0);
+        b.record(1.0, 3.0);
+    }
+
+    #[test]
+    fn zero_length_intervals_ignored() {
+        let mut b = BusyTracker::new();
+        b.record(1.0, 1.0);
+        assert!(b.intervals().is_empty());
+        assert_eq!(b.last_busy_end(), 0.0);
+    }
+
+    #[test]
+    fn utilization_series_windows() {
+        let mut b = BusyTracker::new();
+        b.record(0.0, 1.0);
+        b.record(2.0, 4.0);
+        let s = b.utilization_series(2.0, 4.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0.0, 0.5));
+        assert_eq!(s[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn throughput_counting() {
+        let mut t = ThroughputTracker::new();
+        t.record(0.5, 2);
+        t.record(1.5, 3);
+        t.record(2.5, 5);
+        assert_eq!(t.count_in(0.0, 2.0), 5);
+        assert_eq!(t.rate(0.0, 2.0), 2.5);
+        assert_eq!(t.total(), 10);
+        let s = t.rate_series(1.0, 3.0);
+        assert_eq!(s, vec![(0.0, 2.0), (1.0, 3.0), (2.0, 5.0)]);
+    }
+}

@@ -1,0 +1,743 @@
+//! Neural-network layers with manual backprop.
+//!
+//! Each layer caches what its backward pass needs during `forward`. The
+//! [`Layer`] trait also exposes flat parameter/gradient serialization: FL
+//! aggregation (FedAvg / FedAsync / Eco-FL's hierarchical scheme) exchanges
+//! flat `f32` vectors, and the pipeline partitioner reasons about per-layer
+//! parameter byte counts.
+
+use crate::tensor::Tensor;
+use ecofl_util::Rng;
+use std::collections::VecDeque;
+
+/// A differentiable network layer.
+///
+/// Contract: `backward` must be called with the gradient of the loss with
+/// respect to the output of the *most recent* `forward`, and returns the
+/// gradient with respect to that forward's input. Parameter gradients
+/// accumulate until [`Layer::zero_grads`].
+pub trait Layer: Send {
+    /// Computes the layer output, caching activations for backward.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backpropagates `grad_out` (d loss / d output), accumulating parameter
+    /// gradients and returning d loss / d input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Total number of scalar parameters.
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    /// Appends all parameters to `out` in a fixed layer-defined order.
+    fn write_params(&self, _out: &mut Vec<f32>) {}
+
+    /// Reads parameters back from `src`, returning the number consumed.
+    fn read_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    /// Appends all accumulated gradients to `out` (same order as params).
+    fn write_grads(&self, _out: &mut Vec<f32>) {}
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Drops any cached forward activations without running backward.
+    ///
+    /// Needed after inference-only forwards (evaluation) so pipelined
+    /// training, which matches forwards and backwards FIFO, stays in sync.
+    fn clear_cache(&mut self) {}
+
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully connected layer: `y = x W + b`, `x: [B, in]`, `W: [in, out]`.
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: VecDeque<Tensor>,
+}
+
+impl Linear {
+    /// He-initialized linear layer.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / in_dim as f64).sqrt() as f32;
+        Self {
+            weight: Tensor::randn(&[in_dim, out_dim], std, rng),
+            bias: Tensor::zeros(&[out_dim]),
+            grad_weight: Tensor::zeros(&[in_dim, out_dim]),
+            grad_bias: Tensor::zeros(&[out_dim]),
+            cached_input: VecDeque::new(),
+        }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.matmul(&self.weight);
+        out.add_row_bias(&self.bias);
+        self.cached_input.push_back(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .pop_front()
+            .expect("Linear::backward called before forward");
+        let input = &input;
+        // dW = xᵀ g ; db = Σ_rows g ; dx = g Wᵀ
+        let gw = input.transpose().matmul(grad_out);
+        self.grad_weight.add_scaled(&gw, 1.0);
+        let gb = grad_out.sum_rows();
+        self.grad_bias.add_scaled(&gb, 1.0);
+        grad_out.matmul(&self.weight.transpose())
+    }
+
+    fn param_len(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let w = self.weight.len();
+        let b = self.bias.len();
+        self.weight.data_mut().copy_from_slice(&src[..w]);
+        self.bias.data_mut().copy_from_slice(&src[w..w + b]);
+        w + b
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_weight.data());
+        out.extend_from_slice(self.grad_bias.data());
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.zero();
+        self.grad_bias.zero();
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Rectified linear unit, applied element-wise.
+#[derive(Default)]
+pub struct ReLU {
+    masks: VecDeque<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut mask = Vec::with_capacity(input.len());
+        let data = input
+            .data()
+            .iter()
+            .map(|&x| {
+                let keep = x > 0.0;
+                mask.push(keep);
+                if keep {
+                    x
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.masks.push_back(mask);
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .masks
+            .pop_front()
+            .expect("ReLU::backward called before forward");
+        assert_eq!(
+            grad_out.len(),
+            mask.len(),
+            "ReLU::backward: gradient size mismatch with cached forward"
+        );
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &keep)| if keep { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn clear_cache(&mut self) {
+        self.masks.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Hyperbolic-tangent activation, applied element-wise.
+#[derive(Default)]
+pub struct Tanh {
+    outputs: VecDeque<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let data: Vec<f32> = input.data().iter().map(|x| x.tanh()).collect();
+        let out = Tensor::from_vec(data, input.shape());
+        // d tanh(x)/dx = 1 − tanh(x)², so caching the *output* suffices.
+        self.outputs.push_back(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self
+            .outputs
+            .pop_front()
+            .expect("Tanh::backward called before forward");
+        assert_eq!(
+            grad_out.len(),
+            y.len(),
+            "Tanh::backward: gradient size mismatch with cached forward"
+        );
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&g, &t)| g * (1.0 - t * t))
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn clear_cache(&mut self) {
+        self.outputs.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// 2-D convolution over `[B, C, H, W]` inputs, stride 1, symmetric zero
+/// padding. Kernel shape `[OC, C, K, K]`.
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    cached_input: VecDeque<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    #[must_use]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let std = (2.0 / fan_in as f64).sqrt() as f32;
+        Self {
+            weight: Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, rng),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            cached_input: VecDeque::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            h + 2 * self.padding + 1 - self.kernel,
+            w + 2 * self.padding + 1 - self.kernel,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w] = *input.shape() else {
+            panic!("Conv2d: expected 4-D input, got {:?}", input.shape());
+        };
+        assert_eq!(c, self.in_channels, "Conv2d: channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let mut out = vec![0.0f32; b * self.out_channels * oh * ow];
+        let x = input.data();
+        let wgt = self.weight.data();
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    acc += x[xi] * wgt[wi];
+                                }
+                            }
+                        }
+                        out[((bi * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input.push_back(input.clone());
+        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .pop_front()
+            .expect("Conv2d::backward called before forward");
+        let input = &input;
+        let [b, c, h, w] = *input.shape() else {
+            unreachable!()
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(
+            grad_out.shape(),
+            &[b, self.out_channels, oh, ow],
+            "Conv2d::backward: gradient shape mismatch"
+        );
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let x = input.data();
+        let g = grad_out.data();
+        let wgt = self.weight.data();
+        let mut gx = vec![0.0f32; x.len()];
+        let gw = self.grad_weight.data_mut();
+        let gb = self.grad_bias.data_mut();
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((bi * self.out_channels + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += go;
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    gw[wi] += go * x[xi];
+                                    gx[xi] += go * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, input.shape())
+    }
+
+    fn param_len(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weight.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        let w = self.weight.len();
+        let b = self.bias.len();
+        self.weight.data_mut().copy_from_slice(&src[..w]);
+        self.bias.data_mut().copy_from_slice(&src[w..w + b]);
+        w + b
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_weight.data());
+        out.extend_from_slice(self.grad_bias.data());
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.zero();
+        self.grad_bias.zero();
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Non-overlapping average pooling with square window `k × k` over
+/// `[B, C, H, W]`. Requires `H` and `W` divisible by `k`.
+pub struct AvgPool2d {
+    k: usize,
+    cached_shapes: VecDeque<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a pooling layer with window and stride `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "AvgPool2d: window must be positive");
+        Self {
+            k,
+            cached_shapes: VecDeque::new(),
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [b, c, h, w] = *input.shape() else {
+            panic!("AvgPool2d: expected 4-D input, got {:?}", input.shape());
+        };
+        assert!(
+            h % self.k == 0 && w % self.k == 0,
+            "AvgPool2d: H={h}, W={w} not divisible by k={}",
+            self.k
+        );
+        let (oh, ow) = (h / self.k, w / self.k);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let x = input.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        for bc in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            acc += x[(bc * h + oy * self.k + ky) * w + ox * self.k + kx];
+                        }
+                    }
+                    out[(bc * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+        self.cached_shapes.push_back(input.shape().to_vec());
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shapes
+            .pop_front()
+            .expect("AvgPool2d::backward called before forward");
+        let shape = &shape;
+        let [b, c, h, w] = *shape.as_slice() else {
+            unreachable!()
+        };
+        let (oh, ow) = (h / self.k, w / self.k);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        let g = grad_out.data();
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bc in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[(bc * oh + oy) * ow + ox] * inv;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            gx[(bc * h + oy * self.k + ky) * w + ox * self.k + kx] = go;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, shape)
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_shapes.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+/// Flattens `[B, ...]` to `[B, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_shapes: VecDeque<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(
+            !shape.is_empty(),
+            "Flatten: input must have a batch dimension"
+        );
+        let b = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        self.cached_shapes.push_back(shape);
+        input.clone().reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shapes
+            .pop_front()
+            .expect("Flatten::backward called before forward");
+        grad_out.clone().reshape(&shape)
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_shapes.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::SoftmaxCrossEntropy;
+
+    /// Central finite-difference check of d loss / d params for one layer
+    /// followed by a cross-entropy head.
+    fn finite_diff_check<L: Layer>(mut layer: L, input: Tensor, targets: &[usize], tol: f32) {
+        let mut head = SoftmaxCrossEntropy::new();
+
+        // Analytic gradient.
+        layer.zero_grads();
+        let out = layer.forward(&input);
+        let out2 = out
+            .clone()
+            .reshape(&[out.shape()[0], out.len() / out.shape()[0]]);
+        let (_, grad) = head.loss_and_grad(&out2, targets);
+        let grad = grad.reshape(out.shape());
+        let _ = layer.backward(&grad);
+        let mut analytic = Vec::new();
+        layer.write_grads(&mut analytic);
+
+        // Numeric gradient.
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+        let eps = 1e-2f32;
+        for i in (0..params.len()).step_by((params.len() / 24).max(1)) {
+            let orig = params[i];
+            params[i] = orig + eps;
+            layer.read_params(&params);
+            let out = layer.forward(&input);
+            let out = out
+                .clone()
+                .reshape(&[out.shape()[0], out.len() / out.shape()[0]]);
+            let (lp, _) = head.loss_and_grad(&out, targets);
+            params[i] = orig - eps;
+            layer.read_params(&params);
+            let out = layer.forward(&input);
+            let out = out
+                .clone()
+                .reshape(&[out.shape()[0], out.len() / out.shape()[0]]);
+            let (lm, _) = head.loss_and_grad(&out, targets);
+            params[i] = orig;
+            layer.read_params(&params);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < tol.max(0.05 * numeric.abs()),
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_forward_known() {
+        let mut rng = Rng::new(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.read_params(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_difference() {
+        let mut rng = Rng::new(2);
+        let layer = Linear::new(6, 4, &mut rng);
+        let input = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        finite_diff_check(layer, input, &[0, 2, 3], 2e-2);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut rng = Rng::new(3);
+        let layer = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let input = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
+        // Conv output [2,3,4,4] -> treated as [2, 48] logits by the head.
+        finite_diff_check(layer, input, &[5, 11], 5e-2);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[2, 2]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = Tensor::full(&[2, 2], 1.0);
+        let gx = r.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_forward_and_gradient() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 1.0], &[1, 3]);
+        let y = t.forward(&x);
+        assert!((y.data()[0] - (-2.0f32).tanh()).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.0);
+        let g = Tensor::full(&[1, 3], 1.0);
+        let gx = t.backward(&g);
+        // Derivative at 0 is 1; saturates toward the tails.
+        assert!((gx.data()[1] - 1.0).abs() < 1e-6);
+        assert!(gx.data()[0] < gx.data()[1]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for x0 in [-1.5f32, -0.2, 0.7] {
+            let mut t = Tanh::new();
+            let x = Tensor::from_vec(vec![x0], &[1, 1]);
+            let _ = t.forward(&x);
+            let gx = t.backward(&Tensor::full(&[1, 1], 1.0));
+            let numeric = ((x0 + eps).tanh() - (x0 - eps).tanh()) / (2.0 * eps);
+            assert!((gx.data()[0] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn avgpool_forward_backward() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec((1..=16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+        let g = Tensor::full(&[1, 1, 2, 2], 4.0);
+        let gx = p.backward(&g);
+        assert!(gx.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 60]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn conv_output_shape_with_padding() {
+        let mut rng = Rng::new(4);
+        let mut c = Conv2d::new(1, 2, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 8, 8], "same-padding keeps H, W");
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = Rng::new(5);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let mut before = Vec::new();
+        l.write_params(&mut before);
+        assert_eq!(before.len(), l.param_len());
+        let consumed = l.read_params(&before);
+        assert_eq!(consumed, before.len());
+        let mut after = Vec::new();
+        l.write_params(&mut after);
+        assert_eq!(before, after);
+    }
+}

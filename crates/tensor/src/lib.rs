@@ -1,0 +1,32 @@
+//! # ecofl-tensor
+//!
+//! A minimal, dependency-light dense tensor and neural-network toolkit used
+//! by the Eco-FL reproduction for *real* local training on FL clients.
+//!
+//! The paper's simulation trains genuine models (the same DNNs as FedAVG)
+//! on each client; we reproduce that with a small hand-rolled framework:
+//!
+//! - [`Tensor`]: row-major `f32` dense tensors with shape checking,
+//! - [`layers`]: `Linear`, `ReLU`, `Conv2d`, pooling, flatten — each with
+//!   manual backprop verified against finite differences in the tests,
+//! - [`network::Network`]: a sequential container exposing flat parameter
+//!   vectors (what the FL aggregators exchange),
+//! - [`loss`]: stable softmax cross-entropy and accuracy,
+//! - [`optim::Sgd`]: SGD with optional momentum and the FedProx proximal
+//!   term `µ/2·‖w − w_global‖²` used by Eco-FL's intra-group solver (§5.1).
+//!
+//! Matrix multiplication parallelizes across rows with rayon above a size
+//! threshold; results are bit-identical to the sequential path because rows
+//! are independent.
+
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod tensor;
+
+pub use layers::{AvgPool2d, Conv2d, Flatten, Layer, Linear, ReLU, Tanh};
+pub use loss::{accuracy, softmax, SoftmaxCrossEntropy};
+pub use network::Network;
+pub use optim::Sgd;
+pub use tensor::Tensor;

@@ -1,0 +1,172 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable row-wise softmax of a `[B, K]` logit matrix.
+#[must_use]
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (b, k) = (logits.rows(), logits.cols());
+    let mut out = vec![0.0f32; b * k];
+    for (row_in, row_out) in logits.data().chunks(k).zip(out.chunks_mut(k)) {
+        let max = row_in.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &x) in row_out.iter_mut().zip(row_in) {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in row_out.iter_mut() {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec(out, &[b, k])
+}
+
+/// Mean softmax cross-entropy head.
+///
+/// `loss_and_grad` returns the scalar mean loss over the batch and the
+/// gradient with respect to the logits — `(softmax(x) − one_hot(y)) / B`.
+#[derive(Debug, Default, Clone)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss head.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes `(mean loss, d loss / d logits)` for `[B, K]` logits and a
+    /// batch of class indices.
+    ///
+    /// # Panics
+    /// Panics if `targets.len()` differs from the batch size or a target is
+    /// out of range.
+    pub fn loss_and_grad(&mut self, logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        let (b, k) = (logits.rows(), logits.cols());
+        assert_eq!(targets.len(), b, "loss: batch size mismatch");
+        let probs = softmax(logits);
+        let mut loss = 0.0f32;
+        let mut grad = probs.data().to_vec();
+        let inv_b = 1.0 / b as f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < k, "loss: target {t} out of range for {k} classes");
+            let p = probs.data()[i * k + t].max(1e-12);
+            loss -= p.ln();
+            grad[i * k + t] -= 1.0;
+        }
+        for g in &mut grad {
+            *g *= inv_b;
+        }
+        (loss * inv_b, Tensor::from_vec(grad, &[b, k]))
+    }
+}
+
+/// Fraction of rows whose argmax matches the target class.
+///
+/// # Panics
+/// Panics if `targets.len()` differs from the number of logit rows.
+#[must_use]
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let (b, k) = (logits.rows(), logits.cols());
+    assert_eq!(targets.len(), b, "accuracy: batch size mismatch");
+    if b == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (row, &t) in logits.data().chunks(k).zip(targets) {
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("accuracy: NaN logit"))
+            .map(|(i, _)| i)
+            .expect("accuracy: empty row");
+        if argmax == t {
+            correct += 1;
+        }
+    }
+    correct as f64 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let p = softmax(&logits);
+        assert!(p.data().iter().all(|x| x.is_finite()));
+        assert!(p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn loss_decreases_with_correct_confidence() {
+        let mut head = SoftmaxCrossEntropy::new();
+        let confident = Tensor::from_vec(vec![5.0, 0.0], &[1, 2]);
+        let unsure = Tensor::from_vec(vec![0.1, 0.0], &[1, 2]);
+        let (l1, _) = head.loss_and_grad(&confident, &[0]);
+        let (l2, _) = head.loss_and_grad(&unsure, &[0]);
+        assert!(l1 < l2);
+    }
+
+    #[test]
+    fn grad_is_probs_minus_onehot_over_batch() {
+        let mut head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let (loss, grad) = head.loss_and_grad(&logits, &[1]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-6);
+        assert!((grad.data()[0] - 0.5).abs() < 1e-6);
+        assert!((grad.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.0, 0.5, -0.5], &[2, 3]);
+        let targets = [2usize, 0];
+        let (_, grad) = head.loss_and_grad(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = head.loss_and_grad(&plus, &targets);
+            let (lm, _) = head.loss_and_grad(&minus, &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "logit {i}: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loss_rejects_bad_target() {
+        let mut head = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = head.loss_and_grad(&logits, &[2]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Sequential network container.
+//!
+//! A [`Network`] is an ordered stack of boxed [`Layer`]s plus a softmax
+//! cross-entropy head. It exposes the flat parameter-vector view that the
+//! FL aggregators operate on: `params()` / `set_params()` round-trip the
+//! entire model as one `Vec<f32>`, and `grads()` yields the matching
+//! gradient vector after a backward pass.
+
+use crate::layers::Layer;
+use crate::loss::{accuracy, SoftmaxCrossEntropy};
+use crate::tensor::Tensor;
+
+/// A sequential feed-forward classification network.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    head: SoftmaxCrossEntropy,
+}
+
+impl Network {
+    /// Builds a network from an ordered list of layers.
+    #[must_use]
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self {
+            layers,
+            head: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// Number of layers (excluding the loss head).
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of scalar parameters.
+    #[must_use]
+    pub fn param_len(&self) -> usize {
+        self.layers.iter().map(|l| l.param_len()).sum()
+    }
+
+    /// Runs a forward pass and returns the logits.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward + loss + backward: accumulates gradients and returns the
+    /// mean batch loss.
+    pub fn train_step(&mut self, input: &Tensor, targets: &[usize]) -> f32 {
+        let logits = self.forward(input);
+        let (loss, mut grad) = self.head.loss_and_grad(&logits, targets);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        loss
+    }
+
+    /// Mean loss and accuracy without touching gradients.
+    ///
+    /// Drops the forward's cached activations afterwards so evaluation
+    /// never desynchronizes the FIFO forward/backward matching used by
+    /// pipelined training.
+    pub fn evaluate(&mut self, input: &Tensor, targets: &[usize]) -> (f32, f64) {
+        let logits = self.forward(input);
+        self.clear_caches();
+        let (loss, _) = self.head.loss_and_grad(&logits, targets);
+        (loss, accuracy(&logits, targets))
+    }
+
+    /// Drops all cached forward activations (inference-only cleanup).
+    pub fn clear_caches(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+
+    /// All parameters as one flat vector (layer order, fixed layout).
+    #[must_use]
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_len());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// All accumulated gradients, same layout as [`Network::params`].
+    #[must_use]
+    pub fn grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_len());
+        for layer in &self.layers {
+            layer.write_grads(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `src.len()` differs from [`Network::param_len`].
+    pub fn set_params(&mut self, src: &[f32]) {
+        assert_eq!(
+            src.len(),
+            self.param_len(),
+            "set_params: expected {} values, got {}",
+            self.param_len(),
+            src.len()
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&src[offset..]);
+        }
+        debug_assert_eq!(offset, src.len());
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, ReLU};
+    use crate::optim::Sgd;
+    use ecofl_util::Rng;
+
+    fn tiny_net(rng: &mut Rng) -> Network {
+        Network::new(vec![
+            Box::new(Linear::new(4, 8, rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(8, 3, rng)),
+        ])
+    }
+
+    /// Linearly separable 3-class toy problem.
+    fn toy_batch() -> (Tensor, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let class = i % 3;
+            let mut row = vec![0.1f32; 4];
+            row[class] = 1.0 + (i as f32 % 5.0) * 0.01;
+            xs.extend_from_slice(&row);
+            ys.push(class);
+        }
+        (Tensor::from_vec(xs, &[30, 4]), ys)
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut rng = Rng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let p = net.params();
+        assert_eq!(p.len(), net.param_len());
+        assert_eq!(p.len(), 4 * 8 + 8 + 8 * 3 + 3);
+        net.set_params(&p);
+        assert_eq!(net.params(), p);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut rng = Rng::new(2);
+        let mut net = tiny_net(&mut rng);
+        let (x, y) = toy_batch();
+        let mut opt = Sgd::new(0.5);
+        let (initial_loss, _) = net.evaluate(&x, &y);
+        for _ in 0..60 {
+            net.zero_grads();
+            let _ = net.train_step(&x, &y);
+            let mut params = net.params();
+            opt.step(&mut params, &net.grads(), None);
+            net.set_params(&params);
+        }
+        let (final_loss, acc) = net.evaluate(&x, &y);
+        assert!(
+            final_loss < initial_loss * 0.5,
+            "{initial_loss} -> {final_loss}"
+        );
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn grads_layout_matches_params() {
+        let mut rng = Rng::new(3);
+        let mut net = tiny_net(&mut rng);
+        let (x, y) = toy_batch();
+        net.zero_grads();
+        let _ = net.train_step(&x, &y);
+        assert_eq!(net.grads().len(), net.param_len());
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut rng = Rng::new(4);
+        let mut net = tiny_net(&mut rng);
+        let (x, y) = toy_batch();
+        let _ = net.train_step(&x, &y);
+        assert!(net.grads().iter().any(|&g| g != 0.0));
+        net.zero_grads();
+        assert!(net.grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_params")]
+    fn set_params_checks_length() {
+        let mut rng = Rng::new(5);
+        let mut net = tiny_net(&mut rng);
+        net.set_params(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Stochastic gradient descent with the FedProx proximal term.
+//!
+//! Eco-FL's intra-group local solver (§5.1) minimizes
+//! `h_c(w) = F_c(w) + µ/2 · ‖w − w_group‖²` — plain local loss plus a
+//! proximal pull toward the group model, which damps client drift under
+//! non-IID data (FedProx, Sahu et al. 2018). The proximal gradient
+//! contribution is `µ · (w − w_ref)` and is applied here, at the optimizer,
+//! so models stay oblivious to the FL algorithm above them.
+
+use serde::{Deserialize, Serialize};
+
+/// SGD over flat parameter vectors, with optional momentum and an optional
+/// FedProx proximal pull toward a reference parameter vector.
+///
+/// # Examples
+///
+/// ```
+/// use ecofl_tensor::Sgd;
+/// let mut opt = Sgd::new(0.1);
+/// let mut w = vec![1.0f32];
+/// opt.step(&mut w, &[2.0], None); // w ← 1 − 0.1·2
+/// assert!((w[0] - 0.8).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    mu: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            mu: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds classical momentum.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the FedProx proximal coefficient `µ` (0 disables the term).
+    #[must_use]
+    pub fn with_proximal(mut self, mu: f32) -> Self {
+        assert!(mu >= 0.0, "proximal coefficient must be non-negative");
+        self.mu = mu;
+        self
+    }
+
+    /// Learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Proximal coefficient `µ`.
+    #[must_use]
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// `reference` is the anchor `w_group` for the proximal term; pass
+    /// `None` when `µ = 0` or no anchor applies (e.g. plain FedAvg local
+    /// training).
+    ///
+    /// # Panics
+    /// Panics if vector lengths disagree, or if `µ > 0` but no reference is
+    /// supplied.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32], reference: Option<&[f32]>) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "step: params/grads length mismatch"
+        );
+        if self.mu > 0.0 {
+            let anchor = reference.expect("step: proximal term requires a reference vector");
+            assert_eq!(
+                params.len(),
+                anchor.len(),
+                "step: reference length mismatch"
+            );
+        }
+        if self.momentum > 0.0 && self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            let mut g = grads[i];
+            if self.mu > 0.0 {
+                // ∇[µ/2‖w − w_ref‖²] = µ(w − w_ref)
+                g += self.mu * (params[i] - reference.unwrap()[i]);
+            }
+            let update = if self.momentum > 0.0 {
+                let v = self.momentum * self.velocity[i] + g;
+                self.velocity[i] = v;
+                v
+            } else {
+                g
+            };
+            params[i] -= self.lr * update;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(0.1);
+        let mut w = vec![1.0, -2.0];
+        opt.step(&mut w, &[0.5, -0.5], None);
+        assert!((w[0] - 0.95).abs() < 1e-6);
+        assert!((w[1] + 1.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proximal_pulls_toward_reference() {
+        let mut opt = Sgd::new(0.1).with_proximal(1.0);
+        let reference = vec![0.0f32];
+        let mut w = vec![10.0f32];
+        // Zero data gradient: only the proximal pull acts.
+        for _ in 0..100 {
+            opt.step(&mut w, &[0.0], Some(&reference));
+        }
+        assert!(
+            w[0].abs() < 0.01,
+            "w should decay toward the anchor, got {}",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn proximal_strength_scales_with_mu() {
+        let reference = vec![0.0f32];
+        let mut w_small = vec![1.0f32];
+        let mut w_large = vec![1.0f32];
+        Sgd::new(0.1)
+            .with_proximal(0.1)
+            .step(&mut w_small, &[0.0], Some(&reference));
+        Sgd::new(0.1)
+            .with_proximal(1.0)
+            .step(&mut w_large, &[0.0], Some(&reference));
+        assert!(w_large[0] < w_small[0]);
+    }
+
+    #[test]
+    fn momentum_accelerates_constant_gradient() {
+        let mut plain = Sgd::new(0.1);
+        let mut momentum = Sgd::new(0.1).with_momentum(0.9);
+        let mut wp = vec![0.0f32];
+        let mut wm = vec![0.0f32];
+        for _ in 0..10 {
+            plain.step(&mut wp, &[1.0], None);
+            momentum.step(&mut wm, &[1.0], None);
+        }
+        assert!(
+            wm[0] < wp[0],
+            "momentum should move farther: {} vs {}",
+            wm[0],
+            wp[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn proximal_requires_reference() {
+        let mut opt = Sgd::new(0.1).with_proximal(0.5);
+        let mut w = vec![1.0f32];
+        opt.step(&mut w, &[0.0], None);
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(w) = (w-3)², ∇f = 2(w-3)
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        let mut w = vec![0.0f32];
+        for _ in 0..100 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.step(&mut w, &[g], None);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-3);
+    }
+}

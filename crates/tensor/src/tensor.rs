@@ -1,0 +1,419 @@
+//! Row-major dense `f32` tensors with shape checking.
+//!
+//! The hot path of the whole FL simulation is `matmul` inside client local
+//! training; it is written cache-friendly (ikj loop order so the inner loop
+//! streams contiguous memory) and parallelized across output rows with
+//! rayon once the work is large enough to amortize the fork-join cost.
+
+use ecofl_util::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Below this many multiply-accumulates `matmul` stays sequential; the
+/// rayon fork-join overhead would dominate tiny client-side batches.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// A dense, row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use ecofl_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self {
+            data: vec![0.0; n],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Self {
+            data: vec![value; n],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the product of `shape`.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "from_vec: buffer length {} != shape volume {n}",
+            data.len()
+        );
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Gaussian-initialized tensor (mean 0, the given std), deterministic
+    /// under the provided RNG. Used for weight init.
+    #[must_use]
+    pub fn randn(shape: &[usize], std: f32, rng: &mut Rng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.next_gaussian() as f32 * std).collect();
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer under a new shape of equal volume.
+    ///
+    /// # Panics
+    /// Panics if the volumes differ.
+    #[must_use]
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.data.len(), n, "reshape: volume mismatch");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows: tensor is not 2-D");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols: tensor is not 2-D");
+        self.shape[1]
+    }
+
+    /// Matrix product of two 2-D tensors (`[m,k] × [k,n] → [m,n]`).
+    ///
+    /// Parallelizes across output rows when the work exceeds a threshold;
+    /// per-row results are independent so the output is identical to the
+    /// sequential computation.
+    ///
+    /// # Panics
+    /// Panics on non-2-D inputs or mismatched inner dimensions.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = &self.data;
+        let b = &other.data;
+
+        let row_kernel = |i: usize, out_row: &mut [f32]| {
+            // ikj order: the inner loop walks b and out_row contiguously.
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        };
+
+        if m * n * k >= PAR_MATMUL_THRESHOLD {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| row_kernel(i, out_row));
+        } else {
+            for (i, out_row) in out.chunks_mut(n).enumerate() {
+                row_kernel(i, out_row);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for (i, row) in self.data.chunks(n).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j * m + i] = v;
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Returns `self * scalar`.
+    #[must_use]
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|a| a * scalar).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Adds a `[n]` bias vector to every row of a `[m, n]` tensor, in place.
+    ///
+    /// # Panics
+    /// Panics if shapes are incompatible.
+    pub fn add_row_bias(&mut self, bias: &Tensor) {
+        let n = self.cols();
+        assert_eq!(bias.len(), n, "add_row_bias: bias length mismatch");
+        for row in self.data.chunks_mut(n) {
+            for (x, b) in row.iter_mut().zip(bias.data()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sum over rows of a 2-D tensor → `[n]` vector (bias gradient).
+    #[must_use]
+    pub fn sum_rows(&self) -> Tensor {
+        let n = self.cols();
+        let mut out = vec![0.0f32; n];
+        for row in self.data.chunks(n) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    /// Squared L2 norm of all elements.
+    #[must_use]
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Fills the buffer with zeros (gradient reset between steps).
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.data().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn from_vec_checks_volume() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let c = a.matmul(&Tensor::eye(5));
+        for (x, y) in a.data().iter().zip(c.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_matches_sequential() {
+        // Above the threshold the rayon path must give identical results.
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn(&[80, 70], 1.0, &mut rng);
+        let b = Tensor::randn(&[70, 90], 1.0, &mut rng);
+        let big = a.matmul(&b);
+        // Sequential reference.
+        let (m, k, n) = (80, 70, 90);
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a.data()[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    reference[i * n + j] += aip * b.data()[p * n + j];
+                }
+            }
+        }
+        assert_eq!(
+            big.data(),
+            &reference[..],
+            "parallel path must be bit-identical"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_checks_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn(&[3, 7], 1.0, &mut rng);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[7, 3]);
+        assert_eq!(a, t.transpose());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 6.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, -1.0);
+        assert_eq!(c.data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn row_bias_and_sum_rows() {
+        let mut x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        x.add_row_bias(&b);
+        assert_eq!(x.data(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = x.sum_rows();
+        assert_eq!(s.data(), &[24.0, 46.0]);
+    }
+
+    #[test]
+    fn reshape_and_norm() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]).reshape(&[1, 2]);
+        assert_eq!(t.shape(), &[1, 2]);
+        assert_eq!(t.norm_sq(), 25.0);
+    }
+
+    #[test]
+    fn randn_deterministic() {
+        let mut r1 = Rng::new(42);
+        let mut r2 = Rng::new(42);
+        let a = Tensor::randn(&[10], 0.5, &mut r1);
+        let b = Tensor::randn(&[10], 0.5, &mut r2);
+        assert_eq!(a, b);
+    }
+}

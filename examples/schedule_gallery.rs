@@ -1,0 +1,71 @@
+//! Renders the pipeline schedules of the paper's Figs. 3–4 as ASCII
+//! Gantt charts: Eco-FL's 1F1B-Sync at the Eq. 3 residency bounds, a
+//! starved variant showing data-dependency bubbles, Gpipe's BAF-Sync,
+//! and PipeDream's flush-free 1F1B-Async.
+//!
+//! ```text
+//! cargo run --release --example schedule_gallery
+//! ```
+
+use ecofl::prelude::*;
+use ecofl_pipeline::executor::ExecError;
+use ecofl_pipeline::gantt::{legend, render_round};
+use ecofl_pipeline::orchestrator::p_bounds;
+
+fn show(title: &str, result: Result<ExecutionReport, ExecError>) {
+    println!("\n=== {title} ===");
+    match result {
+        Ok(report) => {
+            for line in render_round(&report.task_spans, 0, 100) {
+                println!("{line}");
+            }
+            println!(
+                "round {:.2}s, {:.1} samples/s, peak mem {}",
+                report.round_time,
+                report.throughput,
+                report
+                    .stage_peak_memory
+                    .iter()
+                    .map(|&b| ecofl_util::units::fmt_bytes(b))
+                    .collect::<Vec<_>>()
+                    .join(" / "),
+            );
+        }
+        Err(e) => println!("aborted: {e}"),
+    }
+}
+
+fn main() {
+    let model = efficientnet_at(0, 224);
+    let link = Link::mbps_100();
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    let mbs = 8;
+    let m = 6;
+    let partition = partition_dp(&model, &devices, &link, mbs).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+    let p = p_bounds(&profile);
+    println!("EfficientNet-B0 on ⟨TX2-Q, Nano-H, Nano-H⟩, mbs = {mbs}, M = {m}; P = {p:?}");
+    println!("{}", legend());
+
+    show(
+        "1F1B-Sync, K = P (Eco-FL, Fig. 3)",
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p.clone() }).run(m, 1),
+    );
+    show(
+        "1F1B-Sync, starved K = [2,2,1] (Fig. 4 DDB)",
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: vec![2, 2, 1] })
+            .run(m, 1),
+    );
+    show(
+        "Gpipe BAF-Sync (all forwards, then all backwards)",
+        PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(m, 1),
+    );
+    show(
+        "PipeDream 1F1B-Async (no flush, weight stashing)",
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBAsync { k: p }).run(m, 1),
+    );
+}

@@ -1,0 +1,140 @@
+//! Deep dive into the edge collaborative pipeline (§4 of the paper):
+//! heterogeneity-aware partitioning, 1F1B-Sync vs Gpipe vs data-parallel
+//! vs single-device, and adaptive re-scheduling under a load spike.
+//!
+//! ```text
+//! cargo run --release --example smart_home_pipeline
+//! ```
+
+use ecofl::prelude::*;
+use ecofl_pipeline::orchestrator::k_bounds;
+
+fn main() {
+    let model = efficientnet(4);
+    let link = Link::mbps_100();
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    let mbs = 8;
+    let micro_batches = 8;
+
+    // --- Heterogeneity-aware partitioning (Eq. 1) -----------------------
+    let partition = partition_dp(&model, &devices, &link, mbs).expect("feasible");
+    println!("=== {} over 3 devices (mbs = {mbs}) ===", model.name);
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..partition.num_stages() {
+        let range = partition.stage_range(s);
+        println!(
+            "stage {s} on {:>7}: layers {:>2}..{:<2} ({:5.1}% of FLOPs)",
+            devices[s].name(),
+            range.start,
+            range.end,
+            100.0 * model.range_flops(range.clone()) / model.total_flops(),
+        );
+    }
+
+    // --- 1F1B-Sync vs Gpipe's BAF-Sync ----------------------------------
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+    let k = k_bounds(&profile).expect("memory admits K >= 1");
+    let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() })
+        .run(micro_batches, 4)
+        .expect("no OOM");
+    println!("\n=== 1F1B-Sync (K = {k:?}) ===");
+    print_report(&ours);
+    match PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(micro_batches, 4) {
+        Ok(gpipe) => {
+            println!("\n=== Gpipe BAF-Sync ===");
+            print_report(&gpipe);
+        }
+        Err(e) => println!("\n=== Gpipe BAF-Sync === aborted: {e}"),
+    }
+
+    // --- Baselines -------------------------------------------------------
+    let epoch_samples = 1000;
+    println!("\n=== Baselines ({epoch_samples} samples/epoch) ===");
+    if let Some(dp) = data_parallel_epoch(&model, &devices, &link, 64, epoch_samples) {
+        println!(
+            "data parallel : {:7.1} s/epoch ({:4.1}% transmission)",
+            dp.epoch_time,
+            dp.comm_fraction * 100.0
+        );
+    }
+    for d in &devices[..1] {
+        if let Some(single) = single_device_epoch(&model, d, 64, epoch_samples) {
+            println!("single {:>6} : {:7.1} s/epoch", d.name(), single.epoch_time);
+        }
+    }
+    let pipeline_epoch = epoch_samples as f64 / ours.throughput;
+    println!("Eco-FL pipeline: {pipeline_epoch:7.1} s/epoch");
+
+    // --- Adaptive re-scheduling under an external load spike (§4.4) ------
+    let spike = LoadSpike {
+        device: 1,
+        at: 100.0,
+        load: 0.6,
+    };
+    let with = simulate_load_spike(
+        &model,
+        &devices,
+        &link,
+        mbs,
+        micro_batches,
+        spike,
+        250.0,
+        true,
+    );
+    let without = simulate_load_spike(
+        &model,
+        &devices,
+        &link,
+        mbs,
+        micro_batches,
+        spike,
+        250.0,
+        false,
+    );
+    println!("\n=== Load spike on device 1 at t = 100 s ===");
+    println!(
+        "pre-spike throughput        : {:6.2} samples/s",
+        with.pre_spike_throughput
+    );
+    println!(
+        "post-spike, static pipeline : {:6.2} samples/s",
+        without.post_spike_throughput
+    );
+    println!(
+        "post-spike, with scheduler  : {:6.2} samples/s",
+        with.post_spike_throughput
+    );
+    for ev in &with.events {
+        println!(
+            "  migration at t = {:.1}s: {:?} -> {:?} ({} moved, {:.2}s stall)",
+            ev.time,
+            ev.old_boundaries,
+            ev.new_boundaries,
+            ecofl_util::units::fmt_bytes(ev.bytes_moved),
+            ev.pause,
+        );
+    }
+}
+
+fn print_report(r: &ExecutionReport) {
+    println!(
+        "throughput {:6.1} samples/s, round time {:.2} s",
+        r.throughput, r.round_time
+    );
+    for (s, (util, peak)) in r
+        .stage_gpu_utilization
+        .iter()
+        .zip(&r.stage_peak_memory)
+        .enumerate()
+    {
+        println!(
+            "  stage {s}: GPU util {:5.1}%, peak mem {}",
+            util * 100.0,
+            ecofl_util::units::fmt_bytes(*peak)
+        );
+    }
+}

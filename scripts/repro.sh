@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: builds, tests, regenerates every paper
+# table/figure, and leaves logs + JSON series behind.
+#
+#   ./scripts/repro.sh [output-dir]
+#
+# Outputs:
+#   <out>/test_output.txt      full `cargo test --workspace` log
+#   <out>/bench_output.txt     full `cargo bench --workspace` log
+#   target/ecofl-results/*.json   machine-readable figure/table series
+set -euo pipefail
+
+out="${1:-.}"
+mkdir -p "$out"
+
+echo "==> building (release)"
+cargo build --workspace --release
+
+echo "==> running the test suite"
+cargo test --workspace 2>&1 | tee "$out/test_output.txt"
+
+echo "==> regenerating every table and figure"
+cargo bench --workspace 2>&1 | tee "$out/bench_output.txt"
+
+echo "==> done"
+echo "    tests : $out/test_output.txt"
+echo "    bench : $out/bench_output.txt"
+echo "    series: target/ecofl-results/"
+grep -E "Shape checks passed|Semantic check passed|All three" "$out/bench_output.txt" || true

@@ -1,0 +1,25 @@
+//! # Eco-FL
+//!
+//! A from-scratch Rust reproduction of **"Eco-FL: Adaptive Federated
+//! Learning with Efficient Edge Collaborative Pipeline Training"**
+//! (Ye et al., ICPP 2022).
+//!
+//! This facade crate re-exports [`ecofl_core`]; see the workspace README
+//! for the architecture overview, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record of every table
+//! and figure.
+//!
+//! ```
+//! use ecofl::prelude::*;
+//! let plan = search_configuration(
+//!     &efficientnet(0),
+//!     &[Device::new(tx2_q()), Device::new(nano_h())],
+//!     &Link::mbps_100(),
+//!     &OrchestratorConfig::default(),
+//! )
+//! .expect("feasible plan");
+//! assert!(plan.report.throughput > 0.0);
+//! ```
+
+pub use ecofl_core::prelude;
+pub use ecofl_core::*;

@@ -1,0 +1,390 @@
+//! `ecofl` — command-line front end for the Eco-FL reproduction.
+//!
+//! ```text
+//! ecofl devices                          # Table 1 catalog
+//! ecofl plan    --model effnet-b4 --devices tx2q,nanoh,nanoh
+//! ecofl gantt   --model effnet-b0 --devices tx2q,nanoh,nanoh --schedule gpipe
+//! ecofl spike   --model effnet-b4 --devices tx2q,nanoh,nanoh --load 0.6
+//! ecofl fl      --strategy ecofl --clients 60 --horizon 800
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! after a subcommand.
+
+use ecofl::prelude::*;
+use ecofl_pipeline::executor::ExecError;
+use ecofl_pipeline::gantt::{legend, render_round};
+use ecofl_pipeline::orchestrator::k_bounds;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            map.insert(key.to_owned(), args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn parse_model(name: &str) -> Result<ModelProfile, String> {
+    let (base, res) = match name.split_once('@') {
+        Some((b, r)) => (
+            b,
+            r.parse::<usize>()
+                .map_err(|_| format!("bad resolution in {name}"))?,
+        ),
+        None => (name, 224),
+    };
+    match base {
+        "effnet-b0" => Ok(efficientnet_at(0, res)),
+        "effnet-b1" => Ok(efficientnet_at(1, res)),
+        "effnet-b2" => Ok(efficientnet_at(2, res)),
+        "effnet-b3" => Ok(efficientnet_at(3, res)),
+        "effnet-b4" => Ok(efficientnet_at(4, res)),
+        "effnet-b5" => Ok(efficientnet_at(5, res)),
+        "effnet-b6" => Ok(efficientnet_at(6, res)),
+        "mobilenet-w1" => Ok(mobilenet_v2_at(1.0, res)),
+        "mobilenet-w2" => Ok(mobilenet_v2_at(2.0, res)),
+        "mobilenet-w3" => Ok(mobilenet_v2_at(3.0, res)),
+        other => Err(format!(
+            "unknown model '{other}' (effnet-b0..b6, mobilenet-w1..w3, optionally @<res>)"
+        )),
+    }
+}
+
+fn parse_devices(spec: &str) -> Result<Vec<Device>, String> {
+    spec.split(',')
+        .map(|d| match d.trim() {
+            "nanol" | "nano-l" => Ok(Device::new(nano_l())),
+            "nanoh" | "nano-h" => Ok(Device::new(nano_h())),
+            "tx2q" | "tx2-q" => Ok(Device::new(tx2_q())),
+            "tx2n" | "tx2-n" => Ok(Device::new(tx2_n())),
+            other => Err(format!(
+                "unknown device '{other}' (nanol, nanoh, tx2q, tx2n)"
+            )),
+        })
+        .collect()
+}
+
+fn get<T: std::str::FromStr>(
+    args: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn cmd_devices() -> Result<(), String> {
+    println!("Table 1 device catalog:");
+    for spec in ecofl_simnet::table1() {
+        println!(
+            "  {:<8} {:>10}  {:>8.0} Mbps  {:>16}/s",
+            spec.name,
+            ecofl_util::units::fmt_bytes(spec.memory_bytes),
+            spec.network_bps / 1e6,
+            ecofl_util::units::fmt_flops(spec.compute_flops),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
+    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+    let batch = get(args, "batch", 128usize)?;
+    let plan = search_configuration(
+        &model,
+        &devices,
+        &Link::mbps_100(),
+        &OrchestratorConfig {
+            global_batch: batch,
+            mbs_candidates: vec![32, 16, 8, 4],
+            eval_rounds: 2,
+        },
+    )
+    .ok_or("no feasible pipeline configuration")?;
+    println!("{} over {} device(s):", model.name, devices.len());
+    println!(
+        "  device order : {:?}",
+        plan.order
+            .iter()
+            .map(|&i| devices[i].name())
+            .collect::<Vec<_>>()
+    );
+    for s in 0..plan.partition.num_stages() {
+        let range = plan.partition.stage_range(s);
+        println!(
+            "  stage {s}     : layers {:>2}..{:<2} ({:.1}% of FLOPs) on {}",
+            range.start,
+            range.end,
+            100.0 * model.range_flops(range.clone()) / model.total_flops(),
+            devices[plan.order[s]].name(),
+        );
+    }
+    println!(
+        "  micro-batch  : {} ({} per sync-round)",
+        plan.micro_batch, plan.micro_batches
+    );
+    println!(
+        "  residency K  : {:?} (DDB-free: {})",
+        plan.k, plan.ddb_free
+    );
+    println!("  throughput   : {:.2} samples/s", plan.report.throughput);
+    println!(
+        "  peak memory  : {}",
+        plan.report
+            .stage_peak_memory
+            .iter()
+            .map(|&b| ecofl_util::units::fmt_bytes(b))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    Ok(())
+}
+
+fn cmd_gantt(args: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
+    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+    let mbs = get(args, "mbs", 8usize)?;
+    let m = get(args, "micro-batches", 6usize)?;
+    let width = get(args, "width", 100usize)?;
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, mbs).ok_or("no feasible partition")?;
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+    let k = k_bounds(&profile).ok_or("memory admits no residency")?;
+    let schedule = args.get("schedule").map_or("1f1b", String::as_str);
+    let policy = match schedule {
+        "1f1b" => SchedulePolicy::OneFOneBSync { k },
+        "gpipe" => SchedulePolicy::BafSync,
+        "async" => SchedulePolicy::OneFOneBAsync { k },
+        other => return Err(format!("unknown schedule '{other}' (1f1b, gpipe, async)")),
+    };
+    match PipelineExecutor::new(&profile, policy).run(m, 1) {
+        Ok(report) => {
+            println!("{} — {schedule} schedule, mbs {mbs}, M = {m}", model.name);
+            println!("{}", legend());
+            for line in render_round(&report.task_spans, 0, width) {
+                println!("{line}");
+            }
+            println!(
+                "round {:.2}s, {:.1} samples/s",
+                report.round_time, report.throughput
+            );
+            Ok(())
+        }
+        Err(ExecError::Oom { stage, micro }) => Err(format!(
+            "schedule OOMs on stage {stage} at micro-batch {micro}"
+        )),
+    }
+}
+
+fn cmd_spike(args: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
+    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+    let load = get(args, "load", 0.6f64)?;
+    let at = get(args, "at", 100.0f64)?;
+    let device = get(args, "device", 1usize)?;
+    let horizon = get(args, "horizon", 250.0f64)?;
+    if device >= devices.len() {
+        return Err(format!("--device {device} out of range"));
+    }
+    let spike = LoadSpike { device, at, load };
+    let link = Link::mbps_100();
+    let with = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, true);
+    let without = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, false);
+    println!(
+        "{}: {load:.0}% load on device {device} at t = {at}s",
+        model.name
+    );
+    println!(
+        "  pre-spike            : {:6.2} samples/s",
+        with.pre_spike_throughput
+    );
+    println!(
+        "  post, w/o scheduler  : {:6.2} samples/s",
+        without.post_spike_throughput
+    );
+    println!(
+        "  post, w/  scheduler  : {:6.2} samples/s",
+        with.post_spike_throughput
+    );
+    for ev in &with.events {
+        println!(
+            "  migration at {:.1}s: {:?} -> {:?} ({} moved, {:.2}s stall)",
+            ev.time,
+            ev.old_boundaries,
+            ev.new_boundaries,
+            ecofl_util::units::fmt_bytes(ev.bytes_moved),
+            ev.pause
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fl(args: &HashMap<String, String>) -> Result<(), String> {
+    let strategy = match args.get("strategy").map_or("ecofl", String::as_str) {
+        "fedavg" => Strategy::FedAvg,
+        "fedasync" => Strategy::FedAsync,
+        "fedat" => Strategy::FedAt,
+        "astraea" => Strategy::Astraea,
+        "ecofl" => Strategy::EcoFl {
+            dynamic_grouping: true,
+        },
+        "ecofl-static" => Strategy::EcoFl {
+            dynamic_grouping: false,
+        },
+        other => {
+            return Err(format!(
+                "unknown strategy '{other}' (fedavg, fedasync, fedat, astraea, ecofl, ecofl-static)"
+            ))
+        }
+    };
+    let clients = get(args, "clients", 60usize)?;
+    let horizon = get(args, "horizon", 800.0f64)?;
+    let seed = get(args, "seed", 42u64)?;
+    let dataset = match args.get("dataset").map_or("cifar", String::as_str) {
+        "mnist" => SyntheticSpec::mnist_like(),
+        "fashion" => SyntheticSpec::fashion_like(),
+        "cifar" => SyntheticSpec::cifar_like(),
+        other => return Err(format!("unknown dataset '{other}' (mnist, fashion, cifar)")),
+    };
+    let config = FlConfig {
+        num_clients: clients,
+        clients_per_round: (clients / 3).clamp(4, 20),
+        horizon,
+        eval_interval: horizon / 25.0,
+        seed,
+        ..FlConfig::default()
+    };
+    let data = FederatedDataset::generate(
+        &dataset,
+        clients,
+        60,
+        50,
+        PartitionScheme::ClassesPerClient(2),
+        None,
+        seed,
+    );
+    let setup = FlSetup {
+        data,
+        arch: ModelArch::Mlp,
+        config,
+    };
+    let r = run_strategy(strategy, &setup);
+    println!(
+        "{} on {} ({clients} clients, horizon {horizon}s):",
+        r.strategy, dataset.name
+    );
+    for (t, acc) in r.accuracy.resample(15) {
+        println!("  t = {t:8.1}s  accuracy {:5.1}%", acc * 100.0);
+    }
+    println!(
+        "  best {:.1}% | final {:.1}% | {} updates | {} regroups",
+        r.best_accuracy * 100.0,
+        r.final_accuracy * 100.0,
+        r.global_updates,
+        r.regroup_events
+    );
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: ecofl <command> [--key value ...]\n\
+     commands:\n\
+       devices                       print the Table 1 device catalog\n\
+       plan   --model M --devices D  partition + orchestrate a pipeline\n\
+       gantt  --model M --devices D  render a schedule Gantt chart\n\
+              [--schedule 1f1b|gpipe|async] [--mbs N] [--micro-batches N]\n\
+       spike  --model M --devices D  run the Fig. 13 load-spike scenario\n\
+              [--load F] [--at T] [--device I] [--horizon T]\n\
+       fl     [--strategy S]         run a federated-learning simulation\n\
+              [--clients N] [--horizon T] [--dataset mnist|fashion|cifar] [--seed N]\n\
+     models : effnet-b0..b6, mobilenet-w1..w3 (optionally model@resolution)\n\
+     devices: comma list of nanol, nanoh, tx2q, tx2n"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = parse_args(&argv[1..]);
+    let result = match command.as_str() {
+        "devices" => cmd_devices(),
+        "plan" => cmd_plan(&args),
+        "gantt" => cmd_gantt(&args),
+        "spike" => cmd_spike(&args),
+        "fl" => cmd_fl(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_collects_pairs() {
+        let args: Vec<String> = ["--model", "effnet-b0", "--mbs", "8"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let map = parse_args(&args);
+        assert_eq!(map.get("model").map(String::as_str), Some("effnet-b0"));
+        assert_eq!(map.get("mbs").map(String::as_str), Some("8"));
+    }
+
+    #[test]
+    fn parse_model_variants_and_resolution() {
+        assert_eq!(
+            parse_model("effnet-b3").unwrap().name,
+            "EfficientNet-B3@224"
+        );
+        assert_eq!(
+            parse_model("mobilenet-w2@128").unwrap().name,
+            "MobileNetV2-W2@128"
+        );
+        assert!(parse_model("resnet").is_err());
+        assert!(parse_model("effnet-b1@abc").is_err());
+    }
+
+    #[test]
+    fn parse_devices_list() {
+        let d = parse_devices("tx2q, nanoh,nanol").unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].name(), "TX2-Q");
+        assert_eq!(d[2].name(), "Nano-L");
+        assert!(parse_devices("gpu9000").is_err());
+    }
+
+    #[test]
+    fn get_parses_with_default() {
+        let mut map = HashMap::new();
+        map.insert("n".to_owned(), "7".to_owned());
+        assert_eq!(get(&map, "n", 1usize).unwrap(), 7);
+        assert_eq!(get(&map, "missing", 42usize).unwrap(), 42);
+        map.insert("bad".to_owned(), "x".to_owned());
+        assert!(get(&map, "bad", 1usize).is_err());
+    }
+}

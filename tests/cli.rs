@@ -1,0 +1,107 @@
+//! End-to-end smoke tests of the `ecofl` CLI binary.
+
+use std::process::Command;
+
+fn ecofl(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ecofl"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn devices_lists_table1() {
+    let (ok, stdout, _) = ecofl(&["devices"]);
+    assert!(ok);
+    for name in ["Nano-L", "Nano-H", "TX2-Q", "TX2-N"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn plan_prints_stages_and_throughput() {
+    let (ok, stdout, _) = ecofl(&[
+        "plan",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--batch",
+        "32",
+    ]);
+    assert!(ok, "plan failed:\n{stdout}");
+    assert!(stdout.contains("stage 0"));
+    assert!(stdout.contains("throughput"));
+    assert!(stdout.contains("residency K"));
+}
+
+#[test]
+fn gantt_renders_rows() {
+    let (ok, stdout, _) = ecofl(&[
+        "gantt",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--micro-batches",
+        "4",
+        "--schedule",
+        "gpipe",
+    ]);
+    assert!(ok, "gantt failed:\n{stdout}");
+    assert!(stdout.contains("stage 0 |"));
+    assert!(stdout.contains("stage 1 |"));
+}
+
+#[test]
+fn fl_runs_a_tiny_federation() {
+    let (ok, stdout, _) = ecofl(&[
+        "fl",
+        "--strategy",
+        "fedavg",
+        "--clients",
+        "8",
+        "--horizon",
+        "120",
+        "--dataset",
+        "mnist",
+    ]);
+    assert!(ok, "fl failed:\n{stdout}");
+    assert!(stdout.contains("accuracy"));
+    assert!(stdout.contains("updates"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = ecofl(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn bad_model_fails_cleanly() {
+    let (ok, _, stderr) = ecofl(&["plan", "--model", "resnet-50", "--devices", "tx2q,nanoh"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+}
+
+#[test]
+fn missing_required_arg_fails_cleanly() {
+    let (ok, _, stderr) = ecofl(&["plan", "--devices", "tx2q"]);
+    assert!(!ok);
+    assert!(stderr.contains("--model is required"));
+}
+
+#[test]
+fn help_prints_all_commands() {
+    let (ok, stdout, _) = ecofl(&["help"]);
+    assert!(ok);
+    for cmd in ["devices", "plan", "gantt", "spike", "fl"] {
+        assert!(stdout.contains(cmd));
+    }
+}

@@ -1,0 +1,145 @@
+//! Serde round-trips of the public configuration and report types —
+//! these are the JSON payloads the bench harness persists, so their
+//! stability matters to downstream tooling.
+
+use ecofl::prelude::*;
+use ecofl_pipeline::adaptive::SchedulerConfig;
+use ecofl_pipeline::executor::TaskSpan;
+use ecofl_pipeline::orchestrator::k_bounds;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn fl_config_round_trips() {
+    let cfg = FlConfig {
+        base_delay_override: Some(vec![1.0, 2.0, 3.0]),
+        dynamics: Some(DynamicsConfig {
+            change_prob: 0.3,
+            degrees: vec![0.5, 1.0],
+        }),
+        ..FlConfig::default()
+    };
+    let back = round_trip(&cfg);
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn grouping_config_round_trips() {
+    for strategy in [
+        GroupingStrategy::EcoFl { lambda: 123.0 },
+        GroupingStrategy::LatencyOnly,
+        GroupingStrategy::DataOnly,
+    ] {
+        let cfg = GroupingConfig {
+            num_groups: 7,
+            strategy,
+            rt_relative: 0.4,
+            rt_min: 1.5,
+        };
+        assert_eq!(round_trip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn device_and_link_round_trip() {
+    let spec = tx2_n();
+    assert_eq!(round_trip(&spec), spec);
+    let link = Link::mbps_100();
+    assert_eq!(round_trip(&link), link);
+    let device = Device::new(nano_l());
+    assert_eq!(round_trip(&device), device);
+}
+
+#[test]
+fn model_profile_round_trips() {
+    let model = efficientnet_at(1, 128);
+    let back: ModelProfile = round_trip(&model);
+    assert_eq!(back, model);
+    assert_eq!(back.total_flops(), model.total_flops());
+}
+
+#[test]
+fn partition_and_plan_round_trip() {
+    let model = efficientnet_at(0, 224);
+    let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
+    assert_eq!(round_trip(&partition), partition);
+
+    let plan = search_configuration(
+        &model,
+        &devices,
+        &link,
+        &OrchestratorConfig {
+            global_batch: 32,
+            mbs_candidates: vec![8, 4],
+            eval_rounds: 1,
+        },
+    )
+    .expect("plan");
+    let back: PipelinePlan = round_trip(&plan);
+    assert_eq!(back.partition, plan.partition);
+    assert_eq!(back.k, plan.k);
+    assert_eq!(back.micro_batch, plan.micro_batch);
+    assert!((back.report.throughput - plan.report.throughput).abs() < 1e-12);
+}
+
+#[test]
+fn execution_report_round_trips_with_spans() {
+    let model = efficientnet_at(0, 224);
+    let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, 4).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 4);
+    let k = k_bounds(&profile).expect("fits");
+    let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .run(4, 1)
+        .expect("runs");
+    let back: ExecutionReport = round_trip(&report);
+    assert_eq!(back.task_spans.len(), report.task_spans.len());
+    let span: TaskSpan = report.task_spans[0];
+    assert_eq!(round_trip(&span), span);
+    assert_eq!(back.stage_peak_memory, report.stage_peak_memory);
+}
+
+#[test]
+fn schedule_policy_round_trips() {
+    for policy in [
+        SchedulePolicy::OneFOneBSync { k: vec![3, 2, 1] },
+        SchedulePolicy::BafSync,
+        SchedulePolicy::OneFOneBAsync { k: vec![2, 1] },
+    ] {
+        assert_eq!(round_trip(&policy), policy);
+    }
+}
+
+#[test]
+fn scheduler_config_and_spike_round_trip() {
+    let cfg = SchedulerConfig {
+        deviation_threshold: 0.33,
+        restart_overhead: 1.25,
+    };
+    assert_eq!(round_trip(&cfg), cfg);
+    let spike = LoadSpike {
+        device: 2,
+        at: 42.0,
+        load: 0.5,
+    };
+    assert_eq!(round_trip(&spike), spike);
+}
+
+#[test]
+fn synthetic_spec_round_trips_values() {
+    // SyntheticSpec carries a &'static str name, so compare fields.
+    let spec = SyntheticSpec::cifar_like();
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v["num_classes"], 10);
+    assert_eq!(v["name"], "cifar-like");
+}
