@@ -8,12 +8,12 @@
 //! to the group model, trading per-round progress against client drift.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_data::federated::PartitionScheme;
 use ecofl_data::{FederatedDataset, SyntheticSpec};
 use ecofl_fl::engine::{run, FlSetup, Strategy};
 use ecofl_fl::FlConfig;
 use ecofl_models::ModelArch;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

@@ -7,10 +7,10 @@
 //! prices each migration, trading reaction speed against stall time.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::adaptive::{simulate_load_spike_with, LoadSpike, SchedulerConfig};
 use ecofl_simnet::{nano_h, tx2_q, Device, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

@@ -8,6 +8,7 @@
 //! lower memory and approaches async throughput as `M` grows.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
@@ -15,7 +16,6 @@ use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_q, Device, Link};
 use ecofl_util::units::fmt_bytes;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

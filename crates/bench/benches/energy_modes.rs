@@ -11,13 +11,13 @@
 //! latency gap is not.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, nano_l, power_of, tx2_n, tx2_q, Device, DeviceSpec, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

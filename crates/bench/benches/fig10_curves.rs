@@ -10,6 +10,7 @@
 //! (slower than a single device for MobileNet-W3).
 
 use ecofl_bench::{header, print_series, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_data::SyntheticSpec;
 use ecofl_fl::reference::ReferenceCurve;
 use ecofl_models::{efficientnet_at, mobilenet_v2_at, ModelArch, ModelProfile};
@@ -17,7 +18,6 @@ use ecofl_pipeline::baselines::{data_parallel_epoch, single_device_epoch};
 use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig};
 use ecofl_simnet::{nano_h, nano_l, tx2_q, Device, DeviceSpec, Link};
 use ecofl_util::Rng;
-use serde::Serialize;
 
 const EPOCH_SAMPLES: usize = 50_000;
 const GLOBAL_BATCH: usize = 64;

@@ -11,11 +11,11 @@
 //! and the Eco-FL pipeline (orchestrated via the §4.3 search).
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::{efficientnet_at, mobilenet_v2_at, ModelProfile};
 use ecofl_pipeline::baselines::{data_parallel_epoch, single_device_epoch};
 use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig};
 use ecofl_simnet::{nano_h, nano_l, tx2_q, Device, DeviceSpec, Link};
-use serde::Serialize;
 
 /// CIFAR-10 training-set size: epoch = 50 000 samples.
 const EPOCH_SAMPLES: usize = 50_000;

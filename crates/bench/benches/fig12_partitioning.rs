@@ -7,13 +7,13 @@
 //! stages busy and lifting pipeline throughput.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::{efficientnet_at, mobilenet_v2_at, ModelProfile};
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
 use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_n, Device, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

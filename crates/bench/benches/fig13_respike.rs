@@ -9,10 +9,10 @@
 //! throughput.
 
 use ecofl_bench::{header, print_series, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike, SpikeTrace};
 use ecofl_simnet::{nano_h, tx2_q, Device, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Output {

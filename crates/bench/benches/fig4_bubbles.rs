@@ -8,13 +8,13 @@
 //! and stretches the sync-round.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet;
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::p_bounds;
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_q, Device, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

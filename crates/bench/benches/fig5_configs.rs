@@ -14,13 +14,13 @@
 //! Expected shape: A beats B and C in both throughput and utilization.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::{k_bounds, p_bounds};
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_q, Device, DeviceSpec, Link};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

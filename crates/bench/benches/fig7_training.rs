@@ -9,13 +9,13 @@
 //! Eco-FL variants; FedAvg pays straggler-bound rounds.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_data::federated::PartitionScheme;
 use ecofl_data::{FederatedDataset, SyntheticSpec};
 use ecofl_fl::engine::{run, FlSetup, Strategy};
 use ecofl_fl::metrics::max_drawdown;
 use ecofl_fl::FlConfig;
 use ecofl_models::ModelArch;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Curve {

@@ -18,13 +18,13 @@
 //!   Eco-FL converging faster (it also respects latency).
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_data::federated::PartitionScheme;
 use ecofl_data::{FederatedDataset, SyntheticSpec};
 use ecofl_fl::engine::{run, FlSetup, Strategy};
 use ecofl_fl::FlConfig;
 use ecofl_models::ModelArch;
 use ecofl_util::Rng;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Curve {

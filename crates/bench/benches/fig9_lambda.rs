@@ -9,6 +9,7 @@
 //! runs (see EXPERIMENTS.md).
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_data::federated::PartitionScheme;
 use ecofl_data::{FederatedDataset, SyntheticSpec};
 use ecofl_fl::engine::{run, FlSetup, Strategy};
@@ -16,7 +17,6 @@ use ecofl_fl::FlConfig;
 use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 use ecofl_models::ModelArch;
 use ecofl_util::Rng;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

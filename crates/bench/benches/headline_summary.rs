@@ -12,12 +12,12 @@
 //! alphabetically, so `fig*` precede `headline_summary`).
 
 use ecofl_bench::{header, results_dir};
-use serde_json::Value;
+use ecofl_compat::json::{self, Value};
 
 fn load(id: &str) -> Option<Value> {
     let path = results_dir().join(format!("{id}.json"));
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    json::from_str(&text).ok()
 }
 
 fn main() {

@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the hot algorithmic kernels:
+//! Micro-benchmarks of the hot algorithmic kernels, driven by
+//! `ecofl_bench::time_case` (the criterion-free harness):
 //! the Eq. 1 dynamic-programming partitioner, the event-driven pipeline
 //! executor, k-means latency clustering, JS divergence, FedAvg
 //! aggregation, client local training, and the tensor matmul that
 //! dominates it.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ecofl_bench::{header, time_case};
 use ecofl_data::SyntheticSpec;
 use ecofl_fl::aggregate::weighted_average;
 use ecofl_fl::client::{local_train, LocalTrainConfig};
@@ -19,7 +20,12 @@ use ecofl_tensor::Tensor;
 use ecofl_util::{js_divergence, Rng};
 use std::hint::black_box;
 
-fn bench_partition(c: &mut Criterion) {
+/// Criterion ran `sample_size(20)`; keep the same measured-iteration
+/// count so timings stay comparable across the harness switch.
+const ITERS: usize = 20;
+const WARMUP: usize = 3;
+
+fn bench_partition() {
     let model = efficientnet_at(6, 224);
     let devices = vec![
         Device::new(tx2_q()),
@@ -27,12 +33,12 @@ fn bench_partition(c: &mut Criterion) {
         Device::new(nano_h()),
     ];
     let link = Link::mbps_100();
-    c.bench_function("partition_dp_b6_3dev", |b| {
-        b.iter(|| partition_dp(black_box(&model), &devices, &link, 16))
+    time_case("partition_dp_b6_3dev", WARMUP, ITERS, || {
+        partition_dp(black_box(&model), &devices, &link, 16)
     });
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     let model = efficientnet_at(2, 224);
     let devices = vec![
         Device::new(tx2_q()),
@@ -43,51 +49,44 @@ fn bench_executor(c: &mut Criterion) {
     let partition = partition_dp(&model, &devices, &link, 16).expect("feasible");
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 16);
     let k = k_bounds(&profile).expect("residency");
-    c.bench_function("executor_sync_round_m16", |b| {
-        b.iter(|| {
-            PipelineExecutor::new(
-                black_box(&profile),
-                SchedulePolicy::OneFOneBSync { k: k.clone() },
-            )
-            .run(16, 1)
-        })
+    time_case("executor_sync_round_m16", WARMUP, ITERS, || {
+        PipelineExecutor::new(
+            black_box(&profile),
+            SchedulePolicy::OneFOneBSync { k: k.clone() },
+        )
+        .run(16, 1)
     });
 }
 
-fn bench_kmeans(c: &mut Criterion) {
+fn bench_kmeans() {
     let mut rng = Rng::new(5);
     let points: Vec<f64> = (0..300).map(|_| rng.range_f64(5.0, 150.0)).collect();
-    c.bench_function("kmeans_300_clients_k5", |b| {
-        b.iter_batched(
-            || Rng::new(7),
-            |mut r| kmeans_1d(black_box(&points), 5, &mut r, 100),
-            BatchSize::SmallInput,
-        )
+    time_case("kmeans_300_clients_k5", WARMUP, ITERS, || {
+        let mut r = Rng::new(7);
+        kmeans_1d(black_box(&points), 5, &mut r, 100)
     });
 }
 
-fn bench_js(c: &mut Criterion) {
+fn bench_js() {
     let p: Vec<f64> = (0..10).map(|i| (i + 1) as f64 / 55.0).collect();
     let q = vec![0.1f64; 10];
-    c.bench_function("js_divergence_10_classes", |b| {
-        b.iter(|| js_divergence(black_box(&p), black_box(&q)))
+    time_case("js_divergence_10_classes", WARMUP, ITERS, || {
+        js_divergence(black_box(&p), black_box(&q))
     });
 }
 
-fn bench_aggregate(c: &mut Criterion) {
+fn bench_aggregate() {
     let mut rng = Rng::new(9);
     let updates: Vec<Vec<f32>> = (0..20)
         .map(|_| (0..4938).map(|_| rng.next_f32()).collect())
         .collect();
-    c.bench_function("weighted_average_20x4938", |b| {
-        b.iter(|| {
-            let refs: Vec<(&[f32], f64)> = updates.iter().map(|u| (u.as_slice(), 60.0)).collect();
-            weighted_average(black_box(&refs))
-        })
+    time_case("weighted_average_20x4938", WARMUP, ITERS, || {
+        let refs: Vec<(&[f32], f64)> = updates.iter().map(|u| (u.as_slice(), 60.0)).collect();
+        weighted_average(black_box(&refs))
     });
 }
 
-fn bench_local_train(c: &mut Criterion) {
+fn bench_local_train() {
     let spec = SyntheticSpec::mnist_like();
     let protos = spec.prototypes(1);
     let mut rng = Rng::new(2);
@@ -101,28 +100,28 @@ fn bench_local_train(c: &mut Criterion) {
         lr: 0.05,
         mu: 0.05,
     };
-    c.bench_function("local_train_60samples_3epochs", |b| {
-        b.iter_batched(
-            || Rng::new(11),
-            |mut r| local_train(ModelArch::Mlp, black_box(&start), &data, &cfg, &mut r),
-            BatchSize::SmallInput,
-        )
+    time_case("local_train_60samples_3epochs", WARMUP, ITERS, || {
+        let mut r = Rng::new(11);
+        local_train(ModelArch::Mlp, black_box(&start), &data, &cfg, &mut r)
     });
 }
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = Rng::new(13);
     let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
     let b_mat = Tensor::randn(&[64, 64], 1.0, &mut rng);
-    c.bench_function("matmul_64x64", |b| {
-        b.iter(|| black_box(&a).matmul(black_box(&b_mat)))
+    time_case("matmul_64x64", WARMUP, ITERS, || {
+        black_box(&a).matmul(black_box(&b_mat))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_partition, bench_executor, bench_kmeans, bench_js,
-              bench_aggregate, bench_local_train, bench_matmul
+fn main() {
+    header("Micro-benchmarks (hot kernels)");
+    bench_partition();
+    bench_executor();
+    bench_kmeans();
+    bench_js();
+    bench_aggregate();
+    bench_local_train();
+    bench_matmul();
 }
-criterion_main!(benches);

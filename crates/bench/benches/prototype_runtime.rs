@@ -8,10 +8,10 @@
 //! stage counts — 1F1B-Sync never changes training semantics).
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_pipeline::runtime::PipelineTrainer;
 use ecofl_tensor::{Layer, Linear, ReLU, Tensor};
 use ecofl_util::Rng;
-use serde::Serialize;
 use std::time::Instant;
 
 const IN_DIM: usize = 64;

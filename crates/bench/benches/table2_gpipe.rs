@@ -13,6 +13,7 @@
 //! - ours scales to mbs 16 and 32 without OOM, with utilization rising.
 
 use ecofl_bench::{header, write_json};
+use ecofl_compat::serde::Serialize;
 use ecofl_models::efficientnet_at;
 use ecofl_pipeline::executor::{ExecError, PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
@@ -20,7 +21,6 @@ use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_n, Device, Link};
 use ecofl_util::units::fmt_bytes;
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {

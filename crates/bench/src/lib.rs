@@ -9,8 +9,10 @@
 //! Shared helpers live here: result output, table formatting, and the
 //! common experimental fixtures (device clusters, datasets).
 
-use serde::Serialize;
+use ecofl_compat::json;
+use ecofl_compat::serde::Serialize;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Directory where bench targets drop their JSON series.
 #[must_use]
@@ -26,9 +28,50 @@ pub fn results_dir() -> PathBuf {
 /// Panics if serialization or the write fails.
 pub fn write_json<T: Serialize>(id: &str, value: &T) {
     let path = results_dir().join(format!("{id}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    let json = json::to_string_pretty(value).expect("serialize result");
     std::fs::write(&path, json).expect("write result file");
     println!("\n[written] {}", path.display());
+}
+
+/// Times `f` over `iters` runs after `warmup` discarded runs and prints
+/// a `name  mean ± spread  [min, max]` line — the criterion-free micro
+/// bench driver. Returns the mean in nanoseconds so callers can report
+/// derived figures.
+pub fn time_case<R>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "time_case: need at least one iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let mean = samples_ns.iter().sum::<f64>() / iters as f64;
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let var = samples_ns.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / iters as f64;
+    let sd = var.sqrt();
+    let scale = |ns: f64| -> String {
+        if ns < 1e3 {
+            format!("{ns:8.1} ns")
+        } else if ns < 1e6 {
+            format!("{:8.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:8.2} ms", ns / 1e6)
+        } else {
+            format!("{:8.2} s ", ns / 1e9)
+        }
+    };
+    println!(
+        "  {name:<32} {} ± {}   [{}, {}]",
+        scale(mean),
+        scale(sd),
+        scale(min),
+        scale(max)
+    );
+    mean
 }
 
 /// Prints a section header in the bench output.
@@ -58,7 +101,15 @@ mod tests {
     fn write_json_round_trips() {
         write_json("selftest", &vec![1, 2, 3]);
         let content = std::fs::read_to_string(results_dir().join("selftest.json")).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&content).unwrap();
+        let back: Vec<i32> = json::from_str(&content).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_case_reports_positive_mean() {
+        let mean = time_case("selftest_spin", 1, 5, || {
+            (0..1000u64).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert!(mean > 0.0);
     }
 }

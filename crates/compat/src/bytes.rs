@@ -1,0 +1,152 @@
+//! Wire buffers for the pipeline prototype — the `bytes` crate
+//! replacement. [`BytesMut`] is a little-endian append buffer,
+//! [`Bytes`] the frozen read cursor; exactly the surface
+//! `pipeline::runtime`'s tensor codec uses.
+
+/// An append-only byte buffer (the write half of the codec).
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian order.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian order.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes into an immutable, readable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            buf: self.buf,
+            pos: 0,
+        }
+    }
+}
+
+/// An immutable byte buffer with a read cursor (the read half).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps an owned byte vector.
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes remaining to be read.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` if fully consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let end = self.pos + N;
+        assert!(
+            end <= self.buf.len(),
+            "Bytes: read past end ({} of {})",
+            end,
+            self.buf.len()
+        );
+        let arr: [u8; N] = self.buf[self.pos..end].try_into().expect("length checked");
+        self.pos = end;
+        arr
+    }
+
+    /// Reads the next little-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
+    /// Reads the next little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    /// Reads the next little-endian `f32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    pub fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take::<4>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_u32_le(7);
+        w.put_f32_le(-1.5);
+        assert_eq!(w.len(), 16);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_f32_le(), -1.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut r = Bytes::from_vec(vec![1, 2, 3]);
+        let _ = r.get_u64_le();
+    }
+}

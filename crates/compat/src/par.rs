@@ -1,0 +1,150 @@
+//! Data-parallel helpers over a scoped worker pool — the rayon
+//! replacement for this workspace's two hot paths (client local
+//! training fan-out and matmul row blocking).
+//!
+//! Work is distributed dynamically: scoped workers pull the next item
+//! index from a shared atomic counter, so uneven item costs (clients
+//! with different shard sizes) still balance. Threads are spawned per
+//! call via `std::thread::scope`; the kernels behind these helpers are
+//! coarse enough (whole client training runs, ≥64³ matmuls) that spawn
+//! cost is noise, and callers gate small inputs to the sequential path
+//! themselves.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: `ECOFL_THREADS` if set, else available parallelism.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("ECOFL_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item, in parallel, preserving order of results
+/// (the `par_iter().map().collect()` analogue).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut gathered: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        return local;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+            }));
+        }
+        for h in handles {
+            gathered.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    gathered.sort_by_key(|(i, _)| *i);
+    gathered.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `data` into `chunk_size`-sized mutable chunks and applies
+/// `f(chunk_index, chunk)` to each in parallel (the
+/// `par_chunks_mut().enumerate().for_each()` analogue).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        chunk_size > 0,
+        "par_chunks_mut: chunk_size must be positive"
+    );
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Hand each worker disjoint chunks through a locked iterator; the
+    // lock is only touched between chunks, never inside the kernel.
+    let chunks: crate::sync::Mutex<_> =
+        crate::sync::Mutex::new(data.chunks_mut(chunk_size).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = chunks.lock().next();
+                match item {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => return,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 64, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u32;
+            }
+        });
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, 1 + (j / 64) as u32, "element {j}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential_kernel() {
+        let n = 257usize;
+        let kernel = |i: usize, chunk: &mut [f64]| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 1000 + j) as f64;
+            }
+        };
+        let mut seq = vec![0.0; n];
+        for (i, chunk) in seq.chunks_mut(16).enumerate() {
+            kernel(i, chunk);
+        }
+        let mut par = vec![0.0; n];
+        par_chunks_mut(&mut par, 16, kernel);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

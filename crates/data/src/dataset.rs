@@ -1,7 +1,7 @@
 //! In-memory labelled dataset.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A dense, in-memory classification dataset.
 ///

@@ -15,8 +15,8 @@
 //! the bench harness is replayable bit-for-bit.
 
 use crate::dataset::Dataset;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a synthetic classification task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,7 +1,7 @@
 //! Experiment configuration mirroring §6.1 of the paper.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_grouping::GroupingStrategy;
-use serde::{Deserialize, Serialize};
 
 /// Runtime dynamics: clients periodically resample their collaborative
 /// degree, changing their response latency mid-training.

@@ -1,7 +1,8 @@
 //! The virtual-time FL engine: five strategies, one clock.
 //!
 //! All strategies train *real* models (genuine SGD on every client's
-//! shard, parallelized across clients with rayon) while the clock advances
+//! shard, parallelized across clients with the compat worker pool)
+//! while the clock advances
 //! by simulated response latencies:
 //!
 //! - [`Strategy::FedAvg`] — synchronous rounds over a random client
@@ -20,14 +21,14 @@ use crate::aggregate::{fedasync_mix, staleness_alpha, weighted_average};
 use crate::client::{local_train, LocalTrainConfig, LocalUpdate};
 use crate::config::FlConfig;
 use crate::latency::LatencyModel;
+use ecofl_compat::par::par_map;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_data::FederatedDataset;
 use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 use ecofl_models::ModelArch;
 use ecofl_simnet::EventQueue;
 use ecofl_tensor::{Network, Tensor};
 use ecofl_util::{Rng, TimeSeries};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Fixed client↔server communication latency, seconds.
 const COMM_LATENCY: f64 = 1.0;
@@ -192,13 +193,10 @@ fn train_parallel(
         lr: setup.config.learning_rate,
         mu,
     };
-    members
-        .par_iter()
-        .map(|&c| {
-            let mut rng = client_rng(setup.config.seed, c, tag);
-            local_train(setup.arch, start, setup.data.client(c), &cfg, &mut rng)
-        })
-        .collect()
+    par_map(members, |&c| {
+        let mut rng = client_rng(setup.config.seed, c, tag);
+        local_train(setup.arch, start, setup.data.client(c), &cfg, &mut rng)
+    })
 }
 
 /// Applies the failure model: returns the indices of `members` that

@@ -12,8 +12,8 @@
 //! resulting stragglers.
 
 use crate::config::DynamicsConfig;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The latency state of all clients.
 #[derive(Debug, Clone, Serialize, Deserialize)]

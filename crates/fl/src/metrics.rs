@@ -6,8 +6,8 @@
 //! area-under-curve, and post-peak stability.
 
 use crate::engine::RunResult;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// Quantitative summary of one accuracy trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

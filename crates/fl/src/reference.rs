@@ -9,11 +9,11 @@
 //! with each method's simulated epoch time, exactly separating statistical
 //! efficiency from hardware throughput.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_data::Dataset;
 use ecofl_models::ModelArch;
 use ecofl_tensor::{Sgd, Tensor};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A reference curve: test accuracy after each training epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

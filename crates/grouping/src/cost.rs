@@ -1,7 +1,7 @@
 //! Group state and the Eq. 4 assignment cost.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::{js_divergence, normalize_distribution};
-use serde::{Deserialize, Serialize};
 
 /// Mutable state of one client group.
 ///

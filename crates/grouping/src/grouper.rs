@@ -2,8 +2,8 @@
 
 use crate::cost::{assignment_cost, GroupState};
 use crate::kmeans::kmeans_1d;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which grouping criterion to apply — Eco-FL's Eq. 4 or one of the two
 /// degenerate baselines the paper compares against.

@@ -3,7 +3,7 @@
 //! actually produced.
 
 use crate::grouper::Grouper;
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Snapshot of one group's composition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,8 +132,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let report = GroupingReport::capture(&grouper());
-        let json = serde_json::to_string(&report).unwrap();
-        let back: GroupingReport = serde_json::from_str(&json).unwrap();
+        let json = ecofl_compat::json::to_string(&report).unwrap();
+        let back: GroupingReport = ecofl_compat::json::from_str(&json).unwrap();
         assert_eq!(back.dropped, report.dropped);
         assert_eq!(back.groups.len(), report.groups.len());
         // Floats may differ by one ULP through the JSON text form.

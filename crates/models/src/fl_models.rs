@@ -7,9 +7,9 @@
 //! is the synthetic-data analogue of the FedAVG "2NN"); a small CNN over
 //! 8×8 single-channel layouts exercises the convolution path.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_tensor::{AvgPool2d, Conv2d, Flatten, Layer, Linear, Network, ReLU};
 use ecofl_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which client architecture to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

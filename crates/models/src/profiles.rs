@@ -15,7 +15,7 @@
 //! - the gradient flowing backward across a stage boundary has the shape
 //!   of that boundary's activation, so `g_l = a_l`.
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Per-layer profile (per-sample quantities).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,63 +1,103 @@
 //! Property-based tests for the analytic profile zoo.
 
+use ecofl_compat::check::{f64_in, forall, pair, triple, u32_in, usize_in, vec_in};
 use ecofl_models::profiles::{efficientnet_at, fl_mlp_profile, mlp_profile, mobilenet_v2_at};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn effnet_flops_monotone_in_resolution(b in 0usize..7, lo in 32usize..128, delta in 16usize..128) {
-        let small = efficientnet_at(b, lo);
-        let large = efficientnet_at(b, lo + delta);
-        prop_assert!(large.total_flops() > small.total_flops());
-        prop_assert!(large.peak_activation_bytes() >= small.peak_activation_bytes());
-        // Parameters are resolution-independent for conv nets.
-        prop_assert_eq!(large.total_param_bytes(), small.total_param_bytes());
-    }
+#[test]
+fn effnet_flops_monotone_in_resolution() {
+    let input = triple(usize_in(0, 7), usize_in(32, 128), usize_in(16, 128));
+    forall(
+        "effnet_flops_monotone_in_resolution",
+        CASES,
+        &input,
+        |&(b, lo, delta)| {
+            let small = efficientnet_at(b, lo);
+            let large = efficientnet_at(b, lo + delta);
+            assert!(large.total_flops() > small.total_flops());
+            assert!(large.peak_activation_bytes() >= small.peak_activation_bytes());
+            // Parameters are resolution-independent for conv nets.
+            assert_eq!(large.total_param_bytes(), small.total_param_bytes());
+        },
+    );
+}
 
-    #[test]
-    fn effnet_layer_count_independent_of_resolution(b in 0usize..7, res in 32usize..256) {
-        let native = efficientnet_at(b, 224);
-        let custom = efficientnet_at(b, res);
-        prop_assert_eq!(native.num_layers(), custom.num_layers());
-    }
+#[test]
+fn effnet_layer_count_independent_of_resolution() {
+    let input = pair(usize_in(0, 7), usize_in(32, 256));
+    forall(
+        "effnet_layer_count_independent_of_resolution",
+        CASES,
+        &input,
+        |&(b, res)| {
+            let native = efficientnet_at(b, 224);
+            let custom = efficientnet_at(b, res);
+            assert_eq!(native.num_layers(), custom.num_layers());
+        },
+    );
+}
 
-    #[test]
-    fn mobilenet_flops_grow_with_width(res in 32usize..160, w in 1u32..4) {
-        let narrow = mobilenet_v2_at(f64::from(w), res);
-        let wide = mobilenet_v2_at(f64::from(w) + 0.5, res);
-        prop_assert!(wide.total_flops() > narrow.total_flops());
-        prop_assert!(wide.total_param_bytes() > narrow.total_param_bytes());
-    }
+#[test]
+fn mobilenet_flops_grow_with_width() {
+    let input = pair(usize_in(32, 160), u32_in(1, 4));
+    forall(
+        "mobilenet_flops_grow_with_width",
+        CASES,
+        &input,
+        |&(res, w)| {
+            let narrow = mobilenet_v2_at(f64::from(w), res);
+            let wide = mobilenet_v2_at(f64::from(w) + 0.5, res);
+            assert!(wide.total_flops() > narrow.total_flops());
+            assert!(wide.total_param_bytes() > narrow.total_param_bytes());
+        },
+    );
+}
 
-    #[test]
-    fn range_flops_partitions_total(b in 0usize..5, cut_frac in 0.01f64..0.99) {
-        let p = efficientnet_at(b, 96);
-        let l = p.num_layers();
-        let cut = ((l as f64 * cut_frac) as usize).clamp(1, l - 1);
-        let split = p.range_flops(0..cut) + p.range_flops(cut..l);
-        prop_assert!((split - p.total_flops()).abs() < 1e-6 * p.total_flops());
-    }
+#[test]
+fn range_flops_partitions_total() {
+    let input = pair(usize_in(0, 5), f64_in(0.01, 0.99));
+    forall(
+        "range_flops_partitions_total",
+        CASES,
+        &input,
+        |&(b, cut_frac)| {
+            let p = efficientnet_at(b, 96);
+            let l = p.num_layers();
+            let cut = ((l as f64 * cut_frac) as usize).clamp(1, l - 1);
+            let split = p.range_flops(0..cut) + p.range_flops(cut..l);
+            assert!((split - p.total_flops()).abs() < 1e-6 * p.total_flops());
+        },
+    );
+}
 
-    #[test]
-    fn every_layer_physically_sane(b in 0usize..7) {
-        let p = efficientnet_at(b, 128);
-        for layer in &p.layers {
-            prop_assert!(layer.flops_fwd > 0.0);
-            prop_assert!(layer.flops_bwd >= layer.flops_fwd);
-            prop_assert!(layer.activation_bytes > 0);
-            prop_assert!(layer.train_activation_bytes > 0);
-            prop_assert!(layer.param_bytes > 0);
-        }
-    }
+#[test]
+fn every_layer_physically_sane() {
+    forall(
+        "every_layer_physically_sane",
+        CASES,
+        &usize_in(0, 7),
+        |&b| {
+            let p = efficientnet_at(b, 128);
+            for layer in &p.layers {
+                assert!(layer.flops_fwd > 0.0);
+                assert!(layer.flops_bwd >= layer.flops_fwd);
+                assert!(layer.activation_bytes > 0);
+                assert!(layer.train_activation_bytes > 0);
+                assert!(layer.param_bytes > 0);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn mlp_profile_dimensions(dims in proptest::collection::vec(1usize..128, 2..6)) {
-        let p = mlp_profile(&dims);
-        prop_assert_eq!(p.num_layers(), dims.len() - 1);
+#[test]
+fn mlp_profile_dimensions() {
+    let dims = vec_in(usize_in(1, 128), 2, 6);
+    forall("mlp_profile_dimensions", CASES, &dims, |dims| {
+        let p = mlp_profile(dims);
+        assert_eq!(p.num_layers(), dims.len() - 1);
         // Last layer's activation is the output width.
-        prop_assert_eq!(
+        assert_eq!(
             p.layers.last().unwrap().activation_bytes,
             *dims.last().unwrap() as u64 * 4
         );
@@ -66,14 +106,22 @@ proptest! {
             .windows(2)
             .map(|w| (w[0] * w[1] + w[1]) as u64 * 4)
             .sum();
-        prop_assert_eq!(p.total_param_bytes(), expected);
-    }
+        assert_eq!(p.total_param_bytes(), expected);
+    });
+}
 
-    #[test]
-    fn fl_mlp_profile_tracks_real_model(dim in 2usize..64, classes in 2usize..12) {
-        let p = fl_mlp_profile(dim, classes);
-        let mut rng = ecofl_util::Rng::new(1);
-        let net = ecofl_models::mlp_for(dim, classes, &mut rng);
-        prop_assert_eq!(p.total_param_bytes(), net.param_len() as u64 * 4);
-    }
+#[test]
+fn fl_mlp_profile_tracks_real_model() {
+    let input = pair(usize_in(2, 64), usize_in(2, 12));
+    forall(
+        "fl_mlp_profile_tracks_real_model",
+        CASES,
+        &input,
+        |&(dim, classes)| {
+            let p = fl_mlp_profile(dim, classes);
+            let mut rng = ecofl_util::Rng::new(1);
+            let net = ecofl_models::mlp_for(dim, classes, &mut rng);
+            assert_eq!(p.total_param_bytes(), net.param_len() as u64 * 4);
+        },
+    );
 }

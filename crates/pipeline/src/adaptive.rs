@@ -16,11 +16,11 @@ use crate::executor::{PipelineExecutor, SchedulePolicy};
 use crate::orchestrator::k_bounds;
 use crate::partition::{partition_dp, Partition};
 use crate::profiler::PipelineProfile;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
 use ecofl_util::stats::Ema;
 use ecofl_util::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// One re-scheduling action taken by the portal node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

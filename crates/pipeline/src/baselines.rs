@@ -12,9 +12,9 @@
 
 use crate::executor::DEFAULT_TASK_OVERHEAD;
 use crate::profiler::PARAM_STATE_FACTOR;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
-use serde::{Deserialize, Serialize};
 
 /// Result of a single-device epoch estimate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -22,8 +22,8 @@
 //! makespan) improve with micro-batch size the way Table 2 reports.
 
 use crate::profiler::PipelineProfile;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_simnet::{BusyTracker, Device, EventQueue, ThroughputTracker};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Default per-compute-task dispatch overhead in seconds (kernel launch,

@@ -27,7 +27,7 @@
 //!
 //! - [`runtime`] — a real multi-threaded 1F1B-Sync pipeline: each stage is
 //!   an OS thread owning a segment of a genuine `ecofl-tensor` network,
-//!   connected by bounded crossbeam channels. Its updates are bit-identical
+//!   connected by bounded MPMC channels. Its updates are bit-identical
 //!   to single-device gradient-accumulation training, which the tests
 //!   assert — the 1F1B-Sync schedule changes execution order, never
 //!   semantics.

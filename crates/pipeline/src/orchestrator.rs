@@ -12,9 +12,9 @@
 use crate::executor::{ExecutionReport, PipelineExecutor, SchedulePolicy};
 use crate::partition::{partition_dp, Partition};
 use crate::profiler::PipelineProfile;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
-use serde::{Deserialize, Serialize};
 
 /// Computes the Eq. 3 residency bounds `P_s`.
 ///

@@ -15,9 +15,9 @@
 //! devices, ignoring their actual speeds.
 
 use crate::profiler::PARAM_STATE_FACTOR;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
-use serde::{Deserialize, Serialize};
 
 /// A pipeline partition: `boundaries[s]..boundaries[s+1]` is the layer
 /// range of stage `s`.

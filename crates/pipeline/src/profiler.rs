@@ -8,9 +8,9 @@
 //!
 //! `T_l^d = mbs · (flops_fwd + flops_bwd)_l / rate_d`.
 
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
-use serde::{Deserialize, Serialize};
 
 /// Bytes of optimizer + gradient state kept per parameter byte (params,
 /// gradients, SGD momentum).

@@ -3,8 +3,8 @@
 //! Where [`crate::executor`] *simulates* pipeline timing on modelled
 //! hardware, this module actually *trains*: each stage is an OS thread
 //! owning a contiguous segment of a real `ecofl-tensor` network, and
-//! micro-batch activations/gradients flow through crossbeam channels,
-//! serialized to `bytes::Bytes` exactly as they would cross a network.
+//! micro-batch activations/gradients flow through MPMC channels,
+//! serialized to wire [`Bytes`] exactly as they would cross a network.
 //!
 //! The schedule is the paper's 1F1B-Sync: stage `s` warms up with `K_s`
 //! forwards, then strictly alternates backward/forward, and the sync-round
@@ -15,10 +15,10 @@
 //! schedule changes execution order, never semantics. The tests assert
 //! this exactly.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ecofl_compat::bytes::{Bytes, BytesMut};
+use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, Sender};
+use ecofl_compat::sync::Mutex;
 use ecofl_tensor::{Layer, SoftmaxCrossEntropy, Tensor};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;

@@ -1,5 +1,6 @@
 //! Property-based tests for partitioning, orchestration and execution.
 
+use ecofl_compat::check::{f64_in, forall, pair, quad, triple, usize_in, vec_exact, vec_in};
 use ecofl_models::{efficientnet_at, ModelProfile};
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::{k_bounds, p_bounds};
@@ -8,10 +9,11 @@ use ecofl_pipeline::partition::{
 };
 use ecofl_pipeline::profiler::{PipelineProfile, StageProfile};
 use ecofl_simnet::{Device, DeviceSpec, Link};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 /// Small synthetic model with arbitrary layer weights.
-fn tiny_model(flops: Vec<f64>) -> ModelProfile {
+fn tiny_model(flops: &[f64]) -> ModelProfile {
     ModelProfile {
         name: "tiny".into(),
         layers: flops
@@ -58,164 +60,200 @@ fn brute_force_2dev(
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dp_matches_brute_force_on_random_models(
-        flops in proptest::collection::vec(1e6f64..1e9, 2..14),
-        r0 in 1e9f64..1e11,
-        r1 in 1e9f64..1e11,
-        mbs in 1usize..16,
-    ) {
-        let model = tiny_model(flops);
-        let devices = vec![device(r0), device(r1)];
-        let link = Link::mbps_100();
-        let dp = partition_dp(&model, &devices, &link, mbs);
-        let bf = brute_force_2dev(&model, &devices, &link, mbs);
-        match (dp, bf) {
-            (Some(p), Some(best)) => {
-                let obj = partition_objective(&model, &p, &devices, &link, mbs);
-                prop_assert!((obj - best).abs() < 1e-9, "dp {obj} vs brute {best}");
+#[test]
+fn dp_matches_brute_force_on_random_models() {
+    let input = quad(
+        vec_in(f64_in(1e6, 1e9), 2, 14),
+        f64_in(1e9, 1e11),
+        f64_in(1e9, 1e11),
+        usize_in(1, 16),
+    );
+    forall(
+        "dp_matches_brute_force_on_random_models",
+        CASES,
+        &input,
+        |(flops, r0, r1, mbs)| {
+            let model = tiny_model(flops);
+            let devices = vec![device(*r0), device(*r1)];
+            let link = Link::mbps_100();
+            let dp = partition_dp(&model, &devices, &link, *mbs);
+            let bf = brute_force_2dev(&model, &devices, &link, *mbs);
+            match (dp, bf) {
+                (Some(p), Some(best)) => {
+                    let obj = partition_objective(&model, &p, &devices, &link, *mbs);
+                    assert!((obj - best).abs() < 1e-9, "dp {obj} vs brute {best}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
             }
-            (None, None) => {}
-            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn dp_boundaries_well_formed(
-        flops in proptest::collection::vec(1e6f64..1e9, 3..20),
-        rates in proptest::collection::vec(1e9f64..1e11, 1..4),
-        mbs in 1usize..16,
-    ) {
-        let model = tiny_model(flops);
-        let devices: Vec<Device> = rates.iter().map(|&r| device(r)).collect();
-        if let Some(p) = partition_dp(&model, &devices, &Link::mbps_100(), mbs) {
-            prop_assert_eq!(p.num_stages(), devices.len());
-            prop_assert_eq!(p.boundaries[0], 0);
-            prop_assert_eq!(*p.boundaries.last().unwrap(), model.num_layers());
-            for w in p.boundaries.windows(2) {
-                prop_assert!(w[0] < w[1], "stages must be non-empty");
+#[test]
+fn dp_boundaries_well_formed() {
+    let input = triple(
+        vec_in(f64_in(1e6, 1e9), 3, 20),
+        vec_in(f64_in(1e9, 1e11), 1, 4),
+        usize_in(1, 16),
+    );
+    forall(
+        "dp_boundaries_well_formed",
+        CASES,
+        &input,
+        |(flops, rates, mbs)| {
+            let model = tiny_model(flops);
+            let devices: Vec<Device> = rates.iter().map(|&r| device(r)).collect();
+            if let Some(p) = partition_dp(&model, &devices, &Link::mbps_100(), *mbs) {
+                assert_eq!(p.num_stages(), devices.len());
+                assert_eq!(p.boundaries[0], 0);
+                assert_eq!(*p.boundaries.last().unwrap(), model.num_layers());
+                for w in p.boundaries.windows(2) {
+                    assert!(w[0] < w[1], "stages must be non-empty");
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn even_partition_covers_all_layers(
-        flops in proptest::collection::vec(1e6f64..1e9, 2..30),
-        stages in 1usize..6,
-    ) {
-        let model = tiny_model(flops);
-        if let Some(p) = partition_even(&model, stages) {
-            prop_assert_eq!(p.num_stages(), stages);
-            let covered: usize = (0..stages).map(|s| p.stage_range(s).len()).sum();
-            prop_assert_eq!(covered, model.num_layers());
-        } else {
-            prop_assert!(model.num_layers() < stages);
-        }
-    }
+#[test]
+fn even_partition_covers_all_layers() {
+    let input = pair(vec_in(f64_in(1e6, 1e9), 2, 30), usize_in(1, 6));
+    forall(
+        "even_partition_covers_all_layers",
+        CASES,
+        &input,
+        |(flops, stages)| {
+            let model = tiny_model(flops);
+            let stages = *stages;
+            if let Some(p) = partition_even(&model, stages) {
+                assert_eq!(p.num_stages(), stages);
+                let covered: usize = (0..stages).map(|s| p.stage_range(s).len()).sum();
+                assert_eq!(covered, model.num_layers());
+            } else {
+                assert!(model.num_layers() < stages);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn p_bounds_strictly_decreasing_and_end_at_one(
-        widths in proptest::collection::vec(0.1f64..4.0, 2..6),
-    ) {
-        let stages: Vec<StageProfile> = widths
-            .iter()
-            .enumerate()
-            .map(|(s, &w)| StageProfile {
-                device: s,
-                layers: s..s + 1,
-                t_fwd: w / 3.0,
-                t_bwd: 2.0 * w / 3.0,
-                c_fwd: if s + 1 < widths.len() { 0.1 } else { 0.0 },
-                c_bwd: if s + 1 < widths.len() { 0.1 } else { 0.0 },
-                param_bytes: 1,
-                activation_bytes_per_mb: 1,
-                boundary_bytes: 1,
-                memory_budget_bytes: 1 << 30,
-                efficiency: 1.0,
-            })
-            .collect();
-        let profile = PipelineProfile::from_stages(stages, 1);
-        let p = p_bounds(&profile);
-        prop_assert_eq!(*p.last().unwrap(), 1);
-        for w in p.windows(2) {
-            prop_assert!(w[0] > w[1], "P must strictly decrease: {:?}", p);
-        }
-    }
+#[test]
+fn p_bounds_strictly_decreasing_and_end_at_one() {
+    let widths = vec_in(f64_in(0.1, 4.0), 2, 6);
+    forall(
+        "p_bounds_strictly_decreasing_and_end_at_one",
+        CASES,
+        &widths,
+        |widths| {
+            let stages: Vec<StageProfile> = widths
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| StageProfile {
+                    device: s,
+                    layers: s..s + 1,
+                    t_fwd: w / 3.0,
+                    t_bwd: 2.0 * w / 3.0,
+                    c_fwd: if s + 1 < widths.len() { 0.1 } else { 0.0 },
+                    c_bwd: if s + 1 < widths.len() { 0.1 } else { 0.0 },
+                    param_bytes: 1,
+                    activation_bytes_per_mb: 1,
+                    boundary_bytes: 1,
+                    memory_budget_bytes: 1 << 30,
+                    efficiency: 1.0,
+                })
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 1);
+            let p = p_bounds(&profile);
+            assert_eq!(*p.last().unwrap(), 1);
+            for w in p.windows(2) {
+                assert!(w[0] > w[1], "P must strictly decrease: {p:?}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn executor_completes_for_any_valid_k(
-        seed_k in proptest::collection::vec(1usize..6, 3),
-        m in 1usize..12,
-        mbs in 1usize..9,
-    ) {
-        let model = efficientnet_at(0, 224);
-        let devices = vec![
-            device(2e11),
-            device(1e11),
-            device(0.5e11),
-        ];
-        let link = Link::mbps_100();
-        let Some(part) = partition_dp(&model, &devices, &link, mbs) else {
-            return Ok(());
-        };
-        let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, mbs);
-        let exec = PipelineExecutor::new(
-            &profile,
-            SchedulePolicy::OneFOneBSync { k: seed_k.clone() },
-        );
-        let r = exec.run(m, 1).expect("memory is ample here");
-        // Liveness: every micro-batch completed, makespan finite and at
-        // least the serial lower bound of the slowest stage.
-        prop_assert!(r.makespan.is_finite() && r.makespan > 0.0);
-        let serial_bound = profile
-            .stages()
-            .iter()
-            .map(|s| (s.t_fwd + s.t_bwd) * m as f64)
-            .fold(0.0, f64::max);
-        prop_assert!(r.makespan + 1e-9 >= serial_bound);
-        // Work conservation: throughput × makespan = samples.
-        let samples = (m * mbs) as f64;
-        prop_assert!((r.throughput * r.makespan - samples).abs() < 1e-6);
-    }
+#[test]
+fn executor_completes_for_any_valid_k() {
+    let input = triple(
+        vec_exact(usize_in(1, 6), 3),
+        usize_in(1, 12),
+        usize_in(1, 9),
+    );
+    forall(
+        "executor_completes_for_any_valid_k",
+        CASES,
+        &input,
+        |(seed_k, m, mbs)| {
+            let (m, mbs) = (*m, *mbs);
+            let model = efficientnet_at(0, 224);
+            let devices = vec![device(2e11), device(1e11), device(0.5e11)];
+            let link = Link::mbps_100();
+            let Some(part) = partition_dp(&model, &devices, &link, mbs) else {
+                return;
+            };
+            let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, mbs);
+            let exec =
+                PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: seed_k.clone() });
+            let r = exec.run(m, 1).expect("memory is ample here");
+            // Liveness: every micro-batch completed, makespan finite and at
+            // least the serial lower bound of the slowest stage.
+            assert!(r.makespan.is_finite() && r.makespan > 0.0);
+            let serial_bound = profile
+                .stages()
+                .iter()
+                .map(|s| (s.t_fwd + s.t_bwd) * m as f64)
+                .fold(0.0, f64::max);
+            assert!(r.makespan + 1e-9 >= serial_bound);
+            // Work conservation: throughput × makespan = samples.
+            let samples = (m * mbs) as f64;
+            assert!((r.throughput * r.makespan - samples).abs() < 1e-6);
+        },
+    );
+}
 
-    #[test]
-    fn k_bounds_never_exceed_p(mbs in 1usize..17) {
+#[test]
+fn k_bounds_never_exceed_p() {
+    forall("k_bounds_never_exceed_p", CASES, &usize_in(1, 17), |&mbs| {
         let model = efficientnet_at(2, 224);
         let devices = vec![device(2e11), device(1e11)];
         let link = Link::mbps_100();
         let Some(part) = partition_dp(&model, &devices, &link, mbs) else {
-            return Ok(());
+            return;
         };
         let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, mbs);
         if let Some(k) = k_bounds(&profile) {
             let p = p_bounds(&profile);
             for (a, b) in k.iter().zip(&p) {
-                prop_assert!(a <= b);
+                assert!(a <= b);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gpipe_vs_ours_same_total_work(m in 2usize..10) {
-        // Both schedules process identical work; throughput may differ but
-        // total samples must match.
-        let model = efficientnet_at(0, 224);
-        let devices = vec![device(2e11), device(1e11)];
-        let link = Link::mbps_100();
-        let part = partition_dp(&model, &devices, &link, 4).expect("feasible");
-        let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, 4);
-        let k = k_bounds(&profile).expect("fits");
-        let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
-            .run(m, 1)
-            .expect("runs");
-        let gpipe = PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
-            .run(m, 1)
-            .expect("runs");
-        let ours_samples = ours.throughput * ours.makespan;
-        let gpipe_samples = gpipe.throughput * gpipe.makespan;
-        prop_assert!((ours_samples - gpipe_samples).abs() < 1e-6);
-    }
+#[test]
+fn gpipe_vs_ours_same_total_work() {
+    forall(
+        "gpipe_vs_ours_same_total_work",
+        CASES,
+        &usize_in(2, 10),
+        |&m| {
+            // Both schedules process identical work; throughput may differ but
+            // total samples must match.
+            let model = efficientnet_at(0, 224);
+            let devices = vec![device(2e11), device(1e11)];
+            let link = Link::mbps_100();
+            let part = partition_dp(&model, &devices, &link, 4).expect("feasible");
+            let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, 4);
+            let k = k_bounds(&profile).expect("fits");
+            let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .run(m, 1)
+                .expect("runs");
+            let gpipe = PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+                .run(m, 1)
+                .expect("runs");
+            let ours_samples = ours.throughput * ours.makespan;
+            let gpipe_samples = gpipe.throughput * gpipe.makespan;
+            assert!((ours_samples - gpipe_samples).abs() < 1e-6);
+        },
+    );
 }

@@ -4,10 +4,12 @@
 //! statement of the paper's claim that 1F1B-Sync changes execution order,
 //! never training semantics.
 
+use ecofl_compat::check::{any_u64, forall, pair, quad, usize_in, vec_in};
 use ecofl_pipeline::runtime::PipelineTrainer;
 use ecofl_tensor::{Layer, Linear, Network, ReLU, Tensor};
 use ecofl_util::Rng;
-use proptest::prelude::*;
+
+const CASES: usize = 24;
 
 /// Layer widths for a 4-linear-layer MLP: in → h1 → h2 → h3 → out.
 fn widths(seed: u64) -> [usize; 5] {
@@ -58,61 +60,70 @@ fn split(seed: u64, cuts: &[usize]) -> Vec<Vec<Box<dyn Layer>>> {
     segments
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn pipelined_training_equals_reference() {
+    let input = pair(
+        any_u64(),
+        quad(
+            vec_in(usize_in(0, 6), 0, 3),
+            usize_in(1, 6),
+            usize_in(1, 5),
+            usize_in(1, 4),
+        ),
+    );
+    forall(
+        "pipelined_training_equals_reference",
+        CASES,
+        &input,
+        |(seed, (cuts, m, bs, rounds))| {
+            let (seed, m, bs, rounds) = (*seed, *m, *bs, *rounds);
+            let w = widths(seed);
+            let segments = split(seed, cuts);
+            let s_count = segments.len();
+            // Residency: the classic S − s warmup depth.
+            let k: Vec<usize> = (0..s_count).map(|s| s_count - s).collect();
+            let mut trainer = PipelineTrainer::launch(segments, k);
 
-    #[test]
-    fn pipelined_training_equals_reference(
-        seed in any::<u64>(),
-        cuts in proptest::collection::vec(0usize..6, 0..3),
-        m in 1usize..6,
-        bs in 1usize..5,
-        rounds in 1usize..4,
-    ) {
-        let w = widths(seed);
-        let segments = split(seed, &cuts);
-        let s_count = segments.len();
-        // Residency: the classic S − s warmup depth.
-        let k: Vec<usize> = (0..s_count).map(|s| s_count - s).collect();
-        let mut trainer = PipelineTrainer::launch(segments, k);
+            let mut reference = Network::new(build_layers(seed));
+            let lr = 0.1f32;
 
-        let mut reference = Network::new(build_layers(seed));
-        let lr = 0.1f32;
+            let mut data_rng = Rng::new(seed ^ 0xDA7A);
+            for _ in 0..rounds {
+                let batches: Vec<(Tensor, Vec<usize>)> = (0..m)
+                    .map(|_| {
+                        let x = Tensor::randn(&[bs, w[0]], 1.0, &mut data_rng);
+                        let y = (0..bs).map(|_| data_rng.range_usize(0, w[4])).collect();
+                        (x, y)
+                    })
+                    .collect();
 
-        let mut data_rng = Rng::new(seed ^ 0xDA7A);
-        for _ in 0..rounds {
-            let batches: Vec<(Tensor, Vec<usize>)> = (0..m)
-                .map(|_| {
-                    let x = Tensor::randn(&[bs, w[0]], 1.0, &mut data_rng);
-                    let y = (0..bs).map(|_| data_rng.range_usize(0, w[4])).collect();
-                    (x, y)
-                })
-                .collect();
+                let pipe_loss = trainer.train_round(&batches, lr);
 
-            let pipe_loss = trainer.train_round(&batches, lr);
+                reference.zero_grads();
+                let mut ref_loss = 0.0f32;
+                for (x, y) in &batches {
+                    ref_loss += reference.train_step(x, y);
+                }
+                ref_loss /= m as f32;
+                let mut params = reference.params();
+                let grads = reference.grads();
+                let scale = 1.0 / m as f32;
+                for (p, g) in params.iter_mut().zip(&grads) {
+                    *p -= lr * g * scale;
+                }
+                reference.set_params(&params);
 
-            reference.zero_grads();
-            let mut ref_loss = 0.0f32;
-            for (x, y) in &batches {
-                ref_loss += reference.train_step(x, y);
+                assert!(
+                    (pipe_loss - ref_loss).abs() < 1e-5,
+                    "loss mismatch: {pipe_loss} vs {ref_loss}"
+                );
+                assert_eq!(
+                    trainer.params(),
+                    reference.params(),
+                    "parameters diverged after a round"
+                );
             }
-            ref_loss /= m as f32;
-            let mut params = reference.params();
-            let grads = reference.grads();
-            let scale = 1.0 / m as f32;
-            for (p, g) in params.iter_mut().zip(&grads) {
-                *p -= lr * g * scale;
-            }
-            reference.set_params(&params);
-
-            prop_assert!((pipe_loss - ref_loss).abs() < 1e-5,
-                "loss mismatch: {pipe_loss} vs {ref_loss}");
-            prop_assert_eq!(
-                trainer.params(),
-                reference.params(),
-                "parameters diverged after a round"
-            );
-        }
-        trainer.shutdown();
-    }
+            trainer.shutdown();
+        },
+    );
 }

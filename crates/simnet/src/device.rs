@@ -5,7 +5,7 @@
 //! manipulates and that the adaptive rescheduler reacts to, plus memory
 //! accounting.
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Static description of an edge device (one Table 1 row at one power
 /// mode).

@@ -1,6 +1,6 @@
 //! Network links between pipeline stages and to the FL server.
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// A point-to-point link with fixed bandwidth and propagation latency.
 ///

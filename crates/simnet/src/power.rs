@@ -11,7 +11,7 @@
 //! with busy fraction `u` costs `idle + u · (load − idle)` watts.
 
 use crate::trace::BusyTracker;
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Power draw of one device mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -6,7 +6,7 @@
 //! samples in sliding windows. Both are recorded here from the event loop.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Records disjoint busy intervals for one resource and answers
 /// utilization queries over arbitrary windows.

@@ -1,109 +1,158 @@
 //! Property-based tests for the discrete-event core.
 
+use ecofl_compat::check::{f64_in, forall, pair, quad, u64_in, usize_in, vec_in};
 use ecofl_simnet::{BusyTracker, DeviceSpec, EventQueue, Link, ThroughputTracker};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn event_queue_pops_in_time_order(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+const CASES: usize = 256;
+
+#[test]
+fn event_queue_pops_in_time_order() {
+    let times = vec_in(f64_in(0.0, 1e6), 1, 200);
+    forall("event_queue_pops_in_time_order", CASES, &times, |times| {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
         }
         let mut last = f64::NEG_INFINITY;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
-    }
+    });
+}
 
-    #[test]
-    fn event_queue_ties_fifo(n in 1usize..100) {
+#[test]
+fn event_queue_ties_fifo() {
+    forall("event_queue_ties_fifo", CASES, &usize_in(1, 100), |&n| {
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule(1.0, i);
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn busy_tracker_utilization_bounded(
-        intervals in proptest::collection::vec((0.0f64..100.0, 0.0f64..5.0), 0..50),
-    ) {
-        let mut b = BusyTracker::new();
-        let mut cursor = 0.0;
-        for (gap, len) in intervals {
-            let start = cursor + gap;
-            b.record(start, start + len);
-            cursor = start + len;
-        }
-        let horizon = cursor + 1.0;
-        let u = b.utilization(0.0, horizon);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
-        prop_assert!(b.busy_time(0.0, horizon) <= horizon + 1e-9);
-    }
-
-    #[test]
-    fn busy_time_additive_over_windows(
-        intervals in proptest::collection::vec((0.1f64..10.0, 0.1f64..5.0), 1..30),
-        split in 0.0f64..200.0,
-    ) {
-        let mut b = BusyTracker::new();
-        let mut cursor = 0.0;
-        for (gap, len) in intervals {
-            let start = cursor + gap;
-            b.record(start, start + len);
-            cursor = start + len;
-        }
-        let total = b.busy_time(0.0, cursor + 1.0);
-        let split = split.min(cursor + 1.0);
-        let left = b.busy_time(0.0, split);
-        let right = b.busy_time(split, cursor + 1.0);
-        prop_assert!((left + right - total).abs() < 1e-9);
-    }
-
-    #[test]
-    fn link_transfer_monotone_in_bytes(bw in 1e3f64..1e9, lat in 0.0f64..1.0, a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        let link = Link::new(bw, lat);
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
-        prop_assert!(link.transfer_time(0) >= lat);
-    }
-
-    #[test]
-    fn device_memory_accounting_balances(
-        allocs in proptest::collection::vec(1u64..1000, 1..50),
-    ) {
-        let mut d = ecofl_simnet::Device::new(DeviceSpec::new("t", 1e9, 1 << 20, 1e8));
-        let mut held = Vec::new();
-        for bytes in allocs {
-            if d.try_allocate(bytes) {
-                held.push(bytes);
+#[test]
+fn busy_tracker_utilization_bounded() {
+    let intervals = vec_in(pair(f64_in(0.0, 100.0), f64_in(0.0, 5.0)), 0, 50);
+    forall(
+        "busy_tracker_utilization_bounded",
+        CASES,
+        &intervals,
+        |intervals| {
+            let mut b = BusyTracker::new();
+            let mut cursor = 0.0;
+            for &(gap, len) in intervals {
+                let start = cursor + gap;
+                b.record(start, start + len);
+                cursor = start + len;
             }
-        }
-        let total: u64 = held.iter().sum();
-        prop_assert_eq!(d.allocated_bytes(), total);
-        for bytes in held {
-            d.free(bytes);
-        }
-        prop_assert_eq!(d.allocated_bytes(), 0);
-    }
+            let horizon = cursor + 1.0;
+            let u = b.utilization(0.0, horizon);
+            assert!((0.0..=1.0 + 1e-9).contains(&u));
+            assert!(b.busy_time(0.0, horizon) <= horizon + 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn throughput_counts_partition_time(
-        events in proptest::collection::vec((0.01f64..5.0, 1u64..10), 1..60),
-        split_frac in 0.01f64..0.99,
-    ) {
-        let mut t = ThroughputTracker::new();
-        let mut cursor = 0.0;
-        for (gap, count) in &events {
-            cursor += gap;
-            t.record(cursor, *count);
-        }
-        let split = cursor * split_frac;
-        let total = t.count_in(0.0, cursor + 1.0);
-        prop_assert_eq!(total, t.count_in(0.0, split) + t.count_in(split, cursor + 1.0));
-        prop_assert_eq!(total, t.total());
-    }
+#[test]
+fn busy_time_additive_over_windows() {
+    let input = pair(
+        vec_in(pair(f64_in(0.1, 10.0), f64_in(0.1, 5.0)), 1, 30),
+        f64_in(0.0, 200.0),
+    );
+    forall(
+        "busy_time_additive_over_windows",
+        CASES,
+        &input,
+        |(intervals, split)| {
+            let mut b = BusyTracker::new();
+            let mut cursor = 0.0;
+            for &(gap, len) in intervals {
+                let start = cursor + gap;
+                b.record(start, start + len);
+                cursor = start + len;
+            }
+            let total = b.busy_time(0.0, cursor + 1.0);
+            let split = split.min(cursor + 1.0);
+            let left = b.busy_time(0.0, split);
+            let right = b.busy_time(split, cursor + 1.0);
+            assert!((left + right - total).abs() < 1e-9);
+        },
+    );
+}
+
+#[test]
+fn link_transfer_monotone_in_bytes() {
+    let input = quad(
+        f64_in(1e3, 1e9),
+        f64_in(0.0, 1.0),
+        u64_in(0, 1_000_000),
+        u64_in(0, 1_000_000),
+    );
+    forall(
+        "link_transfer_monotone_in_bytes",
+        CASES,
+        &input,
+        |&(bw, lat, a, b)| {
+            let link = Link::new(bw, lat);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+            assert!(link.transfer_time(0) >= lat);
+        },
+    );
+}
+
+#[test]
+fn device_memory_accounting_balances() {
+    let allocs = vec_in(u64_in(1, 1000), 1, 50);
+    forall(
+        "device_memory_accounting_balances",
+        CASES,
+        &allocs,
+        |allocs| {
+            let mut d = ecofl_simnet::Device::new(DeviceSpec::new("t", 1e9, 1 << 20, 1e8));
+            let mut held = Vec::new();
+            for &bytes in allocs {
+                if d.try_allocate(bytes) {
+                    held.push(bytes);
+                }
+            }
+            let total: u64 = held.iter().sum();
+            assert_eq!(d.allocated_bytes(), total);
+            for bytes in held {
+                d.free(bytes);
+            }
+            assert_eq!(d.allocated_bytes(), 0);
+        },
+    );
+}
+
+#[test]
+fn throughput_counts_partition_time() {
+    let input = pair(
+        vec_in(pair(f64_in(0.01, 5.0), u64_in(1, 10)), 1, 60),
+        f64_in(0.01, 0.99),
+    );
+    forall(
+        "throughput_counts_partition_time",
+        CASES,
+        &input,
+        |(events, split_frac)| {
+            let mut t = ThroughputTracker::new();
+            let mut cursor = 0.0;
+            for (gap, count) in events {
+                cursor += gap;
+                t.record(cursor, *count);
+            }
+            let split = cursor * split_frac;
+            let total = t.count_in(0.0, cursor + 1.0);
+            assert_eq!(
+                total,
+                t.count_in(0.0, split) + t.count_in(split, cursor + 1.0)
+            );
+            assert_eq!(total, t.total());
+        },
+    );
 }

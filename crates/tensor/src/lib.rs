@@ -15,7 +15,8 @@
 //! - [`optim::Sgd`]: SGD with optional momentum and the FedProx proximal
 //!   term `µ/2·‖w − w_global‖²` used by Eco-FL's intra-group solver (§5.1).
 //!
-//! Matrix multiplication parallelizes across rows with rayon above a size
+//! Matrix multiplication parallelizes across rows with the compat
+//! worker pool above a size
 //! threshold; results are bit-identical to the sequential path because rows
 //! are independent.
 

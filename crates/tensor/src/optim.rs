@@ -7,7 +7,7 @@
 //! contribution is `µ · (w − w_ref)` and is applied here, at the optimizer,
 //! so models stay oblivious to the FL algorithm above them.
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// SGD over flat parameter vectors, with optional momentum and an optional
 /// FedProx proximal pull toward a reference parameter vector.

@@ -2,15 +2,16 @@
 //!
 //! The hot path of the whole FL simulation is `matmul` inside client local
 //! training; it is written cache-friendly (ikj loop order so the inner loop
-//! streams contiguous memory) and parallelized across output rows with
-//! rayon once the work is large enough to amortize the fork-join cost.
+//! streams contiguous memory) and parallelized across output rows
+//! with the compat worker pool once the work is large enough to
+//! amortize the fork-join cost.
 
+use ecofl_compat::par::par_chunks_mut;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Below this many multiply-accumulates `matmul` stays sequential; the
-/// rayon fork-join overhead would dominate tiny client-side batches.
+/// fork-join overhead would dominate tiny client-side batches.
 const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
 
 /// A dense, row-major `f32` tensor.
@@ -191,9 +192,7 @@ impl Tensor {
         };
 
         if m * n * k >= PAR_MATMUL_THRESHOLD {
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| row_kernel(i, out_row));
+            par_chunks_mut(&mut out, n, |i, out_row| row_kernel(i, out_row));
         } else {
             for (i, out_row) in out.chunks_mut(n).enumerate() {
                 row_kernel(i, out_row);
@@ -337,7 +336,7 @@ mod tests {
 
     #[test]
     fn matmul_parallel_matches_sequential() {
-        // Above the threshold the rayon path must give identical results.
+        // Above the threshold the parallel path must give identical results.
         let mut rng = Rng::new(2);
         let a = Tensor::randn(&[80, 70], 1.0, &mut rng);
         let b = Tensor::randn(&[70, 90], 1.0, &mut rng);

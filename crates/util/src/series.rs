@@ -5,7 +5,7 @@
 //! query, and summarize such series (time-to-threshold, area-under-curve,
 //! resampling for plotting).
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// A monotone-time series of `(t, value)` samples.
 ///

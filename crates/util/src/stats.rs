@@ -4,7 +4,7 @@
 //! means of per-layer execution times, the FL server tracks response-latency
 //! statistics per group, and the bench harness summarizes figure series.
 
-use serde::{Deserialize, Serialize};
+use ecofl_compat::serde::{Deserialize, Serialize};
 
 /// Arithmetic mean of a slice; `0.0` for an empty slice.
 #[must_use]

@@ -1,143 +1,225 @@
 //! Property-based tests for the util crate's numeric foundations.
 
+use ecofl_compat::check::{
+    any_u64, f64_in, forall, pair, triple, u64_in, usize_in, vec_exact, vec_in, Gen,
+};
 use ecofl_util::stats::RunningStats;
 use ecofl_util::{
     divergence::uniform_distribution, js_divergence, kl_divergence, mean, normalize_distribution,
     percentile, Rng, TimeSeries,
 };
-use proptest::prelude::*;
 
-fn prob_vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..100.0, n).prop_map(|v| {
+const CASES: usize = 256;
+
+fn prob_vector(n: usize) -> Gen<Vec<f64>> {
+    vec_exact(f64_in(0.0, 100.0), n).map(|v| {
         let eps: Vec<f64> = v.iter().map(|x| x + 1e-9).collect();
         normalize_distribution(&eps)
     })
 }
 
-proptest! {
-    #[test]
-    fn js_symmetric_and_bounded(p in prob_vector(10), q in prob_vector(10)) {
-        let a = js_divergence(&p, &q);
-        let b = js_divergence(&q, &p);
-        prop_assert!((a - b).abs() < 1e-12);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
-    }
+#[test]
+fn js_symmetric_and_bounded() {
+    let input = pair(prob_vector(10), prob_vector(10));
+    forall("js_symmetric_and_bounded", CASES, &input, |(p, q)| {
+        let a = js_divergence(p, q);
+        let b = js_divergence(q, p);
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&a));
+    });
+}
 
-    #[test]
-    fn js_identity_is_zero(p in prob_vector(8)) {
-        prop_assert!(js_divergence(&p, &p) < 1e-12);
-    }
+#[test]
+fn js_identity_is_zero() {
+    forall("js_identity_is_zero", CASES, &prob_vector(8), |p| {
+        assert!(js_divergence(p, p) < 1e-12);
+    });
+}
 
-    #[test]
-    fn kl_nonnegative(p in prob_vector(6), q in prob_vector(6)) {
-        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
-    }
+#[test]
+fn kl_nonnegative() {
+    let input = pair(prob_vector(6), prob_vector(6));
+    forall("kl_nonnegative", CASES, &input, |(p, q)| {
+        assert!(kl_divergence(p, q) >= -1e-12);
+    });
+}
 
-    #[test]
-    fn uniform_minimizes_js_to_itself(n in 2usize..12) {
-        let u = uniform_distribution(n);
-        prop_assert!(js_divergence(&u, &u) < 1e-12);
-    }
+#[test]
+fn uniform_minimizes_js_to_itself() {
+    forall(
+        "uniform_minimizes_js_to_itself",
+        CASES,
+        &usize_in(2, 12),
+        |&n| {
+            let u = uniform_distribution(n);
+            assert!(js_divergence(&u, &u) < 1e-12);
+        },
+    );
+}
 
-    #[test]
-    fn normalize_sums_to_one(v in proptest::collection::vec(0.0f64..1e6, 1..20)) {
-        let d = normalize_distribution(&v);
+#[test]
+fn normalize_sums_to_one() {
+    let v = vec_in(f64_in(0.0, 1e6), 1, 20);
+    forall("normalize_sums_to_one", CASES, &v, |v| {
+        let d = normalize_distribution(v);
         let total: f64 = d.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(d.iter().all(|&x| x >= 0.0));
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&x| x >= 0.0));
+    });
+}
 
-    #[test]
-    fn running_stats_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+#[test]
+fn running_stats_matches_batch() {
+    let xs = vec_in(f64_in(-1e3, 1e3), 1, 200);
+    forall("running_stats_matches_batch", CASES, &xs, |xs| {
         let mut s = RunningStats::new();
-        for &x in &xs { s.push(x); }
-        prop_assert!((s.mean() - mean(&xs)).abs() < 1e-6);
-        prop_assert_eq!(s.count(), xs.len() as u64);
-        prop_assert!(s.min() <= s.mean() + 1e-9);
-        prop_assert!(s.max() >= s.mean() - 1e-9);
-    }
+        for &x in xs {
+            s.push(x);
+        }
+        assert!((s.mean() - mean(xs)).abs() < 1e-6);
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!(s.min() <= s.mean() + 1e-9);
+        assert!(s.max() >= s.mean() - 1e-9);
+    });
+}
 
-    #[test]
-    fn running_stats_merge_associative(
-        a in proptest::collection::vec(-100f64..100.0, 0..50),
-        b in proptest::collection::vec(-100f64..100.0, 0..50),
-    ) {
-        let mut whole = RunningStats::new();
-        for &x in a.iter().chain(&b) { whole.push(x); }
-        let mut left = RunningStats::new();
-        for &x in &a { left.push(x); }
-        let mut right = RunningStats::new();
-        for &x in &b { right.push(x); }
-        left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
-        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
-    }
+#[test]
+fn running_stats_merge_associative() {
+    let input = pair(
+        vec_in(f64_in(-100.0, 100.0), 0, 50),
+        vec_in(f64_in(-100.0, 100.0), 0, 50),
+    );
+    forall(
+        "running_stats_merge_associative",
+        CASES,
+        &input,
+        |(a, b)| {
+            let mut whole = RunningStats::new();
+            for &x in a.iter().chain(b) {
+                whole.push(x);
+            }
+            let mut left = RunningStats::new();
+            for &x in a {
+                left.push(x);
+            }
+            let mut right = RunningStats::new();
+            for &x in b {
+                right.push(x);
+            }
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            assert!((left.variance() - whole.variance()).abs() < 1e-6);
+        },
+    );
+}
 
-    #[test]
-    fn percentile_within_minmax(xs in proptest::collection::vec(-1e4f64..1e4, 1..100), p in 0.0f64..100.0) {
-        let v = percentile(&xs, p).unwrap();
+#[test]
+fn percentile_within_minmax() {
+    let input = pair(vec_in(f64_in(-1e4, 1e4), 1, 100), f64_in(0.0, 100.0));
+    forall("percentile_within_minmax", CASES, &input, |(xs, p)| {
+        let v = percentile(xs, *p).unwrap();
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-    }
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn next_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut rng = Rng::new(seed);
-        for _ in 0..64 {
-            prop_assert!(rng.next_below(bound) < bound);
-        }
-    }
+#[test]
+fn next_below_respects_bound() {
+    let input = pair(any_u64(), u64_in(1, 1_000_000));
+    forall(
+        "next_below_respects_bound",
+        CASES,
+        &input,
+        |&(seed, bound)| {
+            let mut rng = Rng::new(seed);
+            for _ in 0..64 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn sample_indices_distinct_and_in_range(seed in any::<u64>(), n in 1usize..200, frac in 0.0f64..1.0) {
-        let k = ((n as f64 * frac) as usize).min(n);
-        let mut rng = Rng::new(seed);
-        let s = rng.sample_indices(n, k);
-        prop_assert_eq!(s.len(), k);
-        let mut d = s.clone();
-        d.sort_unstable();
-        d.dedup();
-        prop_assert_eq!(d.len(), k);
-        prop_assert!(d.iter().all(|&i| i < n));
-    }
+#[test]
+fn sample_indices_distinct_and_in_range() {
+    let input = triple(any_u64(), usize_in(1, 200), f64_in(0.0, 1.0));
+    forall(
+        "sample_indices_distinct_and_in_range",
+        CASES,
+        &input,
+        |&(seed, n, frac)| {
+            let k = ((n as f64 * frac) as usize).min(n);
+            let mut rng = Rng::new(seed);
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), k);
+            assert!(d.iter().all(|&i| i < n));
+        },
+    );
+}
 
-    #[test]
-    fn rng_split_streams_differ(seed in any::<u64>()) {
+#[test]
+fn rng_split_streams_differ() {
+    forall("rng_split_streams_differ", CASES, &any_u64(), |&seed| {
         let mut parent = Rng::new(seed);
         let mut child = parent.split();
-        let same = (0..32).filter(|_| parent.next_u64() == child.next_u64()).count();
-        prop_assert!(same < 3);
-    }
+        let same = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(same < 3);
+    });
+}
 
-    #[test]
-    fn time_series_value_at_is_last_sample(points in proptest::collection::vec((0.0f64..1e3, -10.0f64..10.0), 1..50)) {
-        let mut sorted = points.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let ts: TimeSeries = sorted.iter().copied().collect();
-        // At exactly the last timestamp the value is the final sample.
-        let (t_last, _) = sorted[sorted.len() - 1];
-        let expected = sorted.iter().rev().find(|&&(t, _)| t <= t_last).unwrap().1;
-        prop_assert_eq!(ts.value_at(t_last), Some(expected));
-        // Before the first sample there is no value.
-        prop_assert_eq!(ts.value_at(sorted[0].0 - 1.0), None);
-    }
+#[test]
+fn time_series_value_at_is_last_sample() {
+    let points = vec_in(pair(f64_in(0.0, 1e3), f64_in(-10.0, 10.0)), 1, 50);
+    forall(
+        "time_series_value_at_is_last_sample",
+        CASES,
+        &points,
+        |points| {
+            let mut sorted = points.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let ts: TimeSeries = sorted.iter().copied().collect();
+            // At exactly the last timestamp the value is the final sample.
+            let (t_last, _) = sorted[sorted.len() - 1];
+            let expected = sorted.iter().rev().find(|&&(t, _)| t <= t_last).unwrap().1;
+            assert_eq!(ts.value_at(t_last), Some(expected));
+            // Before the first sample there is no value.
+            assert_eq!(ts.value_at(sorted[0].0 - 1.0), None);
+        },
+    );
+}
 
-    #[test]
-    fn time_to_reach_is_monotone_in_threshold(
-        points in proptest::collection::vec((0.0f64..1e3, 0.0f64..1.0), 1..50),
-        th1 in 0.0f64..1.0,
-        th2 in 0.0f64..1.0,
-    ) {
-        let mut sorted = points.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let ts: TimeSeries = sorted.into_iter().collect();
-        let (lo, hi) = if th1 <= th2 { (th1, th2) } else { (th2, th1) };
-        match (ts.time_to_reach(lo), ts.time_to_reach(hi)) {
-            (Some(a), Some(b)) => prop_assert!(a <= b),
-            (None, Some(_)) => prop_assert!(false, "lower threshold must be reached first"),
-            _ => {}
-        }
-    }
+#[test]
+fn time_to_reach_is_monotone_in_threshold() {
+    let input = triple(
+        vec_in(pair(f64_in(0.0, 1e3), f64_in(0.0, 1.0)), 1, 50),
+        f64_in(0.0, 1.0),
+        f64_in(0.0, 1.0),
+    );
+    forall(
+        "time_to_reach_is_monotone_in_threshold",
+        CASES,
+        &input,
+        |(points, th1, th2)| {
+            let mut sorted = points.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let ts: TimeSeries = sorted.into_iter().collect();
+            let (lo, hi) = if th1 <= th2 {
+                (*th1, *th2)
+            } else {
+                (*th2, *th1)
+            };
+            match (ts.time_to_reach(lo), ts.time_to_reach(hi)) {
+                (Some(a), Some(b)) => assert!(a <= b),
+                (None, Some(_)) => panic!("lower threshold must be reached first"),
+                _ => {}
+            }
+        },
+    );
 }

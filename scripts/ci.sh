@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI gate: hermetic offline build + tests + formatting + examples.
+#
+#   ./scripts/ci.sh
+#
+# The workspace must build from a clean checkout with NO network and no
+# crates-io registry: every dependency is an in-repo `ecofl-*` crate
+# (see crates/compat for the std-only replacements of the usual
+# ecosystem crates). The hermeticity guard below fails the build the
+# moment anyone reintroduces an external dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hermeticity guard: no non-ecofl dependencies in any Cargo.toml"
+bad=0
+while IFS= read -r manifest; do
+    # Collect dependency names from every [*dependencies*] section:
+    # lines like `foo = ...` or `foo.workspace = true` between a
+    # dependencies header and the next section header.
+    deps=$(awk '
+        /^\[.*dependencies.*\]/ { in_deps = 1; next }
+        /^\[/                   { in_deps = 0 }
+        in_deps && /^[a-zA-Z0-9_-]+[ .]/ { split($0, a, /[ .=]/); print a[1] }
+    ' "$manifest")
+    for dep in $deps; do
+        case "$dep" in
+            ecofl-*) ;;
+            *)
+                echo "ERROR: non-hermetic dependency '$dep' in $manifest" >&2
+                bad=1
+                ;;
+        esac
+    done
+done < <(find . -name Cargo.toml -not -path "./target/*")
+if [ "$bad" -ne 0 ]; then
+    echo "Hermeticity guard failed: the workspace must only depend on in-repo ecofl-* crates." >&2
+    exit 1
+fi
+echo "    ok"
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --examples --offline"
+cargo build --examples --offline
+
+echo "==> ci passed"

@@ -8,22 +8,39 @@
 #   <out>/test_output.txt      full `cargo test --workspace` log
 #   <out>/bench_output.txt     full `cargo bench --workspace` log
 #   target/ecofl-results/*.json   machine-readable figure/table series
+#
+# Everything runs --offline: the workspace has no registry dependencies
+# (see scripts/ci.sh's hermeticity guard).
 set -euo pipefail
 
 out="${1:-.}"
 mkdir -p "$out"
 
-echo "==> building (release)"
-cargo build --workspace --release
+echo "==> building (release, offline)"
+cargo build --workspace --release --offline
 
 echo "==> running the test suite"
-cargo test --workspace 2>&1 | tee "$out/test_output.txt"
+cargo test --workspace --offline 2>&1 | tee "$out/test_output.txt"
 
 echo "==> regenerating every table and figure"
-cargo bench --workspace 2>&1 | tee "$out/bench_output.txt"
+cargo bench --workspace --offline 2>&1 | tee "$out/bench_output.txt"
+
+echo "==> verifying the run reproduced the paper's checks"
+status=0
+for marker in "Shape checks passed" "Semantic check passed" "All three"; do
+    if grep -q "$marker" "$out/bench_output.txt"; then
+        echo "    found: $marker"
+    else
+        echo "    MISSING: $marker" >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "Reproduction incomplete: expected check markers absent from the bench log." >&2
+    exit "$status"
+fi
 
 echo "==> done"
 echo "    tests : $out/test_output.txt"
 echo "    bench : $out/bench_output.txt"
 echo "    series: target/ecofl-results/"
-grep -E "Shape checks passed|Semantic check passed|All three" "$out/bench_output.txt" || true

@@ -61,9 +61,11 @@ fn table2_shape_gpipe_memory_dominates() {
     let partition = partition_dp(&model, &devices, &link, 8).unwrap();
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     let k = k_bounds(&profile).unwrap();
-    assert!(PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
-        .run(8, 1)
-        .is_ok());
+    assert!(
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .run(8, 1)
+            .is_ok()
+    );
     assert!(matches!(
         PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(8, 1),
         Err(ExecError::Oom { .. })

@@ -1,18 +1,20 @@
-//! Serde round-trips of the public configuration and report types —
-//! these are the JSON payloads the bench harness persists, so their
-//! stability matters to downstream tooling.
+//! JSON round-trips of the public configuration and report types via
+//! `ecofl_compat::json` — these are the payloads the bench harness
+//! persists, so their stability matters to downstream tooling.
 
 use ecofl::prelude::*;
+use ecofl_compat::json;
+use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_pipeline::adaptive::SchedulerConfig;
 use ecofl_pipeline::executor::TaskSpan;
 use ecofl_pipeline::orchestrator::k_bounds;
 
 fn round_trip<T>(value: &T) -> T
 where
-    T: serde::Serialize + serde::de::DeserializeOwned,
+    T: Serialize + Deserialize,
 {
-    let json = serde_json::to_string(value).expect("serialize");
-    serde_json::from_str(&json).expect("deserialize")
+    let text = json::to_string(value).expect("serialize");
+    json::from_str(&text).expect("deserialize")
 }
 
 #[test]
@@ -138,8 +140,8 @@ fn scheduler_config_and_spike_round_trip() {
 fn synthetic_spec_round_trips_values() {
     // SyntheticSpec carries a &'static str name, so compare fields.
     let spec = SyntheticSpec::cifar_like();
-    let json = serde_json::to_string(&spec).expect("serialize");
-    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&spec).expect("serialize");
+    let v: json::Value = json::from_str(&text).unwrap();
     assert_eq!(v["num_classes"], 10);
     assert_eq!(v["name"], "cifar-like");
 }
