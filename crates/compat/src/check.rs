@@ -63,11 +63,14 @@ impl CheckRng {
     }
 }
 
+/// A shrinker: proposes smaller variants of a failing value.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A generator: a sampling function plus a shrinker proposing smaller
 /// variants of a failing value.
 pub struct Gen<T> {
     sample: Rc<dyn Fn(&mut CheckRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: Shrinker<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -1,0 +1,90 @@
+//! Typed errors for the Eco-FL public API.
+//!
+//! Every fallible entry point of `ecofl-core` and the `ecofl` CLI
+//! returns [`EcoFlError`] instead of a bare `String`, so callers can
+//! match on failure class (bad configuration vs. infeasible plan vs.
+//! runtime OOM) while `Display` still yields the exact human-readable
+//! message the CLI prints.
+
+use ecofl_pipeline::executor::ExecError;
+use std::fmt;
+
+/// Failure classes of the Eco-FL system and CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoFlError {
+    /// Invalid or missing configuration (builder misuse, missing CLI
+    /// flag, unknown command/strategy).
+    Config(String),
+    /// Planning failed: no feasible partition, orchestration, or
+    /// residency for the requested model/device combination.
+    Plan(String),
+    /// Pipeline execution failed at runtime.
+    Exec(ExecError),
+    /// A filesystem operation failed (message carries the context).
+    Io(String),
+    /// A user-supplied value could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for EcoFlError {
+    /// Prints the inner message verbatim — `Config`/`Plan`/`Io`/`Parse`
+    /// carry exactly the text the CLI historically emitted, so wrapping
+    /// a message in a typed variant never changes user-visible output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoFlError::Config(msg)
+            | EcoFlError::Plan(msg)
+            | EcoFlError::Io(msg)
+            | EcoFlError::Parse(msg) => f.write_str(msg),
+            EcoFlError::Exec(ExecError::Oom { stage, micro }) => {
+                write!(f, "schedule OOMs on stage {stage} at micro-batch {micro}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcoFlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcoFlError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for EcoFlError {
+    fn from(e: ExecError) -> Self {
+        EcoFlError::Exec(e)
+    }
+}
+
+impl From<std::io::Error> for EcoFlError {
+    fn from(e: std::io::Error) -> Self {
+        EcoFlError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_inner_message() {
+        let e = EcoFlError::Config("--model is required".into());
+        assert_eq!(e.to_string(), "--model is required");
+    }
+
+    #[test]
+    fn exec_display_matches_cli_wording() {
+        let e = EcoFlError::from(ExecError::Oom { stage: 2, micro: 5 });
+        assert_eq!(e.to_string(), "schedule OOMs on stage 2 at micro-batch 5");
+    }
+
+    #[test]
+    fn source_exposes_exec_cause() {
+        use std::error::Error;
+        let e = EcoFlError::from(ExecError::Oom { stage: 0, micro: 0 });
+        assert!(e.source().is_some());
+        assert!(EcoFlError::Parse("x".into()).source().is_none());
+    }
+}

@@ -8,16 +8,20 @@
 //! assert_eq!(spec.num_classes, 10);
 //! ```
 
+pub use crate::error::EcoFlError;
 pub use crate::system::{EcoFlReport, EcoFlSystem, EcoFlSystemBuilder, SmartHome};
 
 pub use ecofl_data::federated::PartitionScheme;
 pub use ecofl_data::{Dataset, FederatedDataset, SyntheticSpec};
-pub use ecofl_fl::engine::{run as run_strategy, FlSetup, RunResult, Strategy};
-pub use ecofl_fl::{DynamicsConfig, FlConfig, LatencyModel};
+pub use ecofl_fl::engine::{
+    run as run_strategy, run_traced as run_strategy_traced, FlSetup, RunResult, Strategy,
+};
+pub use ecofl_fl::{summarize_view, ConvergenceSummary, DynamicsConfig, FlConfig, LatencyModel};
 pub use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 pub use ecofl_models::{
     efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,
 };
+pub use ecofl_obs::{TraceRecord, TraceView, Tracer};
 pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike};
 pub use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 pub use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};

@@ -10,11 +10,13 @@
 //!    grouping-based hierarchical FL engine (§5), which trains a real
 //!    model over synthetic non-IID data with Eco-FL aggregation.
 
+use crate::error::EcoFlError;
 use ecofl_data::federated::PartitionScheme;
 use ecofl_data::{FederatedDataset, SyntheticSpec};
-use ecofl_fl::engine::{run as run_fl, FlSetup, RunResult, Strategy};
+use ecofl_fl::engine::{run as run_fl, run_traced as run_fl_traced, FlSetup, RunResult, Strategy};
 use ecofl_fl::FlConfig;
 use ecofl_models::{efficientnet, ModelArch, ModelProfile};
+use ecofl_obs::Tracer;
 use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 use ecofl_simnet::{Device, DeviceSpec, Link};
 
@@ -128,6 +130,21 @@ impl EcoFlSystemBuilder {
         self
     }
 
+    /// Sets test-set samples per class.
+    #[must_use]
+    pub fn test_per_class(mut self, n: usize) -> Self {
+        self.test_per_class = n;
+        self
+    }
+
+    /// Overrides the pipeline orchestrator configuration (global batch,
+    /// micro-batch candidates, evaluation rounds).
+    #[must_use]
+    pub fn orchestrator(mut self, cfg: OrchestratorConfig) -> Self {
+        self.orchestrator = cfg;
+        self
+    }
+
     /// Selects the client model architecture.
     #[must_use]
     pub fn arch(mut self, arch: ModelArch) -> Self {
@@ -160,11 +177,14 @@ impl EcoFlSystemBuilder {
     /// Validates and assembles the system.
     ///
     /// # Errors
-    /// Returns a message when no homes are configured or some home admits
-    /// no feasible pipeline plan.
-    pub fn build(self) -> Result<EcoFlSystem, String> {
+    /// [`EcoFlError::Config`] when no homes are configured;
+    /// [`EcoFlError::Plan`] when some home admits no feasible pipeline
+    /// plan.
+    pub fn build(self) -> Result<EcoFlSystem, EcoFlError> {
         if self.homes.is_empty() {
-            return Err("EcoFlSystem: at least one smart home is required".into());
+            return Err(EcoFlError::Config(
+                "EcoFlSystem: at least one smart home is required".into(),
+            ));
         }
         let link = Link::mbps_100();
         let mut plans = Vec::with_capacity(self.homes.len());
@@ -177,10 +197,10 @@ impl EcoFlSystemBuilder {
             let plan =
                 search_configuration(&self.pipeline_model, &devices, &link, &self.orchestrator)
                     .ok_or_else(|| {
-                        format!(
+                        EcoFlError::Plan(format!(
                             "EcoFlSystem: no feasible pipeline plan for home {}",
                             home.name
-                        )
+                        ))
                     })?;
             plans.push(plan);
         }
@@ -231,6 +251,19 @@ impl EcoFlSystem {
     /// Runs the full system: pipeline-derived latencies → hierarchical FL.
     #[must_use]
     pub fn run(&self) -> EcoFlReport {
+        self.run_inner(None)
+    }
+
+    /// [`run`](Self::run) with the whole FL phase recorded on `tracer`
+    /// (rounds, local-train windows, aggregations, staleness weights,
+    /// re-grouping events — all at virtual timestamps). The report is
+    /// identical to an untraced run of the same system.
+    #[must_use]
+    pub fn run_traced(&self, tracer: &Tracer) -> EcoFlReport {
+        self.run_inner(Some(tracer))
+    }
+
+    fn run_inner(&self, tracer: Option<&Tracer>) -> EcoFlReport {
         let b = &self.builder;
         let n_clients = b.replicate_to.unwrap_or(b.homes.len()).max(b.homes.len());
 
@@ -269,7 +302,10 @@ impl EcoFlSystem {
             arch: b.arch,
             config: fl_config,
         };
-        let fl = run_fl(b.strategy, &setup);
+        let fl = match tracer {
+            Some(tr) => run_fl_traced(b.strategy, &setup, tr),
+            None => run_fl(b.strategy, &setup),
+        };
         EcoFlReport {
             pipeline_plans: self.plans.clone(),
             client_delays,
@@ -325,6 +361,39 @@ mod tests {
             report.client_delays[0],
             report.client_delays[1]
         );
+    }
+
+    #[test]
+    fn builder_errors_are_typed() {
+        match EcoFlSystem::builder().build() {
+            Err(EcoFlError::Config(msg)) => assert!(msg.contains("at least one smart home")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_system_run_matches_untraced() {
+        let system = EcoFlSystem::builder()
+            .homes(homes())
+            .replicate_homes(6)
+            .fl_config(quick_cfg())
+            .test_per_class(40)
+            .orchestrator(OrchestratorConfig {
+                global_batch: 64,
+                mbs_candidates: vec![16, 8],
+                eval_rounds: 1,
+            })
+            .seed(11)
+            .build()
+            .expect("feasible");
+        let plain = system.run();
+        let tracer = ecofl_obs::Tracer::new();
+        let traced = system.run_traced(&tracer);
+        assert_eq!(plain.fl.accuracy, traced.fl.accuracy);
+        assert_eq!(plain.client_delays, traced.client_delays);
+        let view = tracer.view();
+        assert!(view.counter_total("global_updates") > 0.0);
+        assert!(!view.gauge_series("accuracy").is_empty());
     }
 
     #[test]

@@ -25,7 +25,14 @@ fn quick() -> FlConfig {
 #[test]
 fn empty_builder_fails_with_message() {
     let err = EcoFlSystemBuilder::new().build().unwrap_err();
-    assert!(err.contains("smart home"), "unexpected message: {err}");
+    assert!(
+        matches!(err, EcoFlError::Config(_)),
+        "expected Config error, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("smart home"),
+        "unexpected message: {err}"
+    );
 }
 
 #[test]
@@ -38,7 +45,14 @@ fn infeasible_home_fails_with_home_name() {
         .fl_config(quick())
         .build()
         .unwrap_err();
-    assert!(err.contains("broken-home"), "unexpected message: {err}");
+    assert!(
+        matches!(err, EcoFlError::Plan(_)),
+        "expected Plan error, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("broken-home"),
+        "unexpected message: {err}"
+    );
 }
 
 #[test]

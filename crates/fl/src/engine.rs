@@ -26,6 +26,7 @@ use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_data::FederatedDataset;
 use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 use ecofl_models::ModelArch;
+use ecofl_obs::{Domain, EventKind, SpanKind, Tracer};
 use ecofl_simnet::EventQueue;
 use ecofl_tensor::{Network, Tensor};
 use ecofl_util::{Rng, TimeSeries};
@@ -228,13 +229,27 @@ fn initial_params(setup: &FlSetup) -> Vec<f32> {
 /// Panics on inconsistent setup (e.g. zero clients).
 #[must_use]
 pub fn run(strategy: Strategy, setup: &FlSetup) -> RunResult {
+    run_inner(strategy, setup, None)
+}
+
+/// [`run`] with every round, local-train window, aggregation, staleness
+/// weight, and re-grouping decision recorded on `tracer` (domain
+/// [`Domain::Fl`] / [`Domain::Grouping`](ecofl_obs::Domain::Grouping),
+/// all timestamps virtual). Training outcomes are identical to the
+/// untraced run at equal setup.
+#[must_use]
+pub fn run_traced(strategy: Strategy, setup: &FlSetup, tracer: &Tracer) -> RunResult {
+    run_inner(strategy, setup, Some(tracer))
+}
+
+fn run_inner(strategy: Strategy, setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
     match strategy {
-        Strategy::FedAvg => run_fedavg(setup),
-        Strategy::FedAsync => run_fedasync(setup),
-        Strategy::FedAt => run_hierarchical(setup, HierKind::FedAt),
-        Strategy::Astraea => run_hierarchical(setup, HierKind::Astraea),
+        Strategy::FedAvg => run_fedavg(setup, tracer),
+        Strategy::FedAsync => run_fedasync(setup, tracer),
+        Strategy::FedAt => run_hierarchical(setup, HierKind::FedAt, tracer),
+        Strategy::Astraea => run_hierarchical(setup, HierKind::Astraea, tracer),
         Strategy::EcoFl { dynamic_grouping } => {
-            run_hierarchical(setup, HierKind::EcoFl { dynamic_grouping })
+            run_hierarchical(setup, HierKind::EcoFl { dynamic_grouping }, tracer)
         }
     }
 }
@@ -261,7 +276,7 @@ fn make_latency(cfg: &FlConfig, rng: &mut Rng) -> LatencyModel {
     }
 }
 
-fn run_fedavg(setup: &FlSetup) -> RunResult {
+fn run_fedavg(setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
     let cfg = &setup.config;
     let mut rng = Rng::new(cfg.seed ^ 0xFEDA);
     let mut latency = make_latency(cfg, &mut rng);
@@ -273,7 +288,11 @@ fn run_fedavg(setup: &FlSetup) -> RunResult {
     let mut last_eval = f64::NEG_INFINITY;
     let mut round = 0u64;
 
-    accuracy.push(0.0, evaluator.accuracy(&w));
+    let acc0 = evaluator.accuracy(&w);
+    accuracy.push(0.0, acc0);
+    if let Some(tr) = tracer {
+        tr.gauge("accuracy", 0.0, acc0);
+    }
     while t < cfg.horizon {
         let members =
             rng.sample_indices(cfg.num_clients, cfg.clients_per_round.min(cfg.num_clients));
@@ -284,6 +303,14 @@ fn run_fedavg(setup: &FlSetup) -> RunResult {
             .map(|&c| latency.response_latency(c))
             .fold(0.0, f64::max)
             + COMM_LATENCY;
+        if let Some(tr) = tracer {
+            let r = round as usize;
+            tr.span(Domain::Fl, SpanKind::Round, 0, r, 0, t, t + round_time);
+            for &c in &members {
+                let done = t + latency.response_latency(c);
+                tr.span(Domain::Fl, SpanKind::LocalTrain, c, r, 0, t, done);
+            }
+        }
         let survivors = surviving(&members, cfg.failure_prob, &mut rng);
         if !survivors.is_empty() {
             let results = train_parallel(setup, &survivors, &w, 0.0, round);
@@ -293,6 +320,17 @@ fn run_fedavg(setup: &FlSetup) -> RunResult {
                 .collect();
             w = weighted_average(&refs);
             updates += 1;
+            if let Some(tr) = tracer {
+                let done = t + round_time;
+                tr.event(
+                    Domain::Fl,
+                    EventKind::Aggregation,
+                    0,
+                    done,
+                    survivors.len() as f64,
+                );
+                tr.counter("global_updates", done, 1.0);
+            }
         }
         t += round_time;
         round += 1;
@@ -300,7 +338,11 @@ fn run_fedavg(setup: &FlSetup) -> RunResult {
             let _ = latency.maybe_perturb(c, &mut rng);
         }
         if t - last_eval >= cfg.eval_interval {
-            accuracy.push(t, evaluator.accuracy(&w));
+            let acc = evaluator.accuracy(&w);
+            accuracy.push(t, acc);
+            if let Some(tr) = tracer {
+                tr.gauge("accuracy", t, acc);
+            }
             last_eval = t;
         }
     }
@@ -308,19 +350,24 @@ fn run_fedavg(setup: &FlSetup) -> RunResult {
     finish("FedAvg", accuracy, updates, 0, 0, recall)
 }
 
-fn run_fedasync(setup: &FlSetup) -> RunResult {
+fn run_fedasync(setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
     let cfg = &setup.config;
     let mut rng = Rng::new(cfg.seed ^ 0xA517);
     let mut latency = make_latency(cfg, &mut rng);
     let mut evaluator = Evaluator::new(setup);
     let mut w = initial_params(setup);
     let mut accuracy = TimeSeries::new();
-    accuracy.push(0.0, evaluator.accuracy(&w));
+    let acc0 = evaluator.accuracy(&w);
+    accuracy.push(0.0, acc0);
+    if let Some(tr) = tracer {
+        tr.gauge("accuracy", 0.0, acc0);
+    }
 
     struct Pending {
         client: usize,
         start_params: Vec<f32>,
         version: u64,
+        started: f64,
     }
     let mut queue: EventQueue<Pending> = EventQueue::new();
     let mut version = 0u64;
@@ -337,6 +384,7 @@ fn run_fedasync(setup: &FlSetup) -> RunResult {
                 client,
                 start_params: w.clone(),
                 version,
+                started: queue.now(),
             },
         );
     }
@@ -348,6 +396,17 @@ fn run_fedasync(setup: &FlSetup) -> RunResult {
         tag += 1;
         let failed = cfg.failure_prob > 0.0 && rng.bernoulli(cfg.failure_prob);
         if !failed {
+            if let Some(tr) = tracer {
+                tr.span(
+                    Domain::Fl,
+                    SpanKind::LocalTrain,
+                    pending.client,
+                    pending.version as usize,
+                    0,
+                    pending.started,
+                    t,
+                );
+            }
             let update = {
                 let mut crng = client_rng(cfg.seed, pending.client, tag);
                 local_train(
@@ -368,9 +427,15 @@ fn run_fedasync(setup: &FlSetup) -> RunResult {
             // (Eco-FL's own inter-group aggregator uses the staleness-aware
             // form, §5.1).
             let _ = staleness_alpha(cfg.alpha, version - pending.version, cfg.staleness_exponent);
-            fedasync_mix(&mut w, &update.params, cfg.alpha.clamp(1e-3, 1.0));
+            let alpha = cfg.alpha.clamp(1e-3, 1.0);
+            fedasync_mix(&mut w, &update.params, alpha);
             version += 1;
             updates += 1;
+            if let Some(tr) = tracer {
+                tr.event(Domain::Fl, EventKind::Aggregation, pending.client, t, alpha);
+                tr.gauge("staleness_alpha", t, alpha);
+                tr.counter("global_updates", t, 1.0);
+            }
         }
         let _ = latency.maybe_perturb(pending.client, &mut rng);
         // Immediately dispatch a replacement worker.
@@ -381,10 +446,15 @@ fn run_fedasync(setup: &FlSetup) -> RunResult {
                 client,
                 start_params: w.clone(),
                 version,
+                started: queue.now(),
             },
         );
         if t - last_eval >= cfg.eval_interval {
-            accuracy.push(t, evaluator.accuracy(&w));
+            let acc = evaluator.accuracy(&w);
+            accuracy.push(t, acc);
+            if let Some(tr) = tracer {
+                tr.gauge("accuracy", t, acc);
+            }
             last_eval = t;
         }
     }
@@ -436,7 +506,7 @@ impl HierKind {
     }
 }
 
-fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
+fn run_hierarchical(setup: &FlSetup, kind: HierKind, tracer: Option<&Tracer>) -> RunResult {
     let cfg = &setup.config;
     let mut rng = Rng::new(cfg.seed ^ 0x41E2);
     let mut latency = make_latency(cfg, &mut rng);
@@ -465,13 +535,18 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
     let mut evaluator = Evaluator::new(setup);
     let mut w = initial_params(setup);
     let mut accuracy = TimeSeries::new();
-    accuracy.push(0.0, evaluator.accuracy(&w));
+    let acc0 = evaluator.accuracy(&w);
+    accuracy.push(0.0, acc0);
+    if let Some(tr) = tracer {
+        tr.gauge("accuracy", 0.0, acc0);
+    }
 
     struct GroupRound {
         group: usize,
         members: Vec<usize>,
         start_params: Vec<f32>,
         version: u64,
+        started: f64,
     }
     let mut queue: EventQueue<GroupRound> = EventQueue::new();
     let mut version = 0u64;
@@ -511,6 +586,7 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
                     members: Vec::new(),
                     start_params: Vec::new(),
                     version,
+                    started: queue.now(),
                 },
             );
             return;
@@ -524,6 +600,23 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
             .map(|&c| latency.response_latency(c))
             .fold(0.0, f64::max)
             + COMM_LATENCY;
+        if let Some(tr) = tracer {
+            // Local-train windows at the latencies the barrier was
+            // computed from (perturbations land only after the merge).
+            let start = queue.now();
+            for &c in &members {
+                let done = start + latency.response_latency(c);
+                tr.span(
+                    Domain::Fl,
+                    SpanKind::LocalTrain,
+                    c,
+                    version as usize,
+                    0,
+                    start,
+                    done,
+                );
+            }
+        }
         queue.schedule_after(
             round_time,
             GroupRound {
@@ -531,6 +624,7 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
                 members,
                 start_params: w.to_vec(),
                 version,
+                started: queue.now(),
             },
         );
     };
@@ -610,6 +704,17 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
             .collect();
         let group_model = weighted_average(&refs);
 
+        if let Some(tr) = tracer {
+            tr.span(
+                Domain::Fl,
+                SpanKind::Round,
+                round.group,
+                round.version as usize,
+                0,
+                round.started,
+                t,
+            );
+        }
         // Inter-group aggregation.
         match kind {
             HierKind::FedAt => {
@@ -636,22 +741,37 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
                     })
                     .collect();
                 w = weighted_average(&refs);
+                if let Some(tr) = tracer {
+                    tr.event(Domain::Fl, EventKind::Aggregation, round.group, t, 1.0);
+                }
             }
             _ => {
                 let alpha =
-                    staleness_alpha(cfg.alpha, version - round.version, cfg.staleness_exponent);
-                fedasync_mix(&mut w, &group_model, alpha.clamp(1e-3, 1.0));
+                    staleness_alpha(cfg.alpha, version - round.version, cfg.staleness_exponent)
+                        .clamp(1e-3, 1.0);
+                fedasync_mix(&mut w, &group_model, alpha);
+                if let Some(tr) = tracer {
+                    tr.event(Domain::Fl, EventKind::Aggregation, round.group, t, alpha);
+                    tr.gauge("staleness_alpha", t, alpha);
+                }
             }
         }
         version += 1;
         updates += 1;
+        if let Some(tr) = tracer {
+            tr.counter("global_updates", t, 1.0);
+        }
 
         // Runtime dynamics on participants, then Algorithm 1.
         for &c in &round.members {
             let changed = latency.maybe_perturb(c, &mut rng);
             if kind.dynamic() && changed {
                 use ecofl_grouping::RegroupOutcome::*;
-                match grouper.observe_latency(c, latency.response_latency(c)) {
+                let outcome = grouper.observe_latency(c, latency.response_latency(c));
+                if let Some(tr) = tracer {
+                    outcome.trace(tr, t, c);
+                }
+                match outcome {
                     Moved { .. } | Dropped { .. } | Rejoined { .. } => regroups += 1,
                     Stayed | StillDropped => {}
                 }
@@ -661,10 +781,11 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
         if kind.dynamic() {
             for c in grouper.dropped() {
                 use ecofl_grouping::RegroupOutcome::Rejoined;
-                if matches!(
-                    grouper.observe_latency(c, latency.response_latency(c)),
-                    Rejoined { .. }
-                ) {
+                let outcome = grouper.observe_latency(c, latency.response_latency(c));
+                if let Some(tr) = tracer {
+                    outcome.trace(tr, t, c);
+                }
+                if matches!(outcome, Rejoined { .. }) {
                     regroups += 1;
                 }
             }
@@ -685,7 +806,11 @@ fn run_hierarchical(setup: &FlSetup, kind: HierKind) -> RunResult {
             cfg.base_delay_mean,
         );
         if t - last_eval >= cfg.eval_interval {
-            accuracy.push(t, evaluator.accuracy(&w));
+            let acc = evaluator.accuracy(&w);
+            accuracy.push(t, acc);
+            if let Some(tr) = tracer {
+                tr.gauge("accuracy", t, acc);
+            }
             last_eval = t;
         }
     }
@@ -805,6 +930,61 @@ mod tests {
             &setup,
         );
         assert!(eco.global_updates > avg.global_updates);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_fl_domain() {
+        let setup = tiny_setup(PartitionScheme::ClassesPerClient(2), 7);
+        let plain = run(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            &setup,
+        );
+        let tracer = Tracer::new();
+        let traced = run_traced(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            &setup,
+            &tracer,
+        );
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.accuracy, traced.accuracy);
+        assert_eq!(plain.global_updates, traced.global_updates);
+        assert_eq!(plain.regroup_events, traced.regroup_events);
+
+        let view = tracer.view();
+        // One counter tick per global update, one α gauge per async merge.
+        assert!((view.counter_total("global_updates") - traced.global_updates as f64).abs() < 1e-9);
+        let alphas = view.gauge_series("staleness_alpha");
+        assert_eq!(alphas.len(), traced.global_updates as usize);
+        assert!(alphas.iter().all(|&(_, a)| (1e-3..=1.0).contains(&a)));
+        // Round spans cover the merges; local-train spans sit inside the
+        // engine horizon and aggregation events match updates.
+        let rounds: Vec<_> = view.spans_of(Domain::Fl, SpanKind::Round).collect();
+        assert_eq!(rounds.len(), traced.global_updates as usize);
+        assert!(view.spans_of(Domain::Fl, SpanKind::LocalTrain).count() >= rounds.len());
+        assert_eq!(
+            view.events_of(EventKind::Aggregation).len(),
+            traced.global_updates as usize
+        );
+        // The accuracy gauge stream reproduces the RunResult trace.
+        let gauged: Vec<(f64, f64)> = view.gauge_series("accuracy");
+        assert_eq!(gauged, traced.accuracy.points().to_vec());
+        // Dynamic re-grouping shows up as grouping-domain events.
+        let regroup_events = view
+            .events()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RegroupMoved
+                        | EventKind::RegroupDropped
+                        | EventKind::RegroupRejoined
+                )
+            })
+            .count();
+        assert_eq!(regroup_events as u64, traced.regroup_events);
     }
 
     #[test]

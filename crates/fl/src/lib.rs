@@ -31,6 +31,6 @@ pub mod reference;
 pub use aggregate::{fedasync_mix, staleness_alpha, weighted_average};
 pub use client::{local_train, LocalTrainConfig};
 pub use config::{DynamicsConfig, FlConfig};
-pub use engine::{run, FlSetup, RunResult, Strategy};
+pub use engine::{run, run_traced, FlSetup, RunResult, Strategy};
 pub use latency::LatencyModel;
-pub use metrics::{summarize, ConvergenceSummary};
+pub use metrics::{summarize, summarize_view, ConvergenceSummary};

@@ -7,6 +7,7 @@
 
 use crate::engine::RunResult;
 use ecofl_compat::serde::{Deserialize, Serialize};
+use ecofl_obs::TraceView;
 use ecofl_util::TimeSeries;
 
 /// Quantitative summary of one accuracy trace.
@@ -39,6 +40,25 @@ pub fn summarize(result: &RunResult, thresholds: &[f64]) -> ConvergenceSummary {
         mean_accuracy: mean_over_span(&result.accuracy),
         best_accuracy: result.best_accuracy,
         max_drawdown: max_drawdown(&result.accuracy),
+    }
+}
+
+/// [`summarize`] over a recorded trace instead of a [`RunResult`]:
+/// reconstructs the accuracy-vs-time trace from the `"accuracy"` gauge
+/// stream a traced run emits (one sample per evaluation), so a JSONL
+/// trace on disk is enough to recompute every convergence metric.
+#[must_use]
+pub fn summarize_view(view: &TraceView, strategy: &str, thresholds: &[f64]) -> ConvergenceSummary {
+    let accuracy: TimeSeries = view.gauge_series("accuracy").into_iter().collect();
+    ConvergenceSummary {
+        strategy: strategy.to_owned(),
+        time_to: thresholds
+            .iter()
+            .filter_map(|&th| accuracy.time_to_reach(th).map(|t| (th, t)))
+            .collect(),
+        mean_accuracy: mean_over_span(&accuracy),
+        best_accuracy: accuracy.max_value().unwrap_or(0.0),
+        max_drawdown: max_drawdown(&accuracy),
     }
 }
 
@@ -101,6 +121,27 @@ mod tests {
     fn drawdown_measures_worst_dip() {
         let t = trace(&[(0.0, 0.2), (1.0, 0.8), (2.0, 0.5), (3.0, 0.7), (4.0, 0.3)]);
         assert!((max_drawdown(&t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_view_matches_summarize_on_same_curve() {
+        let tracer = ecofl_obs::Tracer::new();
+        let points = [(0.0, 0.1), (10.0, 0.5), (20.0, 0.8), (30.0, 0.6)];
+        for (t, v) in points {
+            tracer.gauge("accuracy", t, v);
+        }
+        let from_view = summarize_view(&tracer.view(), "test", &[0.3, 0.6, 0.95]);
+        let result = RunResult {
+            strategy: "test".into(),
+            accuracy: trace(&points),
+            final_accuracy: 0.6,
+            best_accuracy: 0.8,
+            global_updates: 4,
+            regroup_events: 0,
+            dropped_final: 0,
+            final_recall: vec![0.6; 10],
+        };
+        assert_eq!(from_view, summarize(&result, &[0.3, 0.6, 0.95]));
     }
 
     #[test]

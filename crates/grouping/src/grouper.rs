@@ -94,6 +94,47 @@ pub enum RegroupOutcome {
     StillDropped,
 }
 
+impl RegroupOutcome {
+    /// Records this outcome as a [`Domain::Grouping`](ecofl_obs::Domain)
+    /// event on `tracer` at virtual time `time`. `Stayed` and
+    /// `StillDropped` are no-ops — only membership changes are traced.
+    /// The event value carries the group involved (destination for
+    /// moves/rejoins, origin for drops).
+    pub fn trace(&self, tracer: &ecofl_obs::Tracer, time: f64, client: usize) {
+        use ecofl_obs::{Domain, EventKind};
+        match *self {
+            RegroupOutcome::Moved { to, .. } => {
+                tracer.event(
+                    Domain::Grouping,
+                    EventKind::RegroupMoved,
+                    client,
+                    time,
+                    to as f64,
+                );
+            }
+            RegroupOutcome::Dropped { from } => {
+                tracer.event(
+                    Domain::Grouping,
+                    EventKind::RegroupDropped,
+                    client,
+                    time,
+                    from as f64,
+                );
+            }
+            RegroupOutcome::Rejoined { to } => {
+                tracer.event(
+                    Domain::Grouping,
+                    EventKind::RegroupRejoined,
+                    client,
+                    time,
+                    to as f64,
+                );
+            }
+            RegroupOutcome::Stayed | RegroupOutcome::StillDropped => {}
+        }
+    }
+}
+
 /// The grouping scheduler: owns group states, per-client profiles, and the
 /// drop-out pool.
 #[derive(Debug, Clone)]

@@ -1,0 +1,53 @@
+//! # ecofl-obs
+//!
+//! The unified **virtual-time** observability layer of the Eco-FL
+//! reproduction: one substrate through which every timing claim of the
+//! paper — 1F1B-Sync bubble structure (§4.3, Eqs. 2–3), lagger detection
+//! and re-scheduling latency (§4.4), staleness-adaptive async mixing
+//! (§5.1), and Algorithm 1 re-grouping — is recorded, queried, and
+//! exported.
+//!
+//! ## Design
+//!
+//! - **Virtual time only.** Every record carries timestamps read from the
+//!   simulation clocks (`ecofl_simnet::EventQueue` / executor virtual
+//!   time), never wall time. Two runs with the same seed produce
+//!   byte-identical traces.
+//! - **Lock-cheap recording.** A [`Tracer`] is a cloneable handle; each
+//!   handle buffers records locally and merges into the shared store when
+//!   the buffer fills, on [`Tracer::flush`], or on drop. The hot path is
+//!   a `Vec::push`.
+//! - **Typed records.** [`TraceRecord`] is a closed enum of spans,
+//!   events, counters, and gauges — no stringly-typed keys on the hot
+//!   path; see [`record`].
+//! - **Std-only.** No async runtime, no external deps; JSON encoding via
+//!   `ecofl-compat`'s serde layer.
+//!
+//! ## Non-goals
+//!
+//! No wall-clock timestamps, no sampling/overflow dropping (traces are
+//! complete or the run aborts), no cross-process collection, and no
+//! async/streaming subscribers — consumers read a finished
+//! [`TraceView`] or the JSONL file a run exported.
+//!
+//! ```
+//! use ecofl_obs::{Domain, SpanKind, Tracer};
+//! let tracer = Tracer::new();
+//! tracer.span(Domain::Pipeline, SpanKind::Forward, 0, 0, 0, 0.0, 1.5);
+//! tracer.span(Domain::Pipeline, SpanKind::Backward, 0, 0, 0, 1.5, 4.0);
+//! let view = tracer.view();
+//! assert_eq!(view.records().len(), 2);
+//! assert!(view.makespan() >= 4.0);
+//! ```
+
+pub mod record;
+pub mod sink;
+pub mod tracer;
+pub mod view;
+
+pub use record::{
+    CounterRecord, Domain, EventKind, EventRecord, GaugeRecord, SpanKind, SpanRecord, TraceRecord,
+};
+pub use sink::{read_jsonl, trace_dir, write_jsonl};
+pub use tracer::Tracer;
+pub use view::TraceView;

@@ -1,0 +1,88 @@
+//! Trace persistence: one JSON object per line (JSONL).
+//!
+//! Traces land under `target/ecofl-results/trace/` next to the bench
+//! harness's JSON series, so one directory holds every machine-readable
+//! artifact a run produces. Each line is an externally-tagged
+//! [`TraceRecord`], making the files greppable (`grep Migration …`) and
+//! trivially streamable by downstream tooling.
+
+use crate::record::TraceRecord;
+use ecofl_compat::json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory where traces are written: `target/ecofl-results/trace/`.
+///
+/// # Panics
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn trace_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ecofl-results/trace");
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    dir
+}
+
+/// Writes `records` as JSONL to `path` (parent directories must exist).
+///
+/// # Errors
+/// Returns any I/O error from creating or writing the file.
+pub fn write_jsonl(path: &Path, records: &[TraceRecord]) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for record in records {
+        let line = json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Reads a JSONL trace back into records.
+///
+/// # Errors
+/// Returns an I/O error for unreadable files or unparseable lines.
+pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<TraceRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            json::from_str(line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Domain, SpanKind};
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = Tracer::new();
+        t.span(Domain::Pipeline, SpanKind::Forward, 0, 0, 0, 0.0, 1.0);
+        t.event(
+            Domain::Scheduler,
+            crate::record::EventKind::Migration,
+            0,
+            2.0,
+            1024.0,
+        );
+        t.gauge("accuracy", 3.0, 0.75);
+        let records = t.records();
+
+        let path = trace_dir().join("obs-sink-roundtrip-test.jsonl");
+        write_jsonl(&path, &records).expect("write");
+        let back = read_jsonl(&path).expect("read");
+        assert_eq!(back, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = trace_dir().join("obs-sink-blank-test.jsonl");
+        std::fs::write(&path, "\n\n").expect("write");
+        assert!(read_jsonl(&path).expect("read").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! In-memory trace queries.
+//!
+//! [`TraceView`] is the read side of the obs layer: the Gantt renderer,
+//! the convergence metrics, the `ecofl trace` CLI aggregations, and the
+//! invariant tests all consume a view instead of re-deriving structure
+//! from raw span lists.
+
+use crate::record::{Domain, EventKind, EventRecord, SpanKind, SpanRecord, TraceRecord};
+
+/// A queryable snapshot of a trace.
+///
+/// Records stay in their deterministic recording order; all aggregations
+/// are computed on demand from that one list.
+#[derive(Debug, Clone, Default)]
+pub struct TraceView {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceView {
+    /// Wraps a record list (normally produced by
+    /// [`Tracer::records`](crate::Tracer::records)).
+    #[must_use]
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Every record, in recording order.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// All span records.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.records.iter().filter_map(TraceRecord::as_span)
+    }
+
+    /// All event records.
+    pub fn events(&self) -> impl Iterator<Item = &EventRecord> {
+        self.records.iter().filter_map(TraceRecord::as_event)
+    }
+
+    /// Spans of one `(domain, kind)` pair.
+    pub fn spans_of(&self, domain: Domain, kind: SpanKind) -> impl Iterator<Item = &SpanRecord> {
+        self.spans()
+            .filter(move |s| s.domain == domain && s.kind == kind)
+    }
+
+    /// Pipeline compute spans (forward + backward) of one sync-round.
+    pub fn compute_spans(&self, round: usize) -> impl Iterator<Item = &SpanRecord> {
+        self.spans()
+            .filter(move |s| s.is_compute() && s.round == round)
+    }
+
+    /// Events of one kind, in recording (time) order.
+    #[must_use]
+    pub fn events_of(&self, kind: EventKind) -> Vec<&EventRecord> {
+        self.events().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Number of pipeline stages seen in compute spans.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.spans()
+            .filter(|s| s.is_compute())
+            .map(|s| s.entity + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of pipeline sync-rounds seen in compute spans.
+    #[must_use]
+    pub fn pipeline_rounds(&self) -> usize {
+        self.spans()
+            .filter(|s| s.is_compute())
+            .map(|s| s.round + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latest timestamp in the trace (span ends included); `0` if empty.
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Span(s) => s.t1,
+                other => other.time(),
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// `[start, end]` window of one pipeline sync-round: extremes of its
+    /// compute spans. `None` when the round has no compute spans.
+    #[must_use]
+    pub fn round_window(&self, round: usize) -> Option<(f64, f64)> {
+        let mut t0 = f64::INFINITY;
+        let mut t1 = f64::NEG_INFINITY;
+        for s in self.compute_spans(round) {
+            t0 = t0.min(s.t0);
+            t1 = t1.max(s.t1);
+        }
+        (t0 < t1).then_some((t0, t1))
+    }
+
+    /// Total compute-busy time of `stage` within sync-round `round`.
+    #[must_use]
+    pub fn stage_busy(&self, round: usize, stage: usize) -> f64 {
+        self.compute_spans(round)
+            .filter(|s| s.entity == stage)
+            .map(SpanRecord::duration)
+            .sum()
+    }
+
+    /// Bubble fraction of one sync-round: the fraction of the round's
+    /// `stages × window` device-time that no compute span covers — the
+    /// measured counterpart of the paper's Eq. 2/3 bubble analysis.
+    /// `None` when the round has no compute spans.
+    #[must_use]
+    pub fn bubble_fraction(&self, round: usize) -> Option<f64> {
+        let (t0, t1) = self.round_window(round)?;
+        let stages = self.stage_count();
+        let window = t1 - t0;
+        let busy: f64 = self.compute_spans(round).map(SpanRecord::duration).sum();
+        Some(1.0 - busy / (stages as f64 * window))
+    }
+
+    /// Total idle device-time across the whole pipeline trace:
+    /// `stages × (max end − min start) − Σ busy`. Matches the sum of
+    /// `ExecutionReport::stage_idle_time` for a trace recorded by
+    /// `PipelineExecutor::run_traced`.
+    #[must_use]
+    pub fn total_idle_time(&self) -> f64 {
+        let mut t0 = f64::INFINITY;
+        let mut t1 = f64::NEG_INFINITY;
+        let mut busy = 0.0;
+        for s in self.spans().filter(|s| s.is_compute()) {
+            t0 = t0.min(s.t0);
+            t1 = t1.max(s.t1);
+            busy += s.duration();
+        }
+        if t0 >= t1 {
+            return 0.0;
+        }
+        self.stage_count() as f64 * (t1 - t0) - busy
+    }
+
+    /// Stages ranked by total compute time, slowest first, capped at `k`.
+    #[must_use]
+    pub fn top_slowest_stages(&self, k: usize) -> Vec<(usize, f64)> {
+        let stages = self.stage_count();
+        let mut totals = vec![0.0f64; stages];
+        for s in self.spans().filter(|s| s.is_compute()) {
+            totals[s.entity] += s.duration();
+        }
+        let mut ranked: Vec<(usize, f64)> = totals.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite totals"));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// `(time, value)` samples of one gauge, in recording order.
+    #[must_use]
+    pub fn gauge_series(&self, name: &str) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Gauge(g) if g.name == name => Some((g.time, g.value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Sum of one counter's increments over the whole trace.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Counter(c) if c.name == name => Some(c.delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The §4.4 re-scheduling timeline: lagger detections, migrations,
+    /// and restarts in time order.
+    #[must_use]
+    pub fn reschedule_timeline(&self) -> Vec<&EventRecord> {
+        self.events()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::LaggerDetected | EventKind::Migration | EventKind::Restart
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    /// Two stages, two micro-batches, hand-laid 1F1B-ish schedule.
+    fn tiny_trace() -> TraceView {
+        let t = Tracer::new();
+        // stage 0: F0 [0,1] F1 [1,2] B0 [3,4] B1 [5,6]
+        // stage 1: F0 [1,2] B0 [2,3] F1 [3,4] B1 [4,5]
+        let spans = [
+            (0, SpanKind::Forward, 0, 0.0, 1.0),
+            (0, SpanKind::Forward, 1, 1.0, 2.0),
+            (1, SpanKind::Forward, 0, 1.0, 2.0),
+            (1, SpanKind::Backward, 0, 2.0, 3.0),
+            (0, SpanKind::Backward, 0, 3.0, 4.0),
+            (1, SpanKind::Forward, 1, 3.0, 4.0),
+            (1, SpanKind::Backward, 1, 4.0, 5.0),
+            (0, SpanKind::Backward, 1, 5.0, 6.0),
+        ];
+        for &(stage, kind, micro, t0, t1) in &spans {
+            t.span(Domain::Pipeline, kind, stage, 0, micro, t0, t1);
+        }
+        t.event(Domain::Scheduler, EventKind::LaggerDetected, 1, 6.0, 0.0);
+        t.gauge("accuracy", 6.0, 0.5);
+        t.counter("global_updates", 6.0, 1.0);
+        t.view()
+    }
+
+    #[test]
+    fn structure_queries() {
+        let v = tiny_trace();
+        assert_eq!(v.stage_count(), 2);
+        assert_eq!(v.pipeline_rounds(), 1);
+        assert_eq!(v.round_window(0), Some((0.0, 6.0)));
+        assert_eq!(v.round_window(1), None);
+        assert!((v.makespan() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bubble_accounting() {
+        let v = tiny_trace();
+        // 8 unit spans over 2 stages × 6 s window → bubble 1 − 8/12.
+        let bubble = v.bubble_fraction(0).expect("round exists");
+        assert!((bubble - (1.0 - 8.0 / 12.0)).abs() < 1e-12);
+        assert!((v.total_idle_time() - 4.0).abs() < 1e-12);
+        assert!((v.stage_busy(0, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rankings_and_series() {
+        let v = tiny_trace();
+        let top = v.top_slowest_stages(2);
+        assert_eq!(top.len(), 2);
+        assert!((top[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(v.gauge_series("accuracy"), vec![(6.0, 0.5)]);
+        assert!((v.counter_total("global_updates") - 1.0).abs() < 1e-12);
+        assert_eq!(v.reschedule_timeline().len(), 1);
+        assert_eq!(v.events_of(EventKind::LaggerDetected).len(), 1);
+    }
+
+    #[test]
+    fn empty_view_is_quiet() {
+        let v = TraceView::default();
+        assert_eq!(v.stage_count(), 0);
+        assert_eq!(v.bubble_fraction(0), None);
+        assert_eq!(v.total_idle_time(), 0.0);
+        assert!(v.top_slowest_stages(3).is_empty());
+    }
+}

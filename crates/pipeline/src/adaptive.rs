@@ -18,6 +18,7 @@ use crate::partition::{partition_dp, Partition};
 use crate::profiler::PipelineProfile;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
+use ecofl_obs::{Domain, EventKind, Tracer};
 use ecofl_simnet::{Device, Link};
 use ecofl_util::stats::Ema;
 use ecofl_util::TimeSeries;
@@ -231,6 +232,69 @@ pub fn simulate_load_spike_with(
     with_scheduler: bool,
     scheduler_cfg: SchedulerConfig,
 ) -> SpikeTrace {
+    simulate_load_spike_inner(
+        model,
+        devices,
+        link,
+        mbs,
+        micro_batches,
+        spike,
+        horizon,
+        with_scheduler,
+        scheduler_cfg,
+        None,
+    )
+}
+
+/// [`simulate_load_spike_with`], recording the §4.4 re-scheduling
+/// timeline into `tracer`: [`EventKind::LaggerDetected`] per detector
+/// trigger, [`EventKind::Migration`] (value = bytes moved) and
+/// [`EventKind::Restart`] (value = stall seconds) per committed
+/// migration, all under [`Domain::Scheduler`] at virtual timestamps.
+///
+/// # Panics
+/// Panics if the initial partition is infeasible.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn simulate_load_spike_traced(
+    model: &ModelProfile,
+    devices: &[Device],
+    link: &Link,
+    mbs: usize,
+    micro_batches: usize,
+    spike: LoadSpike,
+    horizon: f64,
+    with_scheduler: bool,
+    scheduler_cfg: SchedulerConfig,
+    tracer: &Tracer,
+) -> SpikeTrace {
+    simulate_load_spike_inner(
+        model,
+        devices,
+        link,
+        mbs,
+        micro_batches,
+        spike,
+        horizon,
+        with_scheduler,
+        scheduler_cfg,
+        Some(tracer),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_load_spike_inner(
+    model: &ModelProfile,
+    devices: &[Device],
+    link: &Link,
+    mbs: usize,
+    micro_batches: usize,
+    spike: LoadSpike,
+    horizon: f64,
+    with_scheduler: bool,
+    scheduler_cfg: SchedulerConfig,
+    tracer: Option<&Tracer>,
+) -> SpikeTrace {
     let mut devices: Vec<Device> = devices.to_vec();
     let mut partition =
         partition_dp(model, &devices, link, mbs).expect("initial partition must be feasible");
@@ -278,12 +342,37 @@ pub fn simulate_load_spike_with(
 
         // Portal receives the per-stage reports at the round boundary.
         if with_scheduler {
-            if let Some(_lagger) = scheduler.observe(&steady.stage_times) {
+            if let Some(lagger) = scheduler.observe(&steady.stage_times) {
+                if let Some(tr) = tracer {
+                    tr.event(
+                        Domain::Scheduler,
+                        EventKind::LaggerDetected,
+                        lagger,
+                        t,
+                        steady.stage_times[lagger],
+                    );
+                }
                 let new_partition =
                     partition_dp(model, &devices, link, mbs).expect("repartition must be feasible");
                 if new_partition != partition {
                     let moved = migration_bytes(model, &partition, &new_partition);
                     let pause = link.transfer_time(moved) + scheduler.restart_overhead;
+                    if let Some(tr) = tracer {
+                        tr.event(
+                            Domain::Scheduler,
+                            EventKind::Migration,
+                            lagger,
+                            t,
+                            moved as f64,
+                        );
+                        tr.event(
+                            Domain::Scheduler,
+                            EventKind::Restart,
+                            lagger,
+                            t + pause,
+                            pause,
+                        );
+                    }
                     events.push(RescheduleEvent {
                         time: t,
                         old_boundaries: partition.boundaries.clone(),
@@ -404,6 +493,44 @@ mod tests {
         );
         // Neither run should out-perform the pre-spike pipeline.
         assert!(with.post_spike_throughput <= with.pre_spike_throughput * 1.01);
+    }
+
+    #[test]
+    fn traced_spike_records_reschedule_timeline() {
+        let (model, devices, link) = setup();
+        let spike = LoadSpike {
+            device: 1,
+            at: 100.0,
+            load: 0.6,
+        };
+        let tracer = Tracer::new();
+        let trace = simulate_load_spike_traced(
+            &model,
+            &devices,
+            &link,
+            8,
+            8,
+            spike,
+            250.0,
+            true,
+            SchedulerConfig::default(),
+            &tracer,
+        );
+        assert!(!trace.events.is_empty(), "scheduler should migrate");
+        let view = tracer.view();
+        let migrations = view.events_of(EventKind::Migration);
+        assert_eq!(migrations.len(), trace.events.len());
+        for (ev, rec) in trace.events.iter().zip(&migrations) {
+            assert!((rec.time - ev.time).abs() < 1e-12);
+            assert!((rec.value - ev.bytes_moved as f64).abs() < 1e-12);
+        }
+        // Every migration is preceded by a lagger detection at its time.
+        assert!(view.events_of(EventKind::LaggerDetected).len() >= migrations.len());
+        let restarts = view.events_of(EventKind::Restart);
+        assert_eq!(restarts.len(), trace.events.len());
+        for (ev, rec) in trace.events.iter().zip(&restarts) {
+            assert!((rec.value - ev.pause).abs() < 1e-12);
+        }
     }
 
     #[test]

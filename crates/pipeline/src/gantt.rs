@@ -1,14 +1,20 @@
 //! ASCII Gantt rendering of executed pipeline schedules.
 //!
-//! Turns an [`ExecutionReport`](crate::executor::ExecutionReport)'s task
-//! trace into the schedule pictures of the paper's Figs. 3–4: one row per
-//! stage, forward passes as the micro-batch digit, backward passes as the
-//! digit in brackets-free lowercase band (distinguished by style), idle
-//! time as dots. Useful for eyeballing SSB/DDB structure and for docs.
+//! Turns a recorded pipeline trace into the schedule pictures of the
+//! paper's Figs. 3–4: one row per stage, forward passes as the
+//! micro-batch digit, backward passes as the digit in brackets-free
+//! lowercase band (distinguished by style), idle time as dots. Useful
+//! for eyeballing SSB/DDB structure and for docs.
+//!
+//! The renderer consumes the obs layer's [`TraceView`] (compute spans of
+//! [`Domain::Pipeline`]); [`render_round`] keeps the original
+//! span-slice entry point by lifting the spans through
+//! [`spans_to_view`](crate::executor::spans_to_view).
 
-use crate::executor::TaskSpan;
+use crate::executor::{spans_to_view, TaskSpan};
+use ecofl_obs::{SpanKind, TraceView};
 
-/// Renders the spans of one sync-round as an ASCII Gantt chart.
+/// Renders one sync-round of a pipeline trace as an ASCII Gantt chart.
 ///
 /// `width` is the number of character columns the round's duration maps
 /// onto. Forward tasks paint `F<digit>`-style cells using the micro-batch
@@ -16,37 +22,36 @@ use crate::executor::TaskSpan;
 /// via `b`-prefixed cells; idle time is `·`.
 ///
 /// Returns one line per stage, prefixed with the stage index.
+///
+/// # Panics
+/// Panics if `width < 10`.
 #[must_use]
-pub fn render_round(spans: &[TaskSpan], round: usize, width: usize) -> Vec<String> {
-    assert!(width >= 10, "render_round: width too small");
-    let round_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.round == round).collect();
-    if round_spans.is_empty() {
+pub fn render_view(view: &TraceView, round: usize, width: usize) -> Vec<String> {
+    assert!(width >= 10, "render_view: width too small");
+    let Some((t0, t1)) = view.round_window(round) else {
         return Vec::new();
-    }
-    let t0 = round_spans
-        .iter()
-        .map(|s| s.start)
-        .fold(f64::INFINITY, f64::min);
-    let t1 = round_spans
-        .iter()
-        .map(|s| s.end)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let stages = round_spans.iter().map(|s| s.stage).max().unwrap_or(0) + 1;
+    };
+    let stages = view
+        .compute_spans(round)
+        .map(|s| s.entity)
+        .max()
+        .unwrap_or(0)
+        + 1;
     let scale = width as f64 / (t1 - t0).max(1e-12);
 
     let mut rows = vec![vec!['·'; width]; stages];
-    for span in &round_spans {
-        let a = (((span.start - t0) * scale) as usize).min(width - 1);
-        let b = (((span.end - t0) * scale).ceil() as usize).clamp(a + 1, width);
+    for span in view.compute_spans(round) {
+        let a = (((span.t0 - t0) * scale) as usize).min(width - 1);
+        let b = (((span.t1 - t0) * scale).ceil() as usize).clamp(a + 1, width);
         let digit = char::from_digit((span.micro % 10) as u32, 10).expect("digit");
-        let cell = if span.forward {
+        let cell = if span.kind == SpanKind::Forward {
             digit
         } else {
             // Backward cells render as letters a–j so the two phases are
             // visually distinct in plain ASCII.
             (b'a' + (span.micro % 10) as u8) as char
         };
-        for c in rows[span.stage].iter_mut().take(b).skip(a) {
+        for c in rows[span.entity].iter_mut().take(b).skip(a) {
             *c = cell;
         }
     }
@@ -54,6 +59,16 @@ pub fn render_round(spans: &[TaskSpan], round: usize, width: usize) -> Vec<Strin
         .enumerate()
         .map(|(s, row)| format!("stage {s} |{}|", row.into_iter().collect::<String>()))
         .collect()
+}
+
+/// [`render_view`] over a raw task-span slice (kept for callers holding
+/// an [`ExecutionReport`](crate::executor::ExecutionReport)).
+///
+/// # Panics
+/// Panics if `width < 10`.
+#[must_use]
+pub fn render_round(spans: &[TaskSpan], round: usize, width: usize) -> Vec<String> {
+    render_view(&spans_to_view(spans), round, width)
 }
 
 /// Renders a compact legend for [`render_round`] output.
@@ -71,6 +86,7 @@ mod tests {
     use crate::partition::partition_dp;
     use crate::profiler::PipelineProfile;
     use ecofl_models::efficientnet_at;
+    use ecofl_obs::Tracer;
     use ecofl_simnet::{nano_h, tx2_q, Device, Link};
 
     fn trace() -> crate::executor::ExecutionReport {
@@ -98,6 +114,26 @@ mod tests {
             assert!(row.starts_with("stage "));
             assert!(row.len() > 80);
         }
+    }
+
+    #[test]
+    fn render_from_live_tracer_matches_span_slice() {
+        // The TraceView produced by an actual traced run renders the
+        // same picture as the span-slice path (comm spans are ignored
+        // by the renderer).
+        let model = efficientnet_at(0, 224);
+        let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+        let link = Link::mbps_100();
+        let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
+        let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
+        let k = p_bounds(&profile);
+        let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+        let tracer = Tracer::new();
+        let report = exec.run_traced(6, 1, &tracer).expect("runs");
+        assert_eq!(
+            render_view(&tracer.view(), 0, 90),
+            render_round(&report.task_spans, 0, 90)
+        );
     }
 
     #[test]

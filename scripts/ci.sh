@@ -13,7 +13,11 @@ cd "$(dirname "$0")/.."
 
 echo "==> hermeticity guard: no non-ecofl dependencies in any Cargo.toml"
 bad=0
+covered_obs=0
 while IFS= read -r manifest; do
+    case "$manifest" in
+        */crates/obs/Cargo.toml) covered_obs=1 ;;
+    esac
     # Collect dependency names from every [*dependencies*] section:
     # lines like `foo = ...` or `foo.workspace = true` between a
     # dependencies header and the next section header.
@@ -36,6 +40,10 @@ if [ "$bad" -ne 0 ]; then
     echo "Hermeticity guard failed: the workspace must only depend on in-repo ecofl-* crates." >&2
     exit 1
 fi
+if [ "$covered_obs" -ne 1 ]; then
+    echo "ERROR: hermeticity guard never saw crates/obs/Cargo.toml — the manifest walk is broken." >&2
+    exit 1
+fi
 echo "    ok"
 
 echo "==> cargo build --workspace --release --offline"
@@ -43,6 +51,9 @@ cargo build --workspace --release --offline
 
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+
+echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -6,16 +6,20 @@
 //! ecofl gantt   --model effnet-b0 --devices tx2q,nanoh,nanoh --schedule gpipe
 //! ecofl spike   --model effnet-b4 --devices tx2q,nanoh,nanoh --load 0.6
 //! ecofl fl      --strategy ecofl --clients 60 --horizon 800
+//! ecofl trace   --model effnet-b0 --devices tx2q,nanoh,nanoh
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: `--key value` pairs
-//! after a subcommand.
+//! after a subcommand. Every failure path is a typed [`EcoFlError`];
+//! `main` prints its `Display` form, which carries the exact message.
 
+use ecofl::obs::{trace_dir, write_jsonl};
 use ecofl::prelude::*;
-use ecofl_pipeline::executor::ExecError;
+use ecofl_pipeline::adaptive::{simulate_load_spike_traced, SchedulerConfig};
 use ecofl_pipeline::gantt::{legend, render_round};
 use ecofl_pipeline::orchestrator::k_bounds;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn parse_args(args: &[String]) -> HashMap<String, String> {
@@ -32,12 +36,17 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
     map
 }
 
-fn parse_model(name: &str) -> Result<ModelProfile, String> {
+fn require<'a>(args: &'a HashMap<String, String>, key: &str) -> Result<&'a String, EcoFlError> {
+    args.get(key)
+        .ok_or_else(|| EcoFlError::Config(format!("--{key} is required")))
+}
+
+fn parse_model(name: &str) -> Result<ModelProfile, EcoFlError> {
     let (base, res) = match name.split_once('@') {
         Some((b, r)) => (
             b,
             r.parse::<usize>()
-                .map_err(|_| format!("bad resolution in {name}"))?,
+                .map_err(|_| EcoFlError::Parse(format!("bad resolution in {name}")))?,
         ),
         None => (name, 224),
     };
@@ -52,38 +61,69 @@ fn parse_model(name: &str) -> Result<ModelProfile, String> {
         "mobilenet-w1" => Ok(mobilenet_v2_at(1.0, res)),
         "mobilenet-w2" => Ok(mobilenet_v2_at(2.0, res)),
         "mobilenet-w3" => Ok(mobilenet_v2_at(3.0, res)),
-        other => Err(format!(
+        other => Err(EcoFlError::Parse(format!(
             "unknown model '{other}' (effnet-b0..b6, mobilenet-w1..w3, optionally @<res>)"
-        )),
+        ))),
     }
 }
 
-fn parse_devices(spec: &str) -> Result<Vec<Device>, String> {
+fn parse_devices(spec: &str) -> Result<Vec<Device>, EcoFlError> {
     spec.split(',')
         .map(|d| match d.trim() {
             "nanol" | "nano-l" => Ok(Device::new(nano_l())),
             "nanoh" | "nano-h" => Ok(Device::new(nano_h())),
             "tx2q" | "tx2-q" => Ok(Device::new(tx2_q())),
             "tx2n" | "tx2-n" => Ok(Device::new(tx2_n())),
-            other => Err(format!(
+            other => Err(EcoFlError::Parse(format!(
                 "unknown device '{other}' (nanol, nanoh, tx2q, tx2n)"
-            )),
+            ))),
         })
         .collect()
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, EcoFlError> {
+    match name {
+        "fedavg" => Ok(Strategy::FedAvg),
+        "fedasync" => Ok(Strategy::FedAsync),
+        "fedat" => Ok(Strategy::FedAt),
+        "astraea" => Ok(Strategy::Astraea),
+        "ecofl" => Ok(Strategy::EcoFl {
+            dynamic_grouping: true,
+        }),
+        "ecofl-static" => Ok(Strategy::EcoFl {
+            dynamic_grouping: false,
+        }),
+        other => Err(EcoFlError::Parse(format!(
+            "unknown strategy '{other}' (fedavg, fedasync, fedat, astraea, ecofl, ecofl-static)"
+        ))),
+    }
+}
+
+fn parse_schedule(name: &str, k: Vec<usize>) -> Result<SchedulePolicy, EcoFlError> {
+    match name {
+        "1f1b" => Ok(SchedulePolicy::OneFOneBSync { k }),
+        "gpipe" => Ok(SchedulePolicy::BafSync),
+        "async" => Ok(SchedulePolicy::OneFOneBAsync { k }),
+        other => Err(EcoFlError::Parse(format!(
+            "unknown schedule '{other}' (1f1b, gpipe, async)"
+        ))),
+    }
 }
 
 fn get<T: std::str::FromStr>(
     args: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, EcoFlError> {
     match args.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| EcoFlError::Parse(format!("bad value for --{key}: {v}"))),
     }
 }
 
-fn cmd_devices() -> Result<(), String> {
+fn cmd_devices() -> Result<(), EcoFlError> {
     println!("Table 1 device catalog:");
     for spec in ecofl_simnet::table1() {
         println!(
@@ -97,9 +137,9 @@ fn cmd_devices() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &HashMap<String, String>) -> Result<(), String> {
-    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
-    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+fn cmd_plan(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let model = parse_model(require(args, "model")?)?;
+    let devices = parse_devices(require(args, "devices")?)?;
     let batch = get(args, "batch", 128usize)?;
     let plan = search_configuration(
         &model,
@@ -111,7 +151,7 @@ fn cmd_plan(args: &HashMap<String, String>) -> Result<(), String> {
             eval_rounds: 2,
         },
     )
-    .ok_or("no feasible pipeline configuration")?;
+    .ok_or_else(|| EcoFlError::Plan("no feasible pipeline configuration".into()))?;
     println!("{} over {} device(s):", model.name, devices.len());
     println!(
         "  device order : {:?}",
@@ -151,51 +191,44 @@ fn cmd_plan(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gantt(args: &HashMap<String, String>) -> Result<(), String> {
-    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
-    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+fn cmd_gantt(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let model = parse_model(require(args, "model")?)?;
+    let devices = parse_devices(require(args, "devices")?)?;
     let mbs = get(args, "mbs", 8usize)?;
     let m = get(args, "micro-batches", 6usize)?;
     let width = get(args, "width", 100usize)?;
     let link = Link::mbps_100();
-    let partition = partition_dp(&model, &devices, &link, mbs).ok_or("no feasible partition")?;
+    let partition = partition_dp(&model, &devices, &link, mbs)
+        .ok_or_else(|| EcoFlError::Plan("no feasible partition".into()))?;
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
-    let k = k_bounds(&profile).ok_or("memory admits no residency")?;
+    let k =
+        k_bounds(&profile).ok_or_else(|| EcoFlError::Plan("memory admits no residency".into()))?;
     let schedule = args.get("schedule").map_or("1f1b", String::as_str);
-    let policy = match schedule {
-        "1f1b" => SchedulePolicy::OneFOneBSync { k },
-        "gpipe" => SchedulePolicy::BafSync,
-        "async" => SchedulePolicy::OneFOneBAsync { k },
-        other => return Err(format!("unknown schedule '{other}' (1f1b, gpipe, async)")),
-    };
-    match PipelineExecutor::new(&profile, policy).run(m, 1) {
-        Ok(report) => {
-            println!("{} — {schedule} schedule, mbs {mbs}, M = {m}", model.name);
-            println!("{}", legend());
-            for line in render_round(&report.task_spans, 0, width) {
-                println!("{line}");
-            }
-            println!(
-                "round {:.2}s, {:.1} samples/s",
-                report.round_time, report.throughput
-            );
-            Ok(())
-        }
-        Err(ExecError::Oom { stage, micro }) => Err(format!(
-            "schedule OOMs on stage {stage} at micro-batch {micro}"
-        )),
+    let policy = parse_schedule(schedule, k)?;
+    let report = PipelineExecutor::new(&profile, policy).run(m, 1)?;
+    println!("{} — {schedule} schedule, mbs {mbs}, M = {m}", model.name);
+    println!("{}", legend());
+    for line in render_round(&report.task_spans, 0, width) {
+        println!("{line}");
     }
+    println!(
+        "round {:.2}s, {:.1} samples/s",
+        report.round_time, report.throughput
+    );
+    Ok(())
 }
 
-fn cmd_spike(args: &HashMap<String, String>) -> Result<(), String> {
-    let model = parse_model(args.get("model").ok_or("--model is required")?)?;
-    let devices = parse_devices(args.get("devices").ok_or("--devices is required")?)?;
+fn cmd_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let model = parse_model(require(args, "model")?)?;
+    let devices = parse_devices(require(args, "devices")?)?;
     let load = get(args, "load", 0.6f64)?;
     let at = get(args, "at", 100.0f64)?;
     let device = get(args, "device", 1usize)?;
     let horizon = get(args, "horizon", 250.0f64)?;
     if device >= devices.len() {
-        return Err(format!("--device {device} out of range"));
+        return Err(EcoFlError::Config(format!(
+            "--device {device} out of range"
+        )));
     }
     let spike = LoadSpike { device, at, load };
     let link = Link::mbps_100();
@@ -230,55 +263,13 @@ fn cmd_spike(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fl(args: &HashMap<String, String>) -> Result<(), String> {
-    let strategy = match args.get("strategy").map_or("ecofl", String::as_str) {
-        "fedavg" => Strategy::FedAvg,
-        "fedasync" => Strategy::FedAsync,
-        "fedat" => Strategy::FedAt,
-        "astraea" => Strategy::Astraea,
-        "ecofl" => Strategy::EcoFl {
-            dynamic_grouping: true,
-        },
-        "ecofl-static" => Strategy::EcoFl {
-            dynamic_grouping: false,
-        },
-        other => {
-            return Err(format!(
-                "unknown strategy '{other}' (fedavg, fedasync, fedat, astraea, ecofl, ecofl-static)"
-            ))
-        }
-    };
+fn cmd_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let strategy = parse_strategy(args.get("strategy").map_or("ecofl", String::as_str))?;
     let clients = get(args, "clients", 60usize)?;
     let horizon = get(args, "horizon", 800.0f64)?;
     let seed = get(args, "seed", 42u64)?;
-    let dataset = match args.get("dataset").map_or("cifar", String::as_str) {
-        "mnist" => SyntheticSpec::mnist_like(),
-        "fashion" => SyntheticSpec::fashion_like(),
-        "cifar" => SyntheticSpec::cifar_like(),
-        other => return Err(format!("unknown dataset '{other}' (mnist, fashion, cifar)")),
-    };
-    let config = FlConfig {
-        num_clients: clients,
-        clients_per_round: (clients / 3).clamp(4, 20),
-        horizon,
-        eval_interval: horizon / 25.0,
-        seed,
-        ..FlConfig::default()
-    };
-    let data = FederatedDataset::generate(
-        &dataset,
-        clients,
-        60,
-        50,
-        PartitionScheme::ClassesPerClient(2),
-        None,
-        seed,
-    );
-    let setup = FlSetup {
-        data,
-        arch: ModelArch::Mlp,
-        config,
-    };
+    let dataset = parse_dataset(args.get("dataset").map_or("cifar", String::as_str))?;
+    let setup = fl_setup(&dataset, clients, horizon, seed);
     let r = run_strategy(strategy, &setup);
     println!(
         "{} on {} ({clients} clients, horizon {horizon}s):",
@@ -297,6 +288,209 @@ fn cmd_fl(args: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_dataset(name: &str) -> Result<SyntheticSpec, EcoFlError> {
+    match name {
+        "mnist" => Ok(SyntheticSpec::mnist_like()),
+        "fashion" => Ok(SyntheticSpec::fashion_like()),
+        "cifar" => Ok(SyntheticSpec::cifar_like()),
+        other => Err(EcoFlError::Parse(format!(
+            "unknown dataset '{other}' (mnist, fashion, cifar)"
+        ))),
+    }
+}
+
+fn fl_setup(dataset: &SyntheticSpec, clients: usize, horizon: f64, seed: u64) -> FlSetup {
+    let config = FlConfig {
+        num_clients: clients,
+        clients_per_round: (clients / 3).clamp(4, 20),
+        horizon,
+        eval_interval: horizon / 25.0,
+        seed,
+        ..FlConfig::default()
+    };
+    let data = FederatedDataset::generate(
+        dataset,
+        clients,
+        60,
+        50,
+        PartitionScheme::ClassesPerClient(2),
+        None,
+        seed,
+    );
+    FlSetup {
+        data,
+        arch: ModelArch::Mlp,
+        config,
+    }
+}
+
+/// Writes `records` as `<name>.jsonl` under the shared trace directory
+/// (or to `--out` when given) and returns the path.
+fn write_trace(
+    args: &HashMap<String, String>,
+    name: &str,
+    records: &[TraceRecord],
+) -> Result<PathBuf, EcoFlError> {
+    let path = match args.get("out") {
+        Some(out) => PathBuf::from(out),
+        None => trace_dir().join(format!("{name}.jsonl")),
+    };
+    write_jsonl(&path, records)
+        .map_err(|e| EcoFlError::Io(format!("cannot write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+fn cmd_trace(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    match args.get("scenario").map_or("pipeline", String::as_str) {
+        "pipeline" => cmd_trace_pipeline(args),
+        "spike" => cmd_trace_spike(args),
+        "fl" => cmd_trace_fl(args),
+        other => Err(EcoFlError::Parse(format!(
+            "unknown scenario '{other}' (pipeline, spike, fl)"
+        ))),
+    }
+}
+
+/// Traced pipeline run: per-round bubble fractions, total idle cross-check
+/// against the executor's own accounting, and the slowest stages.
+fn cmd_trace_pipeline(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let model = parse_model(require(args, "model")?)?;
+    let devices = parse_devices(require(args, "devices")?)?;
+    let mbs = get(args, "mbs", 8usize)?;
+    let m = get(args, "micro-batches", 6usize)?;
+    let rounds = get(args, "rounds", 2usize)?;
+    let top = get(args, "top", 3usize)?;
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, mbs)
+        .ok_or_else(|| EcoFlError::Plan("no feasible partition".into()))?;
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+    let k =
+        k_bounds(&profile).ok_or_else(|| EcoFlError::Plan("memory admits no residency".into()))?;
+    let schedule = args.get("schedule").map_or("1f1b", String::as_str);
+    let policy = parse_schedule(schedule, k)?;
+    let tracer = Tracer::new();
+    let report = PipelineExecutor::new(&profile, policy).run_traced(m, rounds, &tracer)?;
+    let view = tracer.view();
+
+    let path = write_trace(args, "pipeline", &tracer.records())?;
+    println!(
+        "{} — {schedule} schedule, mbs {mbs}, M = {m}, {rounds} round(s)",
+        model.name
+    );
+    println!(
+        "trace: {} ({} records)",
+        path.display(),
+        view.records().len()
+    );
+    for r in 0..view.pipeline_rounds() {
+        let bubble = view.bubble_fraction(r).unwrap_or(0.0);
+        let (t0, t1) = view.round_window(r).unwrap_or((0.0, 0.0));
+        println!(
+            "  round {r}: window {:.2}s..{:.2}s, bubble fraction {bubble:.4}",
+            t0, t1
+        );
+    }
+    let trace_idle = view.total_idle_time();
+    let report_idle: f64 = report.stage_idle_time.iter().sum();
+    println!(
+        "  idle: {trace_idle:.6}s from trace, {report_idle:.6}s from executor (|Δ| = {:.1e})",
+        (trace_idle - report_idle).abs()
+    );
+    println!("  top {top} slowest stage(s) by compute time:");
+    for (stage, busy) in view.top_slowest_stages(top) {
+        println!("    stage {stage}: {busy:.2}s");
+    }
+    Ok(())
+}
+
+/// Traced §4.4 load-spike run: the re-scheduling timeline (lagger
+/// detections, migrations, restarts) straight from the trace.
+fn cmd_trace_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let model = parse_model(require(args, "model")?)?;
+    let devices = parse_devices(require(args, "devices")?)?;
+    let load = get(args, "load", 0.6f64)?;
+    let at = get(args, "at", 100.0f64)?;
+    let device = get(args, "device", 1usize)?;
+    let horizon = get(args, "horizon", 250.0f64)?;
+    if device >= devices.len() {
+        return Err(EcoFlError::Config(format!(
+            "--device {device} out of range"
+        )));
+    }
+    let spike = LoadSpike { device, at, load };
+    let tracer = Tracer::new();
+    let trace = simulate_load_spike_traced(
+        &model,
+        &devices,
+        &Link::mbps_100(),
+        8,
+        16,
+        spike,
+        horizon,
+        true,
+        SchedulerConfig::default(),
+        &tracer,
+    );
+    let view = tracer.view();
+    let path = write_trace(args, "spike", &tracer.records())?;
+    println!(
+        "{}: {load:.0}% load on device {device} at t = {at}s",
+        model.name
+    );
+    println!(
+        "trace: {} ({} records)",
+        path.display(),
+        view.records().len()
+    );
+    println!(
+        "  throughput: {:.2} -> {:.2} samples/s",
+        trace.pre_spike_throughput, trace.post_spike_throughput
+    );
+    println!("  re-scheduling timeline:");
+    for ev in view.reschedule_timeline() {
+        println!(
+            "    {:7.2}s  {:?} (entity {}, value {:.2})",
+            ev.time, ev.kind, ev.entity, ev.value
+        );
+    }
+    Ok(())
+}
+
+/// Traced FL run: convergence metrics recomputed from the trace alone.
+fn cmd_trace_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let strategy = parse_strategy(args.get("strategy").map_or("ecofl", String::as_str))?;
+    let clients = get(args, "clients", 24usize)?;
+    let horizon = get(args, "horizon", 300.0f64)?;
+    let seed = get(args, "seed", 42u64)?;
+    let dataset = parse_dataset(args.get("dataset").map_or("mnist", String::as_str))?;
+    let setup = fl_setup(&dataset, clients, horizon, seed);
+    let tracer = Tracer::new();
+    let r = run_strategy_traced(strategy, &setup, &tracer);
+    let view = tracer.view();
+    let path = write_trace(args, "fl", &tracer.records())?;
+    let summary = summarize_view(&view, &r.strategy, &[0.3, 0.5, 0.7, 0.9]);
+    println!(
+        "{} on {} ({clients} clients, horizon {horizon}s):",
+        r.strategy, dataset.name
+    );
+    println!(
+        "trace: {} ({} records)",
+        path.display(),
+        view.records().len()
+    );
+    println!(
+        "  updates {} | mean accuracy {:.1}% | best {:.1}% | max drawdown {:.1}%",
+        view.counter_total("global_updates"),
+        summary.mean_accuracy * 100.0,
+        summary.best_accuracy * 100.0,
+        summary.max_drawdown * 100.0
+    );
+    for (th, t) in &summary.time_to {
+        println!("  reached {:.0}% at t = {t:.1}s", th * 100.0);
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: ecofl <command> [--key value ...]\n\
      commands:\n\
@@ -308,6 +502,8 @@ fn usage() -> &'static str {
               [--load F] [--at T] [--device I] [--horizon T]\n\
        fl     [--strategy S]         run a federated-learning simulation\n\
               [--clients N] [--horizon T] [--dataset mnist|fashion|cifar] [--seed N]\n\
+       trace  --model M --devices D  record a virtual-time trace as JSONL\n\
+              [--scenario pipeline|spike|fl] [--rounds N] [--top N] [--out FILE]\n\
      models : effnet-b0..b6, mobilenet-w1..w3 (optionally model@resolution)\n\
      devices: comma list of nanol, nanoh, tx2q, tx2n"
 }
@@ -325,11 +521,15 @@ fn main() -> ExitCode {
         "gantt" => cmd_gantt(&args),
         "spike" => cmd_spike(&args),
         "fl" => cmd_fl(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => Err(EcoFlError::Config(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -386,5 +586,21 @@ mod tests {
         assert_eq!(get(&map, "missing", 42usize).unwrap(), 42);
         map.insert("bad".to_owned(), "x".to_owned());
         assert!(get(&map, "bad", 1usize).is_err());
+    }
+
+    #[test]
+    fn errors_are_typed_and_keep_messages() {
+        let map = HashMap::new();
+        match require(&map, "model") {
+            Err(EcoFlError::Config(msg)) => assert_eq!(msg, "--model is required"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert!(matches!(parse_model("resnet"), Err(EcoFlError::Parse(_))));
+        assert!(matches!(parse_strategy("sgd"), Err(EcoFlError::Parse(_))));
+        assert!(matches!(
+            parse_schedule("rr", vec![1]),
+            Err(EcoFlError::Parse(_))
+        ));
+        assert!(matches!(parse_dataset("svhn"), Err(EcoFlError::Parse(_))));
     }
 }

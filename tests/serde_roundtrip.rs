@@ -137,6 +137,73 @@ fn scheduler_config_and_spike_round_trip() {
 }
 
 #[test]
+fn trace_record_variants_round_trip() {
+    use ecofl::obs::{CounterRecord, Domain, EventKind, EventRecord, GaugeRecord, SpanKind};
+    use ecofl::obs::{SpanRecord, TraceRecord};
+
+    let span = SpanRecord {
+        domain: Domain::Pipeline,
+        kind: SpanKind::Backward,
+        entity: 2,
+        round: 1,
+        micro: 5,
+        t0: 0.25,
+        t1: 1.75,
+    };
+    assert_eq!(round_trip(&span), span);
+
+    let event = EventRecord {
+        domain: Domain::Scheduler,
+        kind: EventKind::Migration,
+        entity: 1,
+        time: 116.5,
+        value: 1.5e7,
+    };
+    assert_eq!(round_trip(&event), event);
+
+    let counter = CounterRecord {
+        name: "global_updates".into(),
+        time: 3.0,
+        delta: 1.0,
+    };
+    assert_eq!(round_trip(&counter), counter);
+
+    let gauge = GaugeRecord {
+        name: "staleness_alpha".into(),
+        time: 7.5,
+        value: 0.375,
+    };
+    assert_eq!(round_trip(&gauge), gauge);
+
+    // The externally-tagged envelope every JSONL line uses.
+    for record in [
+        TraceRecord::Span(span),
+        TraceRecord::Event(event),
+        TraceRecord::Counter(counter),
+        TraceRecord::Gauge(gauge),
+    ] {
+        assert_eq!(round_trip(&record), record);
+    }
+}
+
+#[test]
+fn trace_jsonl_files_round_trip() {
+    use ecofl::obs::{read_jsonl, trace_dir, write_jsonl, Domain, EventKind, SpanKind};
+
+    let tracer = Tracer::new();
+    tracer.span(Domain::Fl, SpanKind::LocalTrain, 4, 2, 0, 10.0, 14.5);
+    tracer.event(Domain::Grouping, EventKind::RegroupMoved, 4, 14.5, 1.0);
+    tracer.counter("global_updates", 14.5, 1.0);
+    tracer.gauge("accuracy", 15.0, 0.625);
+    let records = tracer.records();
+
+    let path = trace_dir().join("serde-roundtrip-test.jsonl");
+    write_jsonl(&path, &records).expect("write");
+    assert_eq!(read_jsonl(&path).expect("read"), records);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn synthetic_spec_round_trips_values() {
     // SyntheticSpec carries a &'static str name, so compare fields.
     let spec = SyntheticSpec::cifar_like();

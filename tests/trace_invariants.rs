@@ -1,0 +1,149 @@
+//! Property-tested invariants of the obs layer against the pipeline
+//! executor: traced spans must serialize per device, the trace's idle
+//! accounting must agree with the executor's own, and on a uniform
+//! pipeline the measured bubble fraction must match the analytic Eq. 2
+//! synchronous static bubble exactly.
+
+use ecofl::obs::{Domain, SpanKind, SpanRecord, Tracer};
+use ecofl_compat::check::{f64_in, forall, quad, triple, usize_in, vec_in};
+use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
+use ecofl_pipeline::orchestrator::p_bounds;
+use ecofl_pipeline::profiler::{PipelineProfile, StageProfile};
+
+const CASES: usize = 24;
+
+/// A stage with explicit compute/comm times and ample memory.
+fn stage(s: usize, s_count: usize, t_fwd: f64, t_bwd: f64, comm: f64) -> StageProfile {
+    let last = s + 1 == s_count;
+    StageProfile {
+        device: s,
+        layers: s..s + 1,
+        t_fwd,
+        t_bwd,
+        c_fwd: if last { 0.0 } else { comm },
+        c_bwd: if last { 0.0 } else { comm },
+        param_bytes: 1,
+        activation_bytes_per_mb: 1,
+        boundary_bytes: 1,
+        memory_budget_bytes: 1 << 40,
+        efficiency: 1.0,
+    }
+}
+
+fn assert_serialized(spans: &mut Vec<&SpanRecord>, what: &str) {
+    spans.sort_by(|a, b| a.t0.partial_cmp(&b.t0).expect("finite"));
+    for w in spans.windows(2) {
+        assert!(
+            w[1].t0 >= w[0].t1 - 1e-9,
+            "{what} overlap: [{}, {}] then [{}, {}]",
+            w[0].t0,
+            w[0].t1,
+            w[1].t0,
+            w[1].t1
+        );
+    }
+}
+
+#[test]
+fn traced_spans_serialize_per_device_and_idle_matches_executor() {
+    // Heterogeneous stage widths, arbitrary micro-batch count and rounds.
+    let input = triple(
+        vec_in(f64_in(0.05, 1.0), 2, 5),
+        usize_in(2, 9),
+        usize_in(1, 4),
+    );
+    forall(
+        "traced_spans_serialize_per_device_and_idle_matches_executor",
+        CASES,
+        &input,
+        |(widths, m, rounds)| {
+            let s_count = widths.len();
+            let stages: Vec<StageProfile> = widths
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| stage(s, s_count, w / 3.0, 2.0 * w / 3.0, 0.02))
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 4);
+            let k = p_bounds(&profile);
+            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+            let tracer = Tracer::new();
+            let report = exec.run_traced(*m, *rounds, &tracer).expect("ample memory");
+            let view = tracer.view();
+
+            assert_eq!(view.stage_count(), s_count);
+            assert_eq!(view.pipeline_rounds(), *rounds);
+            for s in 0..s_count {
+                // A device executes one compute task at a time …
+                let mut compute: Vec<&SpanRecord> = view
+                    .spans()
+                    .filter(|sp| sp.is_compute() && sp.entity == s)
+                    .collect();
+                assert_eq!(compute.len(), 2 * m * rounds, "2·M tasks per round");
+                assert_serialized(&mut compute, "compute");
+                // … and each link direction carries one transfer at a time.
+                for kind in [SpanKind::CommForward, SpanKind::CommBackward] {
+                    let mut comm: Vec<&SpanRecord> = view
+                        .spans_of(Domain::Pipeline, kind)
+                        .filter(|sp| sp.entity == s)
+                        .collect();
+                    assert_serialized(&mut comm, "comm");
+                }
+            }
+            // The trace's idle accounting is the executor's.
+            let report_idle: f64 = report.stage_idle_time.iter().sum();
+            assert!(
+                (view.total_idle_time() - report_idle).abs() < 1e-9,
+                "trace idle {} vs executor idle {report_idle}",
+                view.total_idle_time()
+            );
+        },
+    );
+}
+
+#[test]
+fn uniform_pipeline_bubble_fraction_matches_eq2_ssb() {
+    // S identical stages, zero task overhead, DDB-free residency: every
+    // round's bubble is exactly the Eq. 2 synchronous static bubble, so
+    // the trace-measured fraction must equal SSB / (M·(t_f+t_b) + SSB).
+    let input = quad(
+        usize_in(2, 6),
+        usize_in(2, 10),
+        f64_in(0.05, 0.5),
+        f64_in(0.0, 0.2),
+    );
+    forall(
+        "uniform_pipeline_bubble_fraction_matches_eq2_ssb",
+        CASES,
+        &input,
+        |(s_count, m, w, comm)| {
+            let stages: Vec<StageProfile> = (0..*s_count)
+                .map(|s| stage(s, *s_count, *w, 2.0 * *w, *comm))
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 4);
+            let k = p_bounds(&profile);
+            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .with_task_overhead(0.0);
+            let tracer = Tracer::new();
+            let report = exec.run_traced(*m, 2, &tracer).expect("ample memory");
+            let view = tracer.view();
+
+            // Eq. 2 on uniform stages: SSB = (S−1) · (t_f + t_b + c_f + c_b).
+            let w_c = 3.0 * *w;
+            let expected_ssb = (*s_count as f64 - 1.0) * (w_c + 2.0 * *comm);
+            assert!(
+                (report.ssb_per_round - expected_ssb).abs() < 1e-9,
+                "analytic SSB {} vs Eq. 2 {expected_ssb}",
+                report.ssb_per_round
+            );
+            let expected_bubble = expected_ssb / (*m as f64 * w_c + expected_ssb);
+            for r in 0..view.pipeline_rounds() {
+                let bubble = view.bubble_fraction(r).expect("round has spans");
+                assert!(
+                    (bubble - expected_bubble).abs() < 1e-9,
+                    "round {r}: measured bubble {bubble} vs Eq. 2 {expected_bubble} \
+                     (S = {s_count}, M = {m}, w = {w}, comm = {comm})"
+                );
+            }
+        },
+    );
+}
