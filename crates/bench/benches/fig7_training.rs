@@ -53,17 +53,7 @@ fn run_dataset(spec: &SyntheticSpec, horizon: f64, seed: u64, out: &mut Vec<Curv
         config,
     };
     println!("\n--- {} (dynamic setting, 2-class non-IID) ---", spec.name);
-    for strategy in [
-        Strategy::FedAvg,
-        Strategy::FedAsync,
-        Strategy::FedAt,
-        Strategy::EcoFl {
-            dynamic_grouping: false,
-        },
-        Strategy::EcoFl {
-            dynamic_grouping: true,
-        },
-    ] {
+    for strategy in Strategy::LINEUP {
         let r = run(strategy, &setup);
         println!(
             "{:<14} best {:5.1}%  final {:5.1}%  drawdown {:4.1}pp  {:>5} updates  {:>3} regroups",

@@ -16,7 +16,10 @@ pub use ecofl_data::{Dataset, FederatedDataset, SyntheticSpec};
 pub use ecofl_fl::engine::{
     run as run_strategy, run_traced as run_strategy_traced, FlSetup, RunResult, Strategy,
 };
-pub use ecofl_fl::{summarize_view, ConvergenceSummary, DynamicsConfig, FlConfig, LatencyModel};
+pub use ecofl_fl::{
+    strategy_object, summarize_view, AggregationStrategy, ConvergenceSummary, DynamicsConfig,
+    FlConfig, LatencyModel, Scheduler,
+};
 pub use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 pub use ecofl_models::{
     efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,

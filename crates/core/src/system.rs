@@ -109,6 +109,14 @@ impl EcoFlSystemBuilder {
         self
     }
 
+    /// Sets the client↔server communication latency the FL scheduler
+    /// adds to every pipeline-derived response delay, seconds.
+    #[must_use]
+    pub fn comm_latency(mut self, seconds: f64) -> Self {
+        self.fl_config.comm_latency = seconds;
+        self
+    }
+
     /// Selects the synthetic dataset family.
     #[must_use]
     pub fn dataset(mut self, spec: SyntheticSpec) -> Self {
@@ -394,6 +402,32 @@ mod tests {
         let view = tracer.view();
         assert!(view.counter_total("global_updates") > 0.0);
         assert!(!view.gauge_series("accuracy").is_empty());
+    }
+
+    #[test]
+    fn comm_latency_plumbs_through_to_the_fl_scheduler() {
+        let make = |comm: f64| {
+            EcoFlSystem::builder()
+                .homes(homes())
+                .replicate_homes(6)
+                .fl_config(quick_cfg())
+                .comm_latency(comm)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let cheap = make(0.0);
+        let costly = make(60.0);
+        // A 60 s uplink tax on every round must slow the update rate at
+        // an equal horizon; the pipeline half is untouched by it.
+        assert!(
+            costly.fl.global_updates < cheap.fl.global_updates,
+            "comm latency {} updates vs {}",
+            costly.fl.global_updates,
+            cheap.fl.global_updates
+        );
+        assert_eq!(cheap.client_delays, costly.client_delays);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct FlConfig {
     /// Evaluate the global model at most once per this many virtual
     /// seconds (keeps traces compact).
     pub eval_interval: f64,
+    /// Fixed client↔server communication latency added to every
+    /// response, seconds.
+    pub comm_latency: f64,
     /// Mean of the base response-delay distribution, seconds.
     pub base_delay_mean: f64,
     /// Std-dev of the base response-delay distribution, seconds.
@@ -90,6 +93,7 @@ impl Default for FlConfig {
             rt_min: 5.0,
             horizon: 3000.0,
             eval_interval: 20.0,
+            comm_latency: 1.0,
             base_delay_mean: 30.0,
             base_delay_std: 10.0,
             dynamics: Some(DynamicsConfig::default()),
@@ -136,6 +140,7 @@ mod tests {
         assert_eq!(c.batch_size, 10);
         assert!((c.mu - 0.05).abs() < 1e-9);
         assert_eq!(c.num_groups, 5);
+        assert!((c.comm_latency - 1.0).abs() < 1e-12);
         let d = c.dynamics.unwrap();
         assert_eq!(d.degrees, vec![0.2, 0.4, 0.6, 0.8, 1.0]);
     }

@@ -1,9 +1,13 @@
-//! The virtual-time FL engine: five strategies, one clock.
+//! The virtual-time FL engine façade: strategy selection and run results.
 //!
 //! All strategies train *real* models (genuine SGD on every client's
-//! shard, parallelized across clients with the compat worker pool)
-//! while the clock advances
-//! by simulated response latencies:
+//! shard, sharded across the compat worker pool with an ordered
+//! reduction) while the clock advances by simulated response latencies.
+//! Since the scheduler/strategy split, this module only holds the
+//! serializable [`Strategy`] selector, the [`FlSetup`]/[`RunResult`]
+//! types and the [`run`]/[`run_traced`] entry points; the event-driven
+//! round scheduler lives in [`crate::sched`] and the per-strategy
+//! aggregation objects in [`crate::strategies`]:
 //!
 //! - [`Strategy::FedAvg`] — synchronous rounds over a random client
 //!   sample; the round lasts as long as its slowest participant,
@@ -17,22 +21,14 @@
 //!   and staleness-aware async inter-group mixing; `dynamic_grouping`
 //!   toggles Algorithm 1 (the "w/o DG" ablation of Fig. 7).
 
-use crate::aggregate::{fedasync_mix, staleness_alpha, weighted_average};
-use crate::client::{local_train, LocalTrainConfig, LocalUpdate};
 use crate::config::FlConfig;
-use crate::latency::LatencyModel;
-use ecofl_compat::par::par_map;
+use crate::sched::Scheduler;
+use crate::strategies::strategy_object;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_data::FederatedDataset;
-use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 use ecofl_models::ModelArch;
-use ecofl_obs::{Domain, EventKind, SpanKind, Tracer};
-use ecofl_simnet::EventQueue;
-use ecofl_tensor::{Network, Tensor};
-use ecofl_util::{Rng, TimeSeries};
-
-/// Fixed client↔server communication latency, seconds.
-const COMM_LATENCY: f64 = 1.0;
+use ecofl_obs::Tracer;
+use ecofl_util::TimeSeries;
 
 /// Which FL algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +49,20 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// The canonical §6 comparison lineup, in figure order: FedAvg,
+    /// FedAsync, FedAT, Eco-FL without dynamic grouping, Eco-FL.
+    pub const LINEUP: [Strategy; 5] = [
+        Strategy::FedAvg,
+        Strategy::FedAsync,
+        Strategy::FedAt,
+        Strategy::EcoFl {
+            dynamic_grouping: false,
+        },
+        Strategy::EcoFl {
+            dynamic_grouping: true,
+        },
+    ];
+
     /// Display name used in figures.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -104,125 +114,6 @@ pub struct RunResult {
     pub final_recall: Vec<f64>,
 }
 
-/// Batched test-set evaluator that reuses one network instance.
-struct Evaluator {
-    net: Network,
-    batches: Vec<(Tensor, Vec<usize>)>,
-}
-
-impl Evaluator {
-    fn new(setup: &FlSetup) -> Self {
-        let mut rng = Rng::new(setup.config.seed ^ 0xEEAA);
-        let test = setup.data.test();
-        let net = setup
-            .arch
-            .build(test.feature_dim(), test.num_classes(), &mut rng);
-        let batches = (0..test.len())
-            .collect::<Vec<_>>()
-            .chunks(256)
-            .map(|chunk| {
-                let (feats, labels) = test.gather(chunk);
-                (
-                    Tensor::from_vec(feats, &[labels.len(), test.feature_dim()]),
-                    labels,
-                )
-            })
-            .collect();
-        Self { net, batches }
-    }
-
-    fn accuracy(&mut self, params: &[f32]) -> f64 {
-        self.net.set_params(params);
-        let mut correct = 0.0;
-        let mut total = 0.0;
-        for (x, y) in &self.batches {
-            let (_, acc) = self.net.evaluate(x, y);
-            correct += acc * y.len() as f64;
-            total += y.len() as f64;
-        }
-        correct / total.max(1.0)
-    }
-
-    /// Per-class recall of `params` on the test set.
-    fn recall(&mut self, params: &[f32], num_classes: usize) -> Vec<f64> {
-        self.net.set_params(params);
-        let mut correct = vec![0usize; num_classes];
-        let mut total = vec![0usize; num_classes];
-        for (x, y) in &self.batches {
-            let logits = self.net.forward(x);
-            self.net.clear_caches();
-            let k = logits.cols();
-            for (row, &t) in logits.data().chunks(k).zip(y) {
-                let argmax = row
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                    .map(|(i, _)| i)
-                    .expect("nonempty row");
-                total[t] += 1;
-                if argmax == t {
-                    correct[t] += 1;
-                }
-            }
-        }
-        correct
-            .iter()
-            .zip(&total)
-            .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
-            .collect()
-    }
-}
-
-/// Deterministic per-(client, round) RNG stream.
-fn client_rng(seed: u64, client: usize, tag: u64) -> Rng {
-    Rng::new(
-        seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag.wrapping_mul(0xD134_2543),
-    )
-}
-
-/// Trains `members` in parallel from `start` parameters.
-fn train_parallel(
-    setup: &FlSetup,
-    members: &[usize],
-    start: &[f32],
-    mu: f32,
-    tag: u64,
-) -> Vec<LocalUpdate> {
-    let cfg = LocalTrainConfig {
-        epochs: setup.config.local_epochs,
-        batch_size: setup.config.batch_size,
-        lr: setup.config.learning_rate,
-        mu,
-    };
-    par_map(members, |&c| {
-        let mut rng = client_rng(setup.config.seed, c, tag);
-        local_train(setup.arch, start, setup.data.client(c), &cfg, &mut rng)
-    })
-}
-
-/// Applies the failure model: returns the indices of `members` that
-/// actually deliver their update this round.
-fn surviving(members: &[usize], failure_prob: f64, rng: &mut Rng) -> Vec<usize> {
-    if failure_prob <= 0.0 {
-        return members.to_vec();
-    }
-    members
-        .iter()
-        .copied()
-        .filter(|_| !rng.bernoulli(failure_prob))
-        .collect()
-}
-
-/// Initial global parameters (same for every strategy at equal seed).
-fn initial_params(setup: &FlSetup) -> Vec<f32> {
-    let mut rng = Rng::new(setup.config.seed ^ 0x11D0);
-    let test = setup.data.test();
-    setup
-        .arch
-        .build(test.feature_dim(), test.num_classes(), &mut rng)
-        .params()
-}
-
 /// Runs `strategy` on `setup` and returns its accuracy trace.
 ///
 /// # Panics
@@ -234,7 +125,8 @@ pub fn run(strategy: Strategy, setup: &FlSetup) -> RunResult {
 
 /// [`run`] with every round, local-train window, aggregation, staleness
 /// weight, and re-grouping decision recorded on `tracer` (domain
-/// [`Domain::Fl`] / [`Domain::Grouping`](ecofl_obs::Domain::Grouping),
+/// [`Domain::Fl`](ecofl_obs::Domain::Fl) /
+/// [`Domain::Grouping`](ecofl_obs::Domain::Grouping),
 /// all timestamps virtual). Training outcomes are identical to the
 /// untraced run at equal setup.
 #[must_use]
@@ -243,615 +135,15 @@ pub fn run_traced(strategy: Strategy, setup: &FlSetup, tracer: &Tracer) -> RunRe
 }
 
 fn run_inner(strategy: Strategy, setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
-    match strategy {
-        Strategy::FedAvg => run_fedavg(setup, tracer),
-        Strategy::FedAsync => run_fedasync(setup, tracer),
-        Strategy::FedAt => run_hierarchical(setup, HierKind::FedAt, tracer),
-        Strategy::Astraea => run_hierarchical(setup, HierKind::Astraea, tracer),
-        Strategy::EcoFl { dynamic_grouping } => {
-            run_hierarchical(setup, HierKind::EcoFl { dynamic_grouping }, tracer)
-        }
-    }
-}
-
-/// Builds the latency model: explicit overrides win, otherwise sample.
-fn make_latency(cfg: &FlConfig, rng: &mut Rng) -> LatencyModel {
-    match &cfg.base_delay_override {
-        Some(delays) => {
-            assert_eq!(
-                delays.len(),
-                cfg.num_clients,
-                "base_delay_override length must match num_clients"
-            );
-            LatencyModel::from_delays(delays, cfg.dynamics.clone())
-        }
-        None => LatencyModel::sample(
-            cfg.num_clients,
-            cfg.base_delay_mean,
-            cfg.base_delay_std,
-            &[0.2, 0.4, 0.6, 0.8, 1.0],
-            cfg.dynamics.clone(),
-            rng,
-        ),
-    }
-}
-
-fn run_fedavg(setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
-    let cfg = &setup.config;
-    let mut rng = Rng::new(cfg.seed ^ 0xFEDA);
-    let mut latency = make_latency(cfg, &mut rng);
-    let mut evaluator = Evaluator::new(setup);
-    let mut w = initial_params(setup);
-    let mut t = 0.0;
-    let mut accuracy = TimeSeries::new();
-    let mut updates = 0u64;
-    let mut last_eval = f64::NEG_INFINITY;
-    let mut round = 0u64;
-
-    let acc0 = evaluator.accuracy(&w);
-    accuracy.push(0.0, acc0);
-    if let Some(tr) = tracer {
-        tr.gauge("accuracy", 0.0, acc0);
-    }
-    while t < cfg.horizon {
-        let members =
-            rng.sample_indices(cfg.num_clients, cfg.clients_per_round.min(cfg.num_clients));
-        // Synchronous: the round lasts as long as its slowest member (the
-        // server waits out failures as timeouts).
-        let round_time = members
-            .iter()
-            .map(|&c| latency.response_latency(c))
-            .fold(0.0, f64::max)
-            + COMM_LATENCY;
-        if let Some(tr) = tracer {
-            let r = round as usize;
-            tr.span(Domain::Fl, SpanKind::Round, 0, r, 0, t, t + round_time);
-            for &c in &members {
-                let done = t + latency.response_latency(c);
-                tr.span(Domain::Fl, SpanKind::LocalTrain, c, r, 0, t, done);
-            }
-        }
-        let survivors = surviving(&members, cfg.failure_prob, &mut rng);
-        if !survivors.is_empty() {
-            let results = train_parallel(setup, &survivors, &w, 0.0, round);
-            let refs: Vec<(&[f32], f64)> = results
-                .iter()
-                .map(|u| (u.params.as_slice(), u.num_samples as f64))
-                .collect();
-            w = weighted_average(&refs);
-            updates += 1;
-            if let Some(tr) = tracer {
-                let done = t + round_time;
-                tr.event(
-                    Domain::Fl,
-                    EventKind::Aggregation,
-                    0,
-                    done,
-                    survivors.len() as f64,
-                );
-                tr.counter("global_updates", done, 1.0);
-            }
-        }
-        t += round_time;
-        round += 1;
-        for &c in &members {
-            let _ = latency.maybe_perturb(c, &mut rng);
-        }
-        if t - last_eval >= cfg.eval_interval {
-            let acc = evaluator.accuracy(&w);
-            accuracy.push(t, acc);
-            if let Some(tr) = tracer {
-                tr.gauge("accuracy", t, acc);
-            }
-            last_eval = t;
-        }
-    }
-    let recall = evaluator.recall(&w, setup.data.num_classes());
-    finish("FedAvg", accuracy, updates, 0, 0, recall)
-}
-
-fn run_fedasync(setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
-    let cfg = &setup.config;
-    let mut rng = Rng::new(cfg.seed ^ 0xA517);
-    let mut latency = make_latency(cfg, &mut rng);
-    let mut evaluator = Evaluator::new(setup);
-    let mut w = initial_params(setup);
-    let mut accuracy = TimeSeries::new();
-    let acc0 = evaluator.accuracy(&w);
-    accuracy.push(0.0, acc0);
-    if let Some(tr) = tracer {
-        tr.gauge("accuracy", 0.0, acc0);
-    }
-
-    struct Pending {
-        client: usize,
-        start_params: Vec<f32>,
-        version: u64,
-        started: f64,
-    }
-    let mut queue: EventQueue<Pending> = EventQueue::new();
-    let mut version = 0u64;
-    let mut updates = 0u64;
-    let mut last_eval = 0.0f64;
-    let mut tag = 0u64;
-
-    let concurrent = cfg.clients_per_round.min(cfg.num_clients);
-    for _ in 0..concurrent {
-        let client = rng.range_usize(0, cfg.num_clients);
-        queue.schedule_after(
-            latency.response_latency(client) + COMM_LATENCY,
-            Pending {
-                client,
-                start_params: w.clone(),
-                version,
-                started: queue.now(),
-            },
-        );
-    }
-
-    while let Some((t, pending)) = queue.pop() {
-        if t >= cfg.horizon {
-            break;
-        }
-        tag += 1;
-        let failed = cfg.failure_prob > 0.0 && rng.bernoulli(cfg.failure_prob);
-        if !failed {
-            if let Some(tr) = tracer {
-                tr.span(
-                    Domain::Fl,
-                    SpanKind::LocalTrain,
-                    pending.client,
-                    pending.version as usize,
-                    0,
-                    pending.started,
-                    t,
-                );
-            }
-            let update = {
-                let mut crng = client_rng(cfg.seed, pending.client, tag);
-                local_train(
-                    setup.arch,
-                    &pending.start_params,
-                    setup.data.client(pending.client),
-                    &LocalTrainConfig {
-                        epochs: cfg.local_epochs,
-                        batch_size: cfg.batch_size,
-                        lr: cfg.learning_rate,
-                        mu: 0.0,
-                    },
-                    &mut crng,
-                )
-            };
-            // Vanilla FedAsync mixes with a constant α; the staleness-
-            // adaptive weighting is an optional variant in Xie et al.
-            // (Eco-FL's own inter-group aggregator uses the staleness-aware
-            // form, §5.1).
-            let _ = staleness_alpha(cfg.alpha, version - pending.version, cfg.staleness_exponent);
-            let alpha = cfg.alpha.clamp(1e-3, 1.0);
-            fedasync_mix(&mut w, &update.params, alpha);
-            version += 1;
-            updates += 1;
-            if let Some(tr) = tracer {
-                tr.event(Domain::Fl, EventKind::Aggregation, pending.client, t, alpha);
-                tr.gauge("staleness_alpha", t, alpha);
-                tr.counter("global_updates", t, 1.0);
-            }
-        }
-        let _ = latency.maybe_perturb(pending.client, &mut rng);
-        // Immediately dispatch a replacement worker.
-        let client = rng.range_usize(0, cfg.num_clients);
-        queue.schedule_after(
-            latency.response_latency(client) + COMM_LATENCY,
-            Pending {
-                client,
-                start_params: w.clone(),
-                version,
-                started: queue.now(),
-            },
-        );
-        if t - last_eval >= cfg.eval_interval {
-            let acc = evaluator.accuracy(&w);
-            accuracy.push(t, acc);
-            if let Some(tr) = tracer {
-                tr.gauge("accuracy", t, acc);
-            }
-            last_eval = t;
-        }
-    }
-    let recall = evaluator.recall(&w, setup.data.num_classes());
-    finish("FedAsync", accuracy, updates, 0, 0, recall)
-}
-
-/// Which hierarchical flavour to run.
-#[derive(Debug, Clone, Copy)]
-enum HierKind {
-    FedAt,
-    Astraea,
-    EcoFl { dynamic_grouping: bool },
-}
-
-impl HierKind {
-    fn grouping(self, lambda: f64) -> GroupingStrategy {
-        match self {
-            HierKind::FedAt => GroupingStrategy::LatencyOnly,
-            HierKind::Astraea => GroupingStrategy::DataOnly,
-            HierKind::EcoFl { .. } => GroupingStrategy::EcoFl { lambda },
-        }
-    }
-
-    fn dynamic(self) -> bool {
-        matches!(
-            self,
-            HierKind::EcoFl {
-                dynamic_grouping: true
-            }
-        )
-    }
-
-    fn proximal(self) -> bool {
-        !matches!(self, HierKind::FedAt)
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            HierKind::FedAt => "FedAT",
-            HierKind::Astraea => "Astraea",
-            HierKind::EcoFl {
-                dynamic_grouping: true,
-            } => "Eco-FL",
-            HierKind::EcoFl {
-                dynamic_grouping: false,
-            } => "Eco-FL w/o DG",
-        }
-    }
-}
-
-fn run_hierarchical(setup: &FlSetup, kind: HierKind, tracer: Option<&Tracer>) -> RunResult {
-    let cfg = &setup.config;
-    let mut rng = Rng::new(cfg.seed ^ 0x41E2);
-    let mut latency = make_latency(cfg, &mut rng);
-    let lambda = match cfg.grouping {
-        GroupingStrategy::EcoFl { lambda } => lambda,
-        _ => 1000.0,
-    };
-    let label_counts: Vec<Vec<f64>> = setup
-        .data
-        .clients()
-        .iter()
-        .map(|d| d.label_counts().iter().map(|&c| c as f64).collect())
-        .collect();
-    let mut grouper = Grouper::initial(
-        &latency.all_latencies(),
-        &label_counts,
-        GroupingConfig {
-            num_groups: cfg.num_groups,
-            strategy: kind.grouping(lambda),
-            rt_relative: cfg.rt_relative,
-            rt_min: cfg.rt_min,
-        },
-        &mut rng,
-    );
-
-    let mut evaluator = Evaluator::new(setup);
-    let mut w = initial_params(setup);
-    let mut accuracy = TimeSeries::new();
-    let acc0 = evaluator.accuracy(&w);
-    accuracy.push(0.0, acc0);
-    if let Some(tr) = tracer {
-        tr.gauge("accuracy", 0.0, acc0);
-    }
-
-    struct GroupRound {
-        group: usize,
-        members: Vec<usize>,
-        start_params: Vec<f32>,
-        version: u64,
-        started: f64,
-    }
-    let mut queue: EventQueue<GroupRound> = EventQueue::new();
-    let mut version = 0u64;
-    let mut updates = 0u64;
-    let mut regroups = 0u64;
-    let mut last_eval = 0.0f64;
-    let mut tag = 0u64;
-    // FedAT keeps the latest model of every tier and recomputes the global
-    // as a straggler-boosted weighted average of tier models (Chai et al.
-    // 2021) — not incremental mixing. Averaging tier models that drift
-    // toward disjoint label subsets is exactly what degrades FedAT under
-    // RLG-NIID (Fig. 8).
-    let mut tier_models: Vec<Vec<f32>> = match kind {
-        HierKind::FedAt => vec![w.clone(); grouper.groups().len()],
-        _ => Vec::new(),
-    };
-
-    let per_group = cfg.clients_per_group_round();
-    let mu = if kind.proximal() { cfg.mu } else { 0.0 };
-
-    // Dispatches the next round for a group at the current global model.
-    let dispatch = |queue: &mut EventQueue<GroupRound>,
-                    grouper: &Grouper,
-                    latency: &LatencyModel,
-                    rng: &mut Rng,
-                    w: &[f32],
-                    version: u64,
-                    group: usize,
-                    retry_delay: f64| {
-        let members_all = &grouper.groups()[group].members;
-        if members_all.is_empty() {
-            // Empty group: retry later (members may be regrouped in).
-            queue.schedule_after(
-                retry_delay,
-                GroupRound {
-                    group,
-                    members: Vec::new(),
-                    start_params: Vec::new(),
-                    version,
-                    started: queue.now(),
-                },
-            );
-            return;
-        }
-        let take = per_group.min(members_all.len());
-        let picked = rng.sample_indices(members_all.len(), take);
-        let members: Vec<usize> = picked.into_iter().map(|i| members_all[i]).collect();
-        // Synchronous intra-group barrier: slowest sampled member.
-        let round_time = members
-            .iter()
-            .map(|&c| latency.response_latency(c))
-            .fold(0.0, f64::max)
-            + COMM_LATENCY;
-        if let Some(tr) = tracer {
-            // Local-train windows at the latencies the barrier was
-            // computed from (perturbations land only after the merge).
-            let start = queue.now();
-            for &c in &members {
-                let done = start + latency.response_latency(c);
-                tr.span(
-                    Domain::Fl,
-                    SpanKind::LocalTrain,
-                    c,
-                    version as usize,
-                    0,
-                    start,
-                    done,
-                );
-            }
-        }
-        queue.schedule_after(
-            round_time,
-            GroupRound {
-                group,
-                members,
-                start_params: w.to_vec(),
-                version,
-                started: queue.now(),
-            },
-        );
-    };
-
-    #[allow(clippy::needless_range_loop)]
-    for g in 0..grouper.groups().len() {
-        let start: &[f32] = match kind {
-            // FedAT tiers evolve from their own tier model (semi-
-            // independent FedAvg per tier); the global weighted average is
-            // the served model only.
-            HierKind::FedAt => &tier_models[g],
-            _ => &w,
-        };
-        dispatch(
-            &mut queue,
-            &grouper,
-            &latency,
-            &mut rng,
-            start,
-            version,
-            g,
-            cfg.base_delay_mean,
-        );
-    }
-
-    while let Some((t, round)) = queue.pop() {
-        if t >= cfg.horizon {
-            break;
-        }
-        if round.members.is_empty() {
-            let start: &[f32] = match kind {
-                HierKind::FedAt => &tier_models[round.group],
-                _ => &w,
-            };
-            dispatch(
-                &mut queue,
-                &grouper,
-                &latency,
-                &mut rng,
-                start,
-                version,
-                round.group,
-                cfg.base_delay_mean,
-            );
-            continue;
-        }
-        tag += 1;
-        // Intra-group synchronous round (FedProx local solver for Eco-FL
-        // and Astraea; plain SGD for FedAT). Failed members time out and
-        // contribute nothing; the sync aggregator proceeds over survivors.
-        let survivors = surviving(&round.members, cfg.failure_prob, &mut rng);
-        if survivors.is_empty() {
-            // Whole cohort lost: skip the update, keep the group looping.
-            for &c in &round.members {
-                let _ = latency.maybe_perturb(c, &mut rng);
-            }
-            let start: &[f32] = match kind {
-                HierKind::FedAt => &tier_models[round.group],
-                _ => &w,
-            };
-            dispatch(
-                &mut queue,
-                &grouper,
-                &latency,
-                &mut rng,
-                start,
-                version,
-                round.group,
-                cfg.base_delay_mean,
-            );
-            continue;
-        }
-        let results = train_parallel(setup, &survivors, &round.start_params, mu, tag);
-        let refs: Vec<(&[f32], f64)> = results
-            .iter()
-            .map(|u| (u.params.as_slice(), u.num_samples as f64))
-            .collect();
-        let group_model = weighted_average(&refs);
-
-        if let Some(tr) = tracer {
-            tr.span(
-                Domain::Fl,
-                SpanKind::Round,
-                round.group,
-                round.version as usize,
-                0,
-                round.started,
-                t,
-            );
-        }
-        // Inter-group aggregation.
-        match kind {
-            HierKind::FedAt => {
-                // FedAT: store the tier's fresh model and rebuild the
-                // global as a weighted average over all tier models, with
-                // slower tiers weighted higher to counter their lower
-                // update frequency.
-                tier_models[round.group] = group_model;
-                let mut centers: Vec<(usize, f64)> = grouper
-                    .groups()
-                    .iter()
-                    .map(|g| (g.id, g.center()))
-                    .collect();
-                centers.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-                let t_count = centers.len();
-                let refs: Vec<(&[f32], f64)> = centers
-                    .iter()
-                    .enumerate()
-                    .map(|(rank, &(id, _))| {
-                        (
-                            tier_models[id].as_slice(),
-                            (rank + 1) as f64 / t_count as f64,
-                        )
-                    })
-                    .collect();
-                w = weighted_average(&refs);
-                if let Some(tr) = tracer {
-                    tr.event(Domain::Fl, EventKind::Aggregation, round.group, t, 1.0);
-                }
-            }
-            _ => {
-                let alpha =
-                    staleness_alpha(cfg.alpha, version - round.version, cfg.staleness_exponent)
-                        .clamp(1e-3, 1.0);
-                fedasync_mix(&mut w, &group_model, alpha);
-                if let Some(tr) = tracer {
-                    tr.event(Domain::Fl, EventKind::Aggregation, round.group, t, alpha);
-                    tr.gauge("staleness_alpha", t, alpha);
-                }
-            }
-        }
-        version += 1;
-        updates += 1;
-        if let Some(tr) = tracer {
-            tr.counter("global_updates", t, 1.0);
-        }
-
-        // Runtime dynamics on participants, then Algorithm 1.
-        for &c in &round.members {
-            let changed = latency.maybe_perturb(c, &mut rng);
-            if kind.dynamic() && changed {
-                use ecofl_grouping::RegroupOutcome::*;
-                let outcome = grouper.observe_latency(c, latency.response_latency(c));
-                if let Some(tr) = tracer {
-                    outcome.trace(tr, t, c);
-                }
-                match outcome {
-                    Moved { .. } | Dropped { .. } | Rejoined { .. } => regroups += 1,
-                    Stayed | StillDropped => {}
-                }
-            }
-        }
-        // Give dropped clients a chance to rejoin.
-        if kind.dynamic() {
-            for c in grouper.dropped() {
-                use ecofl_grouping::RegroupOutcome::Rejoined;
-                let outcome = grouper.observe_latency(c, latency.response_latency(c));
-                if let Some(tr) = tracer {
-                    outcome.trace(tr, t, c);
-                }
-                if matches!(outcome, Rejoined { .. }) {
-                    regroups += 1;
-                }
-            }
-        }
-
-        let start: &[f32] = match kind {
-            HierKind::FedAt => &tier_models[round.group],
-            _ => &w,
-        };
-        dispatch(
-            &mut queue,
-            &grouper,
-            &latency,
-            &mut rng,
-            start,
-            version,
-            round.group,
-            cfg.base_delay_mean,
-        );
-        if t - last_eval >= cfg.eval_interval {
-            let acc = evaluator.accuracy(&w);
-            accuracy.push(t, acc);
-            if let Some(tr) = tracer {
-                tr.gauge("accuracy", t, acc);
-            }
-            last_eval = t;
-        }
-    }
-    let recall = evaluator.recall(&w, setup.data.num_classes());
-    finish(
-        kind.name(),
-        accuracy,
-        updates,
-        regroups,
-        grouper.dropped().len(),
-        recall,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    name: &str,
-    accuracy: TimeSeries,
-    updates: u64,
-    regroups: u64,
-    dropped: usize,
-    final_recall: Vec<f64>,
-) -> RunResult {
-    let final_accuracy = accuracy.last().map_or(0.0, |(_, v)| v);
-    let best_accuracy = accuracy.max_value().unwrap_or(0.0);
-    RunResult {
-        strategy: name.to_owned(),
-        accuracy,
-        final_accuracy,
-        best_accuracy,
-        global_updates: updates,
-        regroup_events: regroups,
-        dropped_final: dropped,
-        final_recall,
-    }
+    let mut object = strategy_object(strategy);
+    Scheduler::drive(setup, tracer, object.as_mut())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ecofl_data::{federated::PartitionScheme, SyntheticSpec};
+    use ecofl_obs::{Domain, EventKind, SpanKind};
 
     fn tiny_setup(scheme: PartitionScheme, seed: u64) -> FlSetup {
         let cfg = FlConfig {
@@ -1020,6 +312,15 @@ mod tests {
             }
             .name(),
             "Eco-FL w/o DG"
+        );
+    }
+
+    #[test]
+    fn lineup_matches_display_names() {
+        let names: Vec<&str> = Strategy::LINEUP.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["FedAvg", "FedAsync", "FedAT", "Eco-FL w/o DG", "Eco-FL"]
         );
     }
 

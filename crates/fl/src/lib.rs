@@ -5,6 +5,13 @@
 //! *real* SGD on every client, while response latencies, grouping,
 //! aggregation order and runtime dynamics follow the paper's §6.1 setup.
 //!
+//! The server side is split scheduler-from-strategy, Flower-style: one
+//! event-driven round scheduler drives every aggregation policy through
+//! a trait object, mirroring the schedule-policy/execution-engine split
+//! the pipeline half already has.
+//!
+//! ## Module map
+//!
 //! - [`config`] — experiment configuration (300 clients, ≤20 concurrent,
 //!   `e = 3` local epochs, batch 10, FedProx `µ = 0.05`, 5 response-latency
 //!   groups, dynamic collaborative degrees in {0.2 … 1.0}),
@@ -14,9 +21,17 @@
 //!   polynomial staleness discounting,
 //! - [`latency`] — per-client response-latency model (normal base delay ×
 //!   collaborative degree) and the runtime degree-resampling dynamics,
-//! - [`engine`] — the five strategies under one event-driven virtual
-//!   clock: FedAvg, FedAsync, FedAT, Astraea-grouping, and Eco-FL with or
-//!   without dynamic re-grouping,
+//! - [`sched`] — the event-driven round scheduler: virtual clock
+//!   ([`ecofl_simnet::EventQueue`] of cohort completions), client
+//!   dispatch, dropout/[`sched::surviving`] handling, evaluation
+//!   cadence, tracer instrumentation, and thread-sharded parallel local
+//!   training with a deterministic ordered reduction,
+//! - [`strategies`] — [`sched::AggregationStrategy`] objects deciding
+//!   what to aggregate and when: FedAvg, FedAsync, and the hierarchical
+//!   family (FedAT, Astraea, Eco-FL ± Algorithm 1 dynamic re-grouping),
+//! - [`engine`] — the serializable [`Strategy`] selector, run setup and
+//!   result types, and the [`run`]/[`run_traced`] entry points,
+//! - [`metrics`] — convergence summaries from results or traces,
 //! - [`mod@reference`] — centralized accuracy-per-epoch reference curves used
 //!   to compose the Fig. 10 time-to-accuracy plots.
 
@@ -27,6 +42,8 @@ pub mod engine;
 pub mod latency;
 pub mod metrics;
 pub mod reference;
+pub mod sched;
+pub mod strategies;
 
 pub use aggregate::{fedasync_mix, staleness_alpha, weighted_average};
 pub use client::{local_train, LocalTrainConfig};
@@ -34,3 +51,5 @@ pub use config::{DynamicsConfig, FlConfig};
 pub use engine::{run, run_traced, FlSetup, RunResult, Strategy};
 pub use latency::LatencyModel;
 pub use metrics::{summarize, summarize_view, ConvergenceSummary};
+pub use sched::{AggregationStrategy, Cohort, HorizonPolicy, Scheduler};
+pub use strategies::strategy_object;

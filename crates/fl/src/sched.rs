@@ -1,0 +1,480 @@
+//! The event-driven round scheduler at the heart of the FL engine.
+//!
+//! One [`Scheduler`] drives every aggregation strategy: it owns the
+//! virtual clock (an [`ecofl_simnet::EventQueue`] of [`Cohort`]
+//! completions), client dispatch, the dropout/[`surviving`] failure
+//! model, the evaluation cadence, and all [`Tracer`] instrumentation.
+//! Strategy objects implementing [`AggregationStrategy`] only decide
+//! *what to aggregate and when*: they schedule cohorts, fold finished
+//! local updates into the global model, and keep whatever per-strategy
+//! state (tier models, grouper, staleness versions) they need.
+//!
+//! Local training inside a cohort is sharded across threads with
+//! [`ecofl_compat::par::par_map`]; results come back in member order and
+//! the aggregation reduces them sequentially, so a parallel run is
+//! bit-identical to a sequential one at any thread count (asserted by
+//! the `determinism` integration test at 1, 2 and 8 threads).
+
+use crate::client::{local_train, LocalTrainConfig, LocalUpdate};
+use crate::config::FlConfig;
+use crate::engine::{FlSetup, RunResult};
+use crate::latency::LatencyModel;
+use ecofl_compat::par::par_map;
+use ecofl_obs::{Domain, EventKind, SpanKind, Tracer};
+use ecofl_simnet::EventQueue;
+use ecofl_tensor::{Network, Tensor};
+use ecofl_util::{Rng, TimeSeries};
+
+/// A scheduled unit of client work: the cohort of clients that finishes
+/// local training together. FedAvg rounds are one cohort of the whole
+/// sample, FedAsync updates are single-member cohorts, hierarchical
+/// strategies dispatch one cohort per group round.
+pub struct Cohort {
+    /// Owning group (0 for flat strategies).
+    pub group: usize,
+    /// Participating clients; empty cohorts are retry probes for
+    /// currently-empty groups.
+    pub members: Vec<usize>,
+    /// Model the cohort synchronized from; empty when the strategy
+    /// trains from the live global model instead.
+    pub start_params: Vec<f32>,
+    /// Global model version (or round index) at dispatch time.
+    pub version: u64,
+    /// Virtual dispatch timestamp.
+    pub started: f64,
+}
+
+/// What the scheduler does with cohorts that complete at or after the
+/// horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonPolicy {
+    /// Stop at the first pop past the horizon, discarding the cohort
+    /// (FedAsync and the hierarchical strategies).
+    DiscardLate,
+    /// Process every pending cohort; the strategy stops dispatching new
+    /// ones past the horizon (FedAvg's trailing synchronous round).
+    ProcessAll,
+}
+
+/// An aggregation policy driven by the [`Scheduler`].
+///
+/// Implementations decide what to aggregate and when; the scheduler
+/// owns the clock, dispatch, dropout, evaluation and tracing.
+pub trait AggregationStrategy {
+    /// Display name used in figures and [`RunResult::strategy`].
+    fn name(&self) -> &'static str;
+
+    /// Per-strategy RNG stream salt (xor-ed into the run seed).
+    fn seed_salt(&self) -> u64;
+
+    /// Horizon semantics for late cohorts.
+    fn horizon_policy(&self) -> HorizonPolicy;
+
+    /// Initial evaluation watermark: `0.0` delays the first periodic
+    /// eval by one interval, `NEG_INFINITY` evaluates after the first
+    /// cohort.
+    fn initial_eval_mark(&self) -> f64;
+
+    /// Called once at virtual time zero: build strategy state and
+    /// dispatch the initial cohorts.
+    fn begin(&mut self, sched: &mut Scheduler<'_>);
+
+    /// Handle one completed cohort at virtual time `t`.
+    fn on_cohort(&mut self, sched: &mut Scheduler<'_>, t: f64, cohort: Cohort);
+
+    /// Dynamic re-grouping moves/drops/rejoins performed (hierarchical
+    /// strategies only).
+    fn regroup_events(&self) -> u64 {
+        0
+    }
+
+    /// Clients in the drop-out pool at the horizon.
+    fn dropped_final(&self) -> usize {
+        0
+    }
+}
+
+/// The event-driven round scheduler: one virtual clock, one global
+/// model, one dropout model and one tracer feed for every strategy.
+pub struct Scheduler<'a> {
+    setup: &'a FlSetup,
+    tracer: Option<&'a Tracer>,
+    rng: Rng,
+    latency: LatencyModel,
+    evaluator: Evaluator,
+    queue: EventQueue<Cohort>,
+    w: Vec<f32>,
+    accuracy: TimeSeries,
+    updates: u64,
+    last_eval: f64,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Runs `strategy` over `setup`, optionally tracing, and returns the
+    /// finished [`RunResult`].
+    pub fn drive(
+        setup: &'a FlSetup,
+        tracer: Option<&'a Tracer>,
+        strategy: &mut dyn AggregationStrategy,
+    ) -> RunResult {
+        let cfg = &setup.config;
+        let mut rng = Rng::new(cfg.seed ^ strategy.seed_salt());
+        let latency = make_latency(cfg, &mut rng);
+        let mut sched = Scheduler {
+            setup,
+            tracer,
+            rng,
+            latency,
+            evaluator: Evaluator::new(setup),
+            queue: EventQueue::new(),
+            w: initial_params(setup),
+            accuracy: TimeSeries::new(),
+            updates: 0,
+            last_eval: strategy.initial_eval_mark(),
+        };
+        let acc0 = sched.evaluator.accuracy(&sched.w);
+        sched.accuracy.push(0.0, acc0);
+        if let Some(tr) = sched.tracer {
+            tr.gauge("accuracy", 0.0, acc0);
+        }
+        strategy.begin(&mut sched);
+        let discard_late = strategy.horizon_policy() == HorizonPolicy::DiscardLate;
+        while let Some((t, cohort)) = sched.queue.pop() {
+            if discard_late && t >= cfg.horizon {
+                break;
+            }
+            strategy.on_cohort(&mut sched, t, cohort);
+        }
+        let recall = sched.evaluator.recall(&sched.w, setup.data.num_classes());
+        finish(
+            strategy.name(),
+            sched.accuracy,
+            sched.updates,
+            strategy.regroup_events(),
+            strategy.dropped_final(),
+            recall,
+        )
+    }
+
+    /// The experiment setup this run drives.
+    #[must_use]
+    pub fn setup(&self) -> &FlSetup {
+        self.setup
+    }
+
+    /// The run configuration.
+    #[must_use]
+    pub fn config(&self) -> &FlConfig {
+        &self.setup.config
+    }
+
+    /// Current virtual time (timestamp of the last completed cohort).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// The strategy-stream RNG (latency sampling, cohort sampling,
+    /// dropout and dynamics all draw from this one stream, in dispatch
+    /// order).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// The tracer handle, when tracing.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer
+    }
+
+    /// Current response latency of `client`, virtual seconds.
+    #[must_use]
+    pub fn response_latency(&self, client: usize) -> f64 {
+        self.latency.response_latency(client)
+    }
+
+    /// Response latencies of every client, indexed by client id.
+    #[must_use]
+    pub fn all_latencies(&self) -> Vec<f64> {
+        self.latency.all_latencies()
+    }
+
+    /// Synchronous-barrier duration of a cohort: its slowest member's
+    /// response latency plus the client↔server communication latency.
+    #[must_use]
+    pub fn cohort_round_time(&self, members: &[usize]) -> f64 {
+        members
+            .iter()
+            .map(|&c| self.latency.response_latency(c))
+            .fold(0.0, f64::max)
+            + self.setup.config.comm_latency
+    }
+
+    /// Applies runtime dynamics to `client` (collaborative-degree
+    /// resampling); returns whether its latency changed.
+    pub fn perturb(&mut self, client: usize) -> bool {
+        self.latency.maybe_perturb(client, &mut self.rng)
+    }
+
+    /// The served global model.
+    #[must_use]
+    pub fn global(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Mutable access to the global model (incremental async mixing).
+    pub fn global_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.w
+    }
+
+    /// Replaces the global model wholesale (synchronous averaging).
+    pub fn set_global(&mut self, w: Vec<f32>) {
+        self.w = w;
+    }
+
+    /// Schedules `cohort` to complete `delay` virtual seconds from now.
+    pub fn dispatch_after(&mut self, delay: f64, cohort: Cohort) {
+        self.queue.schedule_after(delay, cohort);
+    }
+
+    /// Applies the failure model: the members that actually deliver
+    /// their update this round.
+    pub fn surviving(&mut self, members: &[usize]) -> Vec<usize> {
+        surviving(members, self.setup.config.failure_prob, &mut self.rng)
+    }
+
+    /// Trains `members` in parallel from `start` parameters, sharded
+    /// across the compat worker pool. Results arrive in member order
+    /// regardless of thread count: each client draws from its own
+    /// deterministic `(seed, client, tag)` RNG stream and `par_map`
+    /// restores submission order, so the ordered reduction downstream is
+    /// bit-identical to a sequential pass.
+    #[must_use]
+    pub fn train_cohort(
+        &self,
+        members: &[usize],
+        start: &[f32],
+        mu: f32,
+        tag: u64,
+    ) -> Vec<LocalUpdate> {
+        let cfg = &self.setup.config;
+        let train_cfg = LocalTrainConfig {
+            epochs: cfg.local_epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.learning_rate,
+            mu,
+        };
+        par_map(members, |&c| {
+            let mut rng = client_rng(cfg.seed, c, tag);
+            local_train(
+                self.setup.arch,
+                start,
+                self.setup.data.client(c),
+                &train_cfg,
+                &mut rng,
+            )
+        })
+    }
+
+    /// Records one global model update (counter + tally).
+    pub fn note_update(&mut self, t: f64) {
+        self.updates += 1;
+        if let Some(tr) = self.tracer {
+            tr.counter("global_updates", t, 1.0);
+        }
+    }
+
+    /// Evaluates the global model if the cadence interval elapsed.
+    pub fn maybe_eval(&mut self, t: f64) {
+        if t - self.last_eval >= self.setup.config.eval_interval {
+            let acc = self.evaluator.accuracy(&self.w);
+            self.accuracy.push(t, acc);
+            if let Some(tr) = self.tracer {
+                tr.gauge("accuracy", t, acc);
+            }
+            self.last_eval = t;
+        }
+    }
+
+    /// Traces one round span (`Domain::Fl`).
+    pub fn trace_round_span(&self, entity: usize, index: usize, start: f64, end: f64) {
+        if let Some(tr) = self.tracer {
+            tr.span(Domain::Fl, SpanKind::Round, entity, index, 0, start, end);
+        }
+    }
+
+    /// Traces one client's local-training window.
+    pub fn trace_local_train(&self, client: usize, index: usize, start: f64, end: f64) {
+        if let Some(tr) = self.tracer {
+            tr.span(
+                Domain::Fl,
+                SpanKind::LocalTrain,
+                client,
+                index,
+                0,
+                start,
+                end,
+            );
+        }
+    }
+
+    /// Traces one aggregation event.
+    pub fn trace_aggregation(&self, entity: usize, t: f64, value: f64) {
+        if let Some(tr) = self.tracer {
+            tr.event(Domain::Fl, EventKind::Aggregation, entity, t, value);
+        }
+    }
+
+    /// Traces a named gauge sample.
+    pub fn trace_gauge(&self, name: &'static str, t: f64, value: f64) {
+        if let Some(tr) = self.tracer {
+            tr.gauge(name, t, value);
+        }
+    }
+}
+
+/// Batched test-set evaluator that reuses one network instance.
+struct Evaluator {
+    net: Network,
+    batches: Vec<(Tensor, Vec<usize>)>,
+}
+
+impl Evaluator {
+    fn new(setup: &FlSetup) -> Self {
+        let mut rng = Rng::new(setup.config.seed ^ 0xEEAA);
+        let test = setup.data.test();
+        let net = setup
+            .arch
+            .build(test.feature_dim(), test.num_classes(), &mut rng);
+        let batches = (0..test.len())
+            .collect::<Vec<_>>()
+            .chunks(256)
+            .map(|chunk| {
+                let (feats, labels) = test.gather(chunk);
+                (
+                    Tensor::from_vec(feats, &[labels.len(), test.feature_dim()]),
+                    labels,
+                )
+            })
+            .collect();
+        Self { net, batches }
+    }
+
+    fn accuracy(&mut self, params: &[f32]) -> f64 {
+        self.net.set_params(params);
+        let mut correct = 0.0;
+        let mut total = 0.0;
+        for (x, y) in &self.batches {
+            let (_, acc) = self.net.evaluate(x, y);
+            correct += acc * y.len() as f64;
+            total += y.len() as f64;
+        }
+        correct / total.max(1.0)
+    }
+
+    /// Per-class recall of `params` on the test set.
+    fn recall(&mut self, params: &[f32], num_classes: usize) -> Vec<f64> {
+        self.net.set_params(params);
+        let mut correct = vec![0usize; num_classes];
+        let mut total = vec![0usize; num_classes];
+        for (x, y) in &self.batches {
+            let logits = self.net.forward(x);
+            self.net.clear_caches();
+            let k = logits.cols();
+            for (row, &t) in logits.data().chunks(k).zip(y) {
+                let argmax = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("nonempty row");
+                total[t] += 1;
+                if argmax == t {
+                    correct[t] += 1;
+                }
+            }
+        }
+        correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+            .collect()
+    }
+}
+
+/// Deterministic per-(client, round) RNG stream.
+fn client_rng(seed: u64, client: usize, tag: u64) -> Rng {
+    Rng::new(
+        seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag.wrapping_mul(0xD134_2543),
+    )
+}
+
+/// Applies the failure model: returns the members that actually deliver
+/// their update this round. `failure_prob = 0` keeps everyone without
+/// consuming randomness; `failure_prob = 1` empties the cohort; the
+/// outcome is a pure function of `(members, failure_prob, rng state)`.
+#[must_use]
+pub fn surviving(members: &[usize], failure_prob: f64, rng: &mut Rng) -> Vec<usize> {
+    if failure_prob <= 0.0 {
+        return members.to_vec();
+    }
+    members
+        .iter()
+        .copied()
+        .filter(|_| !rng.bernoulli(failure_prob))
+        .collect()
+}
+
+/// Initial global parameters (same for every strategy at equal seed).
+fn initial_params(setup: &FlSetup) -> Vec<f32> {
+    let mut rng = Rng::new(setup.config.seed ^ 0x11D0);
+    let test = setup.data.test();
+    setup
+        .arch
+        .build(test.feature_dim(), test.num_classes(), &mut rng)
+        .params()
+}
+
+/// Builds the latency model: explicit overrides win, otherwise sample.
+fn make_latency(cfg: &FlConfig, rng: &mut Rng) -> LatencyModel {
+    match &cfg.base_delay_override {
+        Some(delays) => {
+            assert_eq!(
+                delays.len(),
+                cfg.num_clients,
+                "base_delay_override length must match num_clients"
+            );
+            LatencyModel::from_delays(delays, cfg.dynamics.clone())
+        }
+        None => LatencyModel::sample(
+            cfg.num_clients,
+            cfg.base_delay_mean,
+            cfg.base_delay_std,
+            &[0.2, 0.4, 0.6, 0.8, 1.0],
+            cfg.dynamics.clone(),
+            rng,
+        ),
+    }
+}
+
+fn finish(
+    name: &str,
+    accuracy: TimeSeries,
+    updates: u64,
+    regroups: u64,
+    dropped: usize,
+    final_recall: Vec<f64>,
+) -> RunResult {
+    let final_accuracy = accuracy.last().map_or(0.0, |(_, v)| v);
+    let best_accuracy = accuracy.max_value().unwrap_or(0.0);
+    RunResult {
+        strategy: name.to_owned(),
+        accuracy,
+        final_accuracy,
+        best_accuracy,
+        global_updates: updates,
+        regroup_events: regroups,
+        dropped_final: dropped,
+        final_recall,
+    }
+}

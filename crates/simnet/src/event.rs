@@ -25,10 +25,12 @@ impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        // `total_cmp` gives a true total order over f64, so comparison
+        // itself can never panic (NaN is still rejected at `schedule`
+        // time by the finiteness assert).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("EventQueue: NaN timestamp")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -161,6 +163,22 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_timestamps_tie_break_fifo_under_total_cmp() {
+        // Regression for the total_cmp ordering: exact-equal (NaN-free)
+        // timestamps must still break ties by insertion sequence, even
+        // when scheduling interleaves with popping at the tied instant.
+        let mut q = EventQueue::new();
+        let t = 123.456_f64;
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.pop(), Some((t, "a")));
+        q.schedule(t, "c");
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), Some((t, "c")));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

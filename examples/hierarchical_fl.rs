@@ -33,21 +33,9 @@ fn main() {
         config,
     };
 
-    let strategies = [
-        Strategy::FedAvg,
-        Strategy::FedAsync,
-        Strategy::FedAt,
-        Strategy::EcoFl {
-            dynamic_grouping: false,
-        },
-        Strategy::EcoFl {
-            dynamic_grouping: true,
-        },
-    ];
-
     println!("60 clients, 2-class non-IID shards, dynamic collaborative degrees\n");
     let mut results = Vec::new();
-    for s in strategies {
+    for s in Strategy::LINEUP {
         let r = run_strategy(s, &setup);
         println!(
             "{:<14} best {:5.1}%  final {:5.1}%  {} updates  {} regroups",

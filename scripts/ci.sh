@@ -14,9 +14,11 @@ cd "$(dirname "$0")/.."
 echo "==> hermeticity guard: no non-ecofl dependencies in any Cargo.toml"
 bad=0
 covered_obs=0
+covered_fl=0
 while IFS= read -r manifest; do
     case "$manifest" in
         */crates/obs/Cargo.toml) covered_obs=1 ;;
+        */crates/fl/Cargo.toml) covered_fl=1 ;;
     esac
     # Collect dependency names from every [*dependencies*] section:
     # lines like `foo = ...` or `foo.workspace = true` between a
@@ -40,8 +42,8 @@ if [ "$bad" -ne 0 ]; then
     echo "Hermeticity guard failed: the workspace must only depend on in-repo ecofl-* crates." >&2
     exit 1
 fi
-if [ "$covered_obs" -ne 1 ]; then
-    echo "ERROR: hermeticity guard never saw crates/obs/Cargo.toml — the manifest walk is broken." >&2
+if [ "$covered_obs" -ne 1 ] || [ "$covered_fl" -ne 1 ]; then
+    echo "ERROR: hermeticity guard never saw crates/obs and crates/fl manifests — the manifest walk is broken." >&2
     exit 1
 fi
 echo "    ok"
@@ -51,6 +53,12 @@ cargo build --workspace --release --offline
 
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+
+# Determinism gate: sharded parallel local training must be bit-identical
+# to the sequential path. Run under --release too, where the optimized
+# float paths would expose any reduction-order dependence.
+echo "==> determinism gate: cargo test -q --release --offline -p ecofl-fl --test determinism"
+cargo test -q --release --offline -p ecofl-fl --test determinism
 
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings

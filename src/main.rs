@@ -268,8 +268,9 @@ fn cmd_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let clients = get(args, "clients", 60usize)?;
     let horizon = get(args, "horizon", 800.0f64)?;
     let seed = get(args, "seed", 42u64)?;
+    let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
     let dataset = parse_dataset(args.get("dataset").map_or("cifar", String::as_str))?;
-    let setup = fl_setup(&dataset, clients, horizon, seed);
+    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
     let r = run_strategy(strategy, &setup);
     println!(
         "{} on {} ({clients} clients, horizon {horizon}s):",
@@ -299,12 +300,24 @@ fn parse_dataset(name: &str) -> Result<SyntheticSpec, EcoFlError> {
     }
 }
 
-fn fl_setup(dataset: &SyntheticSpec, clients: usize, horizon: f64, seed: u64) -> FlSetup {
+fn fl_setup(
+    dataset: &SyntheticSpec,
+    clients: usize,
+    horizon: f64,
+    comm_latency: f64,
+    seed: u64,
+) -> Result<FlSetup, EcoFlError> {
+    if !comm_latency.is_finite() || comm_latency < 0.0 {
+        return Err(EcoFlError::Config(format!(
+            "--comm-latency must be a non-negative number of seconds, got {comm_latency}"
+        )));
+    }
     let config = FlConfig {
         num_clients: clients,
         clients_per_round: (clients / 3).clamp(4, 20),
         horizon,
         eval_interval: horizon / 25.0,
+        comm_latency,
         seed,
         ..FlConfig::default()
     };
@@ -317,11 +330,11 @@ fn fl_setup(dataset: &SyntheticSpec, clients: usize, horizon: f64, seed: u64) ->
         None,
         seed,
     );
-    FlSetup {
+    Ok(FlSetup {
         data,
         arch: ModelArch::Mlp,
         config,
-    }
+    })
 }
 
 /// Writes `records` as `<name>.jsonl` under the shared trace directory
@@ -462,8 +475,9 @@ fn cmd_trace_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let clients = get(args, "clients", 24usize)?;
     let horizon = get(args, "horizon", 300.0f64)?;
     let seed = get(args, "seed", 42u64)?;
+    let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
     let dataset = parse_dataset(args.get("dataset").map_or("mnist", String::as_str))?;
-    let setup = fl_setup(&dataset, clients, horizon, seed);
+    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
     let tracer = Tracer::new();
     let r = run_strategy_traced(strategy, &setup, &tracer);
     let view = tracer.view();
@@ -501,7 +515,8 @@ fn usage() -> &'static str {
        spike  --model M --devices D  run the Fig. 13 load-spike scenario\n\
               [--load F] [--at T] [--device I] [--horizon T]\n\
        fl     [--strategy S]         run a federated-learning simulation\n\
-              [--clients N] [--horizon T] [--dataset mnist|fashion|cifar] [--seed N]\n\
+              [--clients N] [--horizon T] [--dataset mnist|fashion|cifar]\n\
+              [--comm-latency T] [--seed N]\n\
        trace  --model M --devices D  record a virtual-time trace as JSONL\n\
               [--scenario pipeline|spike|fl] [--rounds N] [--top N] [--out FILE]\n\
      models : effnet-b0..b6, mobilenet-w1..w3 (optionally model@resolution)\n\
@@ -586,6 +601,21 @@ mod tests {
         assert_eq!(get(&map, "missing", 42usize).unwrap(), 42);
         map.insert("bad".to_owned(), "x".to_owned());
         assert!(get(&map, "bad", 1usize).is_err());
+    }
+
+    #[test]
+    fn fl_setup_validates_comm_latency() {
+        let spec = SyntheticSpec::mnist_like();
+        let ok = fl_setup(&spec, 12, 100.0, 2.5, 1).unwrap();
+        assert!((ok.config.comm_latency - 2.5).abs() < 1e-12);
+        assert!(matches!(
+            fl_setup(&spec, 12, 100.0, -1.0, 1),
+            Err(EcoFlError::Config(_))
+        ));
+        assert!(matches!(
+            fl_setup(&spec, 12, 100.0, f64::NAN, 1),
+            Err(EcoFlError::Config(_))
+        ));
     }
 
     #[test]
