@@ -52,7 +52,8 @@ fn main() {
             horizon,
             false,
             SchedulerConfig::default(),
-        );
+        )
+        .expect("feasible spike scenario");
         let lost = baseline.pre_spike_throughput - baseline.post_spike_throughput;
         println!(
             "\nload {:.0}%: static pipeline pre {:.2} -> post {:.2} samples/s (lost {:.2})",
@@ -73,7 +74,8 @@ fn main() {
                 };
                 let t = simulate_load_spike_with(
                     &model, &devices, &link, 8, 16, spike, horizon, true, cfg,
-                );
+                )
+                .expect("feasible spike scenario");
                 let recovered = if lost > 0.0 {
                     (t.post_spike_throughput - baseline.post_spike_throughput) / lost
                 } else {

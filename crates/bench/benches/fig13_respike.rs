@@ -59,8 +59,10 @@ fn main() {
     let horizon = 250.0;
 
     header("Fig. 13: external load spike on device 1 at t = 100 s (EfficientNet-B4)");
-    let with = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, true);
-    let without = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, false);
+    let with = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, true)
+        .expect("feasible spike scenario");
+    let without = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, false)
+        .expect("feasible spike scenario");
 
     println!(
         "pre-spike throughput          : {:6.2} samples/s",

@@ -88,7 +88,7 @@ fn main() {
         let start = Instant::now();
         let mut loss = 0.0;
         for _ in 0..ROUNDS {
-            loss = trainer.train_round(&data, 0.05);
+            loss = trainer.train_round(&data, 0.05).expect("healthy round");
         }
         let secs = start.elapsed().as_secs_f64();
         let row = Row {
@@ -101,7 +101,7 @@ fn main() {
             "{:>7} {:>12.1} {:>14.0} {:>12.4}",
             row.stages, row.rounds_per_sec, row.samples_per_sec, row.final_loss
         );
-        final_params.push(trainer.params());
+        final_params.push(trainer.params().expect("healthy collect"));
         rows.push(row);
         trainer.shutdown();
     }

@@ -105,6 +105,7 @@ fn main() {
                     gpu_utilization: Vec::new(),
                 }
             }
+            Err(e) => panic!("simulator can only fail with Oom, got {e}"),
         };
         rows.push(row);
     }

@@ -78,6 +78,29 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`]: the wait is bounded
+    /// both by sender disconnects and by wall-clock time, so a caller
+    /// supervising worker threads can never hang on a dead peer.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with the channel still empty (senders
+        /// may or may not still be alive).
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     struct Shared<T> {
         queue: StdMutex<VecDeque<T>>,
         /// `None` = unbounded.
@@ -157,6 +180,43 @@ pub mod channel {
                     .not_empty
                     .wait(queue)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Receives a message, blocking at most `timeout`: the
+        /// disconnect-aware bounded wait that failure supervision is
+        /// built on. Returns as soon as a message arrives, every sender
+        /// disconnects, or the deadline passes — whichever is first.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Disconnected`] if the channel is empty
+        /// with all senders dropped, [`RecvTimeoutError::Timeout`] if
+        /// the deadline elapsed first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.shared.lock();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
             }
         }
 
@@ -244,9 +304,10 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, RecvError};
+    use super::channel::{bounded, unbounded, RecvError, RecvTimeoutError};
     use super::Mutex;
     use std::sync::Arc;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn mutex_basic_and_poison_tolerant() {
@@ -292,6 +353,55 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_returns_a_queued_message_immediately() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_with_live_senders() {
+        let (tx, rx) = unbounded::<u32>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_observes_disconnect_before_deadline() {
+        let (tx, rx) = unbounded::<u32>();
+        let dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(60)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "disconnect must end the wait long before the deadline"
+        );
+        dropper.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = unbounded::<u32>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(60)), Ok(9));
+        sender.join().unwrap();
     }
 
     #[test]

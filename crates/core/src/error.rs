@@ -7,6 +7,7 @@
 //! message the CLI prints.
 
 use ecofl_pipeline::executor::ExecError;
+use ecofl_pipeline::SpikeError;
 use std::fmt;
 
 /// Failure classes of the Eco-FL system and CLI.
@@ -39,6 +40,9 @@ impl fmt::Display for EcoFlError {
             EcoFlError::Exec(ExecError::Oom { stage, micro }) => {
                 write!(f, "schedule OOMs on stage {stage} at micro-batch {micro}")
             }
+            // The runtime failure variants (StageDied etc.) already carry
+            // the full human-readable message in their own Display.
+            EcoFlError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
@@ -64,6 +68,15 @@ impl From<std::io::Error> for EcoFlError {
     }
 }
 
+/// A spike scenario that cannot be set up is a planning failure: the
+/// partitioner/schedule admitted no configuration for the requested
+/// model/device combination.
+impl From<SpikeError> for EcoFlError {
+    fn from(e: SpikeError) -> Self {
+        EcoFlError::Plan(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +91,28 @@ mod tests {
     fn exec_display_matches_cli_wording() {
         let e = EcoFlError::from(ExecError::Oom { stage: 2, micro: 5 });
         assert_eq!(e.to_string(), "schedule OOMs on stage 2 at micro-batch 5");
+    }
+
+    #[test]
+    fn stage_died_display_passes_through() {
+        let e = EcoFlError::from(ExecError::StageDied {
+            stage: 1,
+            during: "gradient receive (peer disconnected)".into(),
+        });
+        assert_eq!(
+            e.to_string(),
+            "stage 1 died during gradient receive (peer disconnected)"
+        );
+    }
+
+    #[test]
+    fn spike_error_maps_to_plan() {
+        let e = EcoFlError::from(SpikeError::InfeasibleInitialPartition);
+        assert!(matches!(e, EcoFlError::Plan(_)));
+        assert_eq!(
+            e.to_string(),
+            "no feasible initial partition for the spike scenario"
+        );
     }
 
     #[test]

@@ -25,11 +25,11 @@ pub use ecofl_models::{
     efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,
 };
 pub use ecofl_obs::{TraceRecord, TraceView, Tracer};
-pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike};
+pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike, SpikeError};
 pub use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 pub use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};
 pub use ecofl_pipeline::profiler::PipelineProfile;
-pub use ecofl_pipeline::runtime::PipelineTrainer;
+pub use ecofl_pipeline::runtime::{FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions};
 pub use ecofl_pipeline::{
     data_parallel_epoch, single_device_epoch, ExecutionReport, PipelineExecutor, SchedulePolicy,
 };

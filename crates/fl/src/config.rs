@@ -71,6 +71,14 @@ pub struct FlConfig {
     /// Probability that a selected client fails to return its update
     /// (crash, disconnect, battery). Synchronous aggregations proceed over
     /// the survivors; a round whose every participant failed is skipped.
+    ///
+    /// This is the *statistical* view of the same disturbance that
+    /// `ecofl_pipeline::runtime::FaultPlan` injects *deterministically*
+    /// one level down: a stage dying inside a client's collaborative
+    /// pipeline. A client whose runtime checkpoints, recovers and
+    /// replays (§4.4) returns its update late instead of becoming a
+    /// `failure_prob` casualty, so the two knobs model the
+    /// without-recovery and with-recovery ends of the same failure.
     pub failure_prob: f64,
     /// RNG seed for the whole run.
     pub seed: u64,

@@ -55,6 +55,14 @@ pub enum EventKind {
     RegroupDropped,
     /// A dropped client rejoined (value = destination group).
     RegroupRejoined,
+    /// A pipeline stage thread died (entity = stage; time = sync-round).
+    StageDied,
+    /// The runtime snapshotted parameters after a sync-round flush
+    /// (time = value = checkpoint round).
+    CheckpointTaken,
+    /// A crashed sync-round was replayed to completion after recovery
+    /// (time = value = replayed round).
+    RoundReplayed,
 }
 
 /// A duration: something ran from `t0` to `t1` in virtual time.

@@ -23,6 +23,46 @@ use ecofl_simnet::{Device, Link};
 use ecofl_util::stats::Ema;
 use ecofl_util::TimeSeries;
 
+/// Why a Fig. 13 spike scenario cannot run at all. These cover the
+/// *setup* of the scenario; a repartition that turns out infeasible
+/// *mid-run* is not an error — the scheduler falls back to the
+/// unmigrated pipeline (§4.4: degrade, don't die).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpikeError {
+    /// The Eq. 1 partitioner found no feasible initial partition (e.g.
+    /// fewer layers than devices, or memory bounds violated everywhere).
+    InfeasibleInitialPartition,
+    /// The initial pipeline admits no executable 1F1B-Sync schedule.
+    InitialPipelineStalled,
+    /// After the spike landed, the (unmigrated) pipeline no longer
+    /// admits an executable schedule.
+    SpikedPipelineStalled,
+}
+
+impl std::fmt::Display for SpikeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpikeError::InfeasibleInitialPartition => {
+                write!(f, "no feasible initial partition for the spike scenario")
+            }
+            SpikeError::InitialPipelineStalled => {
+                write!(
+                    f,
+                    "initial pipeline admits no executable 1F1B-Sync schedule"
+                )
+            }
+            SpikeError::SpikedPipelineStalled => {
+                write!(
+                    f,
+                    "post-spike pipeline admits no executable 1F1B-Sync schedule"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpikeError {}
+
 /// One re-scheduling action taken by the portal node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RescheduleEvent {
@@ -187,10 +227,12 @@ impl Default for SchedulerConfig {
 
 /// Runs the Fig. 13 scenario with the default scheduler tuning.
 ///
-/// # Panics
-/// Panics if the initial partition is infeasible.
+/// # Errors
+/// [`SpikeError`] if the scenario cannot be set up (infeasible initial
+/// partition, or a pipeline with no executable schedule). A repartition
+/// that is infeasible *mid-run* is handled by falling back to the
+/// unmigrated pipeline, never by an error.
 #[allow(clippy::too_many_arguments)]
-#[must_use]
 pub fn simulate_load_spike(
     model: &ModelProfile,
     devices: &[Device],
@@ -200,7 +242,7 @@ pub fn simulate_load_spike(
     spike: LoadSpike,
     horizon: f64,
     with_scheduler: bool,
-) -> SpikeTrace {
+) -> Result<SpikeTrace, SpikeError> {
     simulate_load_spike_with(
         model,
         devices,
@@ -217,10 +259,10 @@ pub fn simulate_load_spike(
 /// Runs the Fig. 13 scenario with explicit scheduler tuning (used by the
 /// ablation bench).
 ///
-/// # Panics
-/// Panics if the initial partition is infeasible.
+/// # Errors
+/// [`SpikeError`] if the scenario cannot be set up; see
+/// [`simulate_load_spike`].
 #[allow(clippy::too_many_arguments)]
-#[must_use]
 pub fn simulate_load_spike_with(
     model: &ModelProfile,
     devices: &[Device],
@@ -231,7 +273,7 @@ pub fn simulate_load_spike_with(
     horizon: f64,
     with_scheduler: bool,
     scheduler_cfg: SchedulerConfig,
-) -> SpikeTrace {
+) -> Result<SpikeTrace, SpikeError> {
     simulate_load_spike_inner(
         model,
         devices,
@@ -252,10 +294,10 @@ pub fn simulate_load_spike_with(
 /// [`EventKind::Restart`] (value = stall seconds) per committed
 /// migration, all under [`Domain::Scheduler`] at virtual timestamps.
 ///
-/// # Panics
-/// Panics if the initial partition is infeasible.
+/// # Errors
+/// [`SpikeError`] if the scenario cannot be set up; see
+/// [`simulate_load_spike`].
 #[allow(clippy::too_many_arguments)]
-#[must_use]
 pub fn simulate_load_spike_traced(
     model: &ModelProfile,
     devices: &[Device],
@@ -267,7 +309,7 @@ pub fn simulate_load_spike_traced(
     with_scheduler: bool,
     scheduler_cfg: SchedulerConfig,
     tracer: &Tracer,
-) -> SpikeTrace {
+) -> Result<SpikeTrace, SpikeError> {
     simulate_load_spike_inner(
         model,
         devices,
@@ -294,12 +336,12 @@ fn simulate_load_spike_inner(
     with_scheduler: bool,
     scheduler_cfg: SchedulerConfig,
     tracer: Option<&Tracer>,
-) -> SpikeTrace {
+) -> Result<SpikeTrace, SpikeError> {
     let mut devices: Vec<Device> = devices.to_vec();
     let mut partition =
-        partition_dp(model, &devices, link, mbs).expect("initial partition must be feasible");
+        partition_dp(model, &devices, link, mbs).ok_or(SpikeError::InfeasibleInitialPartition)?;
     let mut steady = steady_state(model, &partition, &devices, link, mbs, micro_batches)
-        .expect("initial pipeline must execute");
+        .ok_or(SpikeError::InitialPipelineStalled)?;
 
     let mut scheduler = AdaptiveScheduler::new(
         devices.len(),
@@ -322,7 +364,7 @@ fn simulate_load_spike_inner(
         if !spiked && t >= spike.at {
             devices[spike.device].set_external_load(spike.load);
             steady = steady_state(model, &partition, &devices, link, mbs, micro_batches)
-                .expect("spiked pipeline still executes");
+                .ok_or(SpikeError::SpikedPipelineStalled)?;
             spiked = true;
         }
         // One sync-round at the current configuration.
@@ -352,9 +394,18 @@ fn simulate_load_spike_inner(
                         steady.stage_times[lagger],
                     );
                 }
-                let new_partition =
-                    partition_dp(model, &devices, link, mbs).expect("repartition must be feasible");
-                if new_partition != partition {
+                // §4.4 degrade-don't-die: a mid-run repartition can be
+                // infeasible (the spiked device's memory bound may now
+                // reject every cut) or yield an inexecutable pipeline.
+                // Both the candidate partition and its steady state are
+                // evaluated *before* committing anything; on failure the
+                // scheduler keeps the current (unmigrated) pipeline.
+                let candidate = partition_dp(model, &devices, link, mbs)
+                    .filter(|p| *p != partition)
+                    .and_then(|p| {
+                        steady_state(model, &p, &devices, link, mbs, micro_batches).map(|s| (p, s))
+                    });
+                if let Some((new_partition, new_steady)) = candidate {
                     let moved = migration_bytes(model, &partition, &new_partition);
                     let pause = link.transfer_time(moved) + scheduler.restart_overhead;
                     if let Some(tr) = tracer {
@@ -392,15 +443,14 @@ fn simulate_load_spike_inner(
                     }
                     t += pause;
                     partition = new_partition;
-                    steady = steady_state(model, &partition, &devices, link, mbs, micro_batches)
-                        .expect("migrated pipeline executes");
+                    steady = new_steady;
                     scheduler.reset();
                 }
             }
         }
     }
 
-    SpikeTrace {
+    Ok(SpikeTrace {
         device_utilization: util_series,
         throughput,
         events,
@@ -414,7 +464,7 @@ fn simulate_load_spike_inner(
         } else {
             0.0
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -481,8 +531,10 @@ mod tests {
             at: 100.0,
             load: 0.6,
         };
-        let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 250.0, false);
-        let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 250.0, true);
+        let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 250.0, false)
+            .expect("feasible scenario");
+        let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 250.0, true)
+            .expect("feasible scenario");
         assert!(without.events.is_empty());
         assert!(!with.events.is_empty(), "scheduler should migrate");
         assert!(
@@ -515,7 +567,8 @@ mod tests {
             true,
             SchedulerConfig::default(),
             &tracer,
-        );
+        )
+        .expect("feasible scenario");
         assert!(!trace.events.is_empty(), "scheduler should migrate");
         let view = tracer.view();
         let migrations = view.events_of(EventKind::Migration);
@@ -541,12 +594,33 @@ mod tests {
             at: 60.0,
             load: 0.6,
         };
-        let trace = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, false);
+        let trace = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, false)
+            .expect("feasible scenario");
         assert!(
             trace.post_spike_throughput < trace.pre_spike_throughput * 0.8,
             "static pipeline should lose throughput: pre {} post {}",
             trace.pre_spike_throughput,
             trace.post_spike_throughput
         );
+    }
+
+    #[test]
+    fn infeasible_initial_partition_is_a_typed_error() {
+        // One layer across three devices: partition_dp cannot give every
+        // device a non-empty stage, so setup must fail — with an error,
+        // not a panic.
+        let (model, devices, link) = setup();
+        let tiny = ecofl_models::ModelProfile {
+            name: "tiny".to_string(),
+            layers: vec![model.layers[0].clone()],
+            input_bytes: model.input_bytes,
+        };
+        let spike = LoadSpike {
+            device: 1,
+            at: 10.0,
+            load: 0.5,
+        };
+        let result = simulate_load_spike(&tiny, &devices, &link, 8, 8, spike, 50.0, true);
+        assert_eq!(result.unwrap_err(), SpikeError::InfeasibleInitialPartition);
     }
 }

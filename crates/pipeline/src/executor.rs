@@ -81,6 +81,12 @@ impl SchedulePolicy {
 }
 
 /// Why a run aborted.
+///
+/// The simulated executor only produces [`ExecError::Oom`]; the real
+/// threaded runtime ([`crate::runtime`]) produces the remaining
+/// variants, which together form its never-panic contract: every
+/// runtime disturbance (stage death, shape mismatch, unrecoverable
+/// trainer) surfaces as one of these in bounded time.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecError {
     /// Stage `stage` exceeded its device memory at micro-batch `micro`.
@@ -90,6 +96,38 @@ pub enum ExecError {
         /// Micro-batch whose forward allocation failed.
         micro: usize,
     },
+    /// A stage thread of the real runtime died (panic, injected fault,
+    /// or channel disconnect cascade). `stage` is the *first* stage to
+    /// die — neighbours that fail afterwards from the resulting channel
+    /// disconnects are not reported.
+    StageDied {
+        /// First stage that died.
+        stage: usize,
+        /// What the stage was doing when it died.
+        during: String,
+    },
+    /// `SetParams` carried a vector whose length does not match the
+    /// stage's parameter count; the stage refused to apply it (no
+    /// partial/stale-tail write happens).
+    ParamLenMismatch {
+        /// Stage that rejected the vector.
+        stage: usize,
+        /// The stage's own flat parameter count.
+        expected: usize,
+        /// Length of the rejected vector.
+        got: usize,
+    },
+    /// The full flat parameter vector handed to `set_params` does not
+    /// match the sum of the per-stage lengths.
+    ParamVecLen {
+        /// Sum of the per-stage lengths.
+        expected: usize,
+        /// Length of the supplied vector.
+        got: usize,
+    },
+    /// `recover()` was called on a trainer launched without a segment
+    /// factory (plain `launch`), which cannot rebuild dead stages.
+    RecoveryUnsupported,
 }
 
 impl std::fmt::Display for ExecError {
@@ -97,6 +135,31 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Oom { stage, micro } => {
                 write!(f, "OOM on stage {stage} at micro-batch {micro}")
+            }
+            ExecError::StageDied { stage, during } => {
+                write!(f, "stage {stage} died during {during}")
+            }
+            ExecError::ParamLenMismatch {
+                stage,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "stage {stage} rejected a parameter vector of length {got} (expected {expected})"
+                )
+            }
+            ExecError::ParamVecLen { expected, got } => {
+                write!(
+                    f,
+                    "parameter vector length {got} does not match the stage layout total {expected}"
+                )
+            }
+            ExecError::RecoveryUnsupported => {
+                write!(
+                    f,
+                    "recovery unsupported: trainer was launched without a segment factory"
+                )
             }
         }
     }

@@ -42,7 +42,7 @@ pub mod profiler;
 pub mod runtime;
 pub mod validate;
 
-pub use adaptive::{AdaptiveScheduler, RescheduleEvent};
+pub use adaptive::{AdaptiveScheduler, RescheduleEvent, SpikeError};
 pub use baselines::{data_parallel_epoch, single_device_epoch, DataParallelReport};
 pub use executor::{ExecutionReport, PipelineExecutor, SchedulePolicy, TaskSpan};
 pub use orchestrator::{
@@ -50,4 +50,5 @@ pub use orchestrator::{
 };
 pub use partition::{partition_dp, partition_even, Partition};
 pub use profiler::{PipelineProfile, StageProfile};
+pub use runtime::{FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions};
 pub use validate::{validate_plan, PlanViolation};

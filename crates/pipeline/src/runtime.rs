@@ -1,10 +1,12 @@
-//! Multi-threaded 1F1B-Sync pipeline prototype.
+//! Multi-threaded 1F1B-Sync pipeline runtime with a supervision tree.
 //!
 //! Where [`crate::executor`] *simulates* pipeline timing on modelled
 //! hardware, this module actually *trains*: each stage is an OS thread
 //! owning a contiguous segment of a real `ecofl-tensor` network, and
 //! micro-batch activations/gradients flow through MPMC channels,
 //! serialized to wire [`Bytes`] exactly as they would cross a network.
+//!
+//! # Schedule
 //!
 //! The schedule is the paper's 1F1B-Sync: stage `s` warms up with `K_s`
 //! forwards, then strictly alternates backward/forward, and the sync-round
@@ -13,15 +15,78 @@
 //! resulting parameter updates are **bit-identical** to single-device
 //! gradient-accumulation training over the same micro-batches — the
 //! schedule changes execution order, never semantics. The tests assert
-//! this exactly.
+//! this exactly. Inter-stage channels are bounded by the *receiving*
+//! stage's residency `K_s`, so the in-flight micro-batch memory really is
+//! limited by the §4.3 (Eq. 3) analysis rather than an arbitrary buffer.
+//!
+//! # Supervision tree and the never-panic contract
+//!
+//! The portal (the thread owning [`PipelineTrainer`]) supervises the
+//! stage threads. Every stage runs inside a panic-catching wrapper: when
+//! a stage dies — a real panic in layer code, an injected [`FaultPlan`]
+//! kill, or a channel-disconnect cascade from a dead neighbour — it
+//! posts a death note (stage index + what it was doing) to a shared
+//! board *before* its channels close, so the first note on the board is
+//! always the root cause. Portal-side waits all go through the
+//! disconnect-aware bounded [`recv_timeout`] of `ecofl-compat`, so a
+//! dead or wedged stage surfaces as
+//! [`ExecError::StageDied`] in bounded time instead of a hang.
+//!
+//! The public runtime API **never panics on a runtime disturbance**:
+//! [`PipelineTrainer::train_round`], [`PipelineTrainer::params`],
+//! [`PipelineTrainer::set_params`] and [`PipelineTrainer::recover`] all
+//! return `Result<_, ExecError>`. (Constructor shape checks — empty
+//! segments, `K` arity — remain documented panics: they are programmer
+//! errors, not disturbances.) After an error the trainer is *poisoned*:
+//! further calls return the stored error until [`PipelineTrainer::recover`]
+//! rebuilds it.
+//!
+//! # Checkpoint / recovery (§4.4 on the real runtime)
+//!
+//! The portal snapshots the full parameter vector at launch and after
+//! every sync-round flush. [`PipelineTrainer::recover`] tears the broken
+//! pipeline down (unblocking and joining every surviving thread),
+//! relaunches all stages from the segment factory, restores the last
+//! checkpoint, and rewinds the round counter — so replaying the
+//! interrupted round yields parameters **bit-identical** to an
+//! uninterrupted run on the same data (asserted by
+//! `tests/fault_injection.rs` across random stage counts, micro-batch
+//! counts and kill points). Recovery needs a way to rebuild dead stages,
+//! so it is available from [`PipelineTrainer::launch_supervised`] (which
+//! takes a segment factory); plain [`PipelineTrainer::launch`] keeps the
+//! old signature and reports [`ExecError::RecoveryUnsupported`].
+//!
+//! # Observability
+//!
+//! With [`RuntimeOptions::tracer`] set, the portal records
+//! `EventKind::{StageDied, CheckpointTaken, RoundReplayed}` under
+//! `Domain::Pipeline`. The runtime executes in real time, so these
+//! events carry the sync-round index as their (virtual) timestamp.
+//!
+//! # Relation to `fl::FlConfig::failure_prob`
+//!
+//! The FL layer models *client* churn statistically: `failure_prob` is
+//! the chance that a whole client (one collaborative pipeline) drops out
+//! of a round. [`FaultPlan`] is the same disturbance one level down —
+//! a deterministic, seed-driven death of one *stage* inside a pipeline —
+//! so the recovery loop tested here is what keeps a client from
+//! becoming an `failure_prob` casualty in the first place.
+//!
+//! [`recv_timeout`]: ecofl_compat::sync::channel::Receiver::recv_timeout
 
+use crate::executor::ExecError;
 use ecofl_compat::bytes::{Bytes, BytesMut};
 use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, Sender};
 use ecofl_compat::sync::Mutex;
+use ecofl_obs::{Domain, EventKind, Tracer};
 use ecofl_tensor::{Layer, SoftmaxCrossEntropy, Tensor};
+use ecofl_util::Rng;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Serializes a tensor (shape + payload) into wire bytes.
 #[must_use]
@@ -62,11 +127,112 @@ pub struct CommStats {
     pub bwd_bytes: Vec<u64>,
 }
 
+/// One deterministic stage kill: stage `stage` dies immediately before
+/// the forward pass of micro-batch `micro` in sync-round `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Stage to kill.
+    pub stage: usize,
+    /// Sync-round (0-based, counted over the trainer's lifetime) in
+    /// which the kill fires.
+    pub round: u64,
+    /// Micro-batch index (0-based within the round) whose forward the
+    /// stage dies before. A `micro >= m` never fires.
+    pub micro: usize,
+}
+
+/// Deterministic fault-injection plan for the §4.4 recovery loop: which
+/// stages die, when. Injected deaths are clean thread exits (no panic
+/// output), reported exactly like real crashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled kills.
+    pub kills: Vec<KillPoint>,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single kill at the given point.
+    #[must_use]
+    pub fn kill_at(stage: usize, round: u64, micro: usize) -> Self {
+        Self {
+            kills: vec![KillPoint {
+                stage,
+                round,
+                micro,
+            }],
+        }
+    }
+
+    /// A single seed-driven kill drawn uniformly over `stages × rounds ×
+    /// m` — the deterministic analogue of the FL layer's statistical
+    /// `failure_prob`.
+    #[must_use]
+    pub fn from_seed(seed: u64, stages: usize, rounds: u64, m: usize) -> Self {
+        assert!(
+            stages > 0 && rounds > 0 && m > 0,
+            "FaultPlan::from_seed: empty domain"
+        );
+        let mut rng = Rng::new(seed);
+        Self::kill_at(
+            rng.range_usize(0, stages),
+            rng.range_usize(0, rounds as usize) as u64,
+            rng.range_usize(0, m),
+        )
+    }
+
+    /// Kill points scheduled for one stage, as `(round, micro)` pairs.
+    fn for_stage(&self, stage: usize) -> Vec<(u64, usize)> {
+        self.kills
+            .iter()
+            .filter(|k| k.stage == stage)
+            .map(|k| (k.round, k.micro))
+            .collect()
+    }
+}
+
+/// Supervision knobs of the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Upper bound on any single portal-side wait for a stage reply.
+    /// Dead stages are detected much earlier via channel disconnect;
+    /// this bound catches genuinely wedged (live but silent) stages.
+    pub recv_timeout: Duration,
+    /// Deterministic fault injection (empty by default).
+    pub fault_plan: FaultPlan,
+    /// Failure/recovery event sink (`StageDied`, `CheckpointTaken`,
+    /// `RoundReplayed` under `Domain::Pipeline`, timestamped by round).
+    pub tracer: Option<Tracer>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            recv_timeout: Duration::from_secs(30),
+            fault_plan: FaultPlan::none(),
+            tracer: None,
+        }
+    }
+}
+
+/// Rebuilds the stage segments after a crash; must return the same
+/// layer architecture every call (parameters are overwritten from the
+/// checkpoint, so their values are irrelevant).
+pub type SegmentFactory = Box<dyn Fn() -> Vec<Vec<Box<dyn Layer>>>>;
+
 enum Ctrl {
     /// Run one sync-round of `m` micro-batches with warmup residency `k`.
+    /// `round` is the trainer-lifetime round index (drives fault
+    /// injection).
     Round {
         m: usize,
         k: usize,
+        round: u64,
     },
     /// Apply accumulated gradients: SGD with `lr`, gradients scaled by
     /// `scale`, then zero gradients.
@@ -76,16 +242,53 @@ enum Ctrl {
     },
     /// Send this stage's flat parameters to the portal.
     Collect,
-    /// Overwrite this stage's parameters.
+    /// Overwrite this stage's parameters (acked with `Reply::SetDone`).
     SetParams(Vec<f32>),
     Shutdown,
 }
 
 enum Reply {
     Params(Vec<f32>),
-    RoundDone { losses: Vec<f32> },
+    RoundDone {
+        losses: Vec<f32>,
+    },
     Applied,
+    /// Ack for `SetParams`: the stage's own parameter count and the
+    /// length it was handed. On mismatch nothing was applied.
+    SetDone {
+        expected: usize,
+        got: usize,
+    },
 }
+
+/// Why a stage thread exited abnormally.
+enum StageFail {
+    /// A `FaultPlan` kill fired.
+    Killed { round: u64, micro: usize },
+    /// A peer (portal or neighbour stage) disconnected mid-protocol.
+    Disconnect { during: &'static str },
+}
+
+impl StageFail {
+    fn describe(&self) -> String {
+        match self {
+            StageFail::Killed { round, micro } => {
+                format!("injected kill before forward of micro-batch {micro} in round {round}")
+            }
+            StageFail::Disconnect { during } => format!("{during} (peer disconnected)"),
+        }
+    }
+}
+
+/// One entry on the shared death board. The first entry is the root
+/// cause: a dying stage posts its note *before* dropping its channels,
+/// so cascade victims always file later.
+struct DeathNote {
+    stage: usize,
+    during: String,
+}
+
+type DeathBoard = Arc<Mutex<Vec<DeathNote>>>;
 
 struct StageThread {
     ctrl_tx: Sender<Ctrl>,
@@ -93,17 +296,34 @@ struct StageThread {
     handle: Option<JoinHandle<()>>,
 }
 
-/// A running multi-threaded pipeline trainer (the "smart home" prototype).
+/// A running multi-threaded pipeline trainer (the "smart home"
+/// prototype), supervised and crash-recoverable — see the
+/// [module docs](self) for the supervision and checkpoint contract.
 pub struct PipelineTrainer {
     stages: Vec<StageThread>,
     input_tx: Sender<Bytes>,
     target_tx: Sender<Vec<usize>>,
     k: Vec<usize>,
     comm: Arc<Mutex<CommStats>>,
-    /// Micro-batches fully processed (backward done at the last stage).
-    /// Relaxed ordering suffices: it is a monitoring counter, not a
+    /// Micro-batches whose backward completed at the last stage,
+    /// including work from rounds later aborted by a fault. Relaxed
+    /// ordering suffices: it is a monitoring counter, not a
     /// synchronization point.
     progress: Arc<AtomicU64>,
+    deaths: DeathBoard,
+    opts: RuntimeOptions,
+    factory: Option<SegmentFactory>,
+    /// Index of the next sync-round.
+    round: u64,
+    checkpoint: Checkpoint,
+    failure: Option<ExecError>,
+    replaying: bool,
+}
+
+/// Parameter snapshot taken at launch and after every sync-round flush.
+struct Checkpoint {
+    round: u64,
+    stage_params: Vec<Vec<f32>>,
 }
 
 struct StageCtx {
@@ -119,71 +339,105 @@ struct StageCtx {
     comm: Arc<Mutex<CommStats>>,
     progress: Arc<AtomicU64>,
     stage_idx: usize,
+    /// `(round, micro)` kill points for this stage.
+    kills: Vec<(u64, usize)>,
+    deaths: DeathBoard,
 }
 
-fn stage_main(mut ctx: StageCtx) {
+impl StageCtx {
+    fn kill_due(&self, round: u64, micro: usize) -> bool {
+        self.kills.iter().any(|&(r, n)| r == round && n == micro)
+    }
+}
+
+fn do_fwd(ctx: &mut StageCtx, pending_logits: &mut VecDeque<Tensor>) -> Result<(), StageFail> {
+    let bytes = ctx.input_rx.recv().map_err(|_| StageFail::Disconnect {
+        during: "activation receive",
+    })?;
+    let x = decode_tensor(bytes);
+    let mut out = x;
+    for layer in &mut ctx.layers {
+        out = layer.forward(&out);
+    }
+    if ctx.is_last {
+        pending_logits.push_back(out);
+    } else {
+        let encoded = encode_tensor(&out);
+        ctx.comm.lock().fwd_bytes[ctx.stage_idx] += encoded.len() as u64;
+        ctx.downstream_act_tx
+            .as_ref()
+            .expect("non-last stage has downstream")
+            .send(encoded)
+            .map_err(|_| StageFail::Disconnect {
+                during: "activation send",
+            })?;
+    }
+    Ok(())
+}
+
+fn do_bwd(
+    ctx: &mut StageCtx,
+    head: &mut SoftmaxCrossEntropy,
+    pending_logits: &mut VecDeque<Tensor>,
+    losses: &mut Vec<f32>,
+) -> Result<(), StageFail> {
+    let mut grad = if ctx.is_last {
+        let logits = pending_logits.pop_front().expect("logit for backward");
+        let targets = ctx
+            .target_rx
+            .as_ref()
+            .expect("last stage has targets")
+            .recv()
+            .map_err(|_| StageFail::Disconnect {
+                during: "target receive",
+            })?;
+        let (loss, grad) = head.loss_and_grad(&logits, &targets);
+        losses.push(loss);
+        ctx.progress.fetch_add(1, Ordering::Relaxed);
+        grad
+    } else {
+        let bytes = ctx
+            .grad_rx
+            .as_ref()
+            .expect("non-last stage has grad channel")
+            .recv()
+            .map_err(|_| StageFail::Disconnect {
+                during: "gradient receive",
+            })?;
+        decode_tensor(bytes)
+    };
+    for layer in ctx.layers.iter_mut().rev() {
+        grad = layer.backward(&grad);
+    }
+    if let Some(tx) = &ctx.upstream_grad_tx {
+        let encoded = encode_tensor(&grad);
+        ctx.comm.lock().bwd_bytes[ctx.stage_idx - 1] += encoded.len() as u64;
+        tx.send(encoded).map_err(|_| StageFail::Disconnect {
+            during: "gradient send",
+        })?;
+    }
+    Ok(())
+}
+
+/// The stage protocol loop. `Ok(())` is a clean shutdown (explicit
+/// `Ctrl::Shutdown` or the portal dropping the control channel);
+/// `Err(_)` is a death the wrapper reports to the board.
+fn stage_loop(ctx: &mut StageCtx) -> Result<(), StageFail> {
     let mut head = SoftmaxCrossEntropy::new();
     // Logits awaiting their backward at the last stage (FIFO).
-    let mut pending_logits: std::collections::VecDeque<Tensor> = std::collections::VecDeque::new();
-
-    let fwd = |ctx: &mut StageCtx, pending_logits: &mut std::collections::VecDeque<Tensor>| {
-        let bytes = ctx.input_rx.recv().expect("activation channel closed");
-        let x = decode_tensor(bytes);
-        let mut out = x;
-        for layer in &mut ctx.layers {
-            out = layer.forward(&out);
+    let mut pending_logits: VecDeque<Tensor> = VecDeque::new();
+    // Own flat parameter count, for `SetParams` length validation.
+    let own_params = {
+        let mut scratch = Vec::new();
+        for layer in &ctx.layers {
+            layer.write_params(&mut scratch);
         }
-        if ctx.is_last {
-            pending_logits.push_back(out);
-        } else {
-            let encoded = encode_tensor(&out);
-            ctx.comm.lock().fwd_bytes[ctx.stage_idx] += encoded.len() as u64;
-            ctx.downstream_act_tx
-                .as_ref()
-                .expect("non-last stage has downstream")
-                .send(encoded)
-                .expect("downstream closed");
-        }
-    };
-
-    let bwd = |ctx: &mut StageCtx,
-               head: &mut SoftmaxCrossEntropy,
-               pending_logits: &mut std::collections::VecDeque<Tensor>,
-               losses: &mut Vec<f32>| {
-        let mut grad = if ctx.is_last {
-            let logits = pending_logits.pop_front().expect("logit for backward");
-            let targets = ctx
-                .target_rx
-                .as_ref()
-                .expect("last stage has targets")
-                .recv()
-                .expect("target channel closed");
-            let (loss, grad) = head.loss_and_grad(&logits, &targets);
-            losses.push(loss);
-            ctx.progress.fetch_add(1, Ordering::Relaxed);
-            grad
-        } else {
-            let bytes = ctx
-                .grad_rx
-                .as_ref()
-                .expect("non-last stage has grad channel")
-                .recv()
-                .expect("grad channel closed");
-            decode_tensor(bytes)
-        };
-        for layer in ctx.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
-        }
-        if let Some(tx) = &ctx.upstream_grad_tx {
-            let encoded = encode_tensor(&grad);
-            ctx.comm.lock().bwd_bytes[ctx.stage_idx - 1] += encoded.len() as u64;
-            tx.send(encoded).expect("upstream closed");
-        }
+        scratch.len()
     };
 
     loop {
         match ctx.ctrl_rx.recv() {
-            Ok(Ctrl::Round { m, k }) => {
+            Ok(Ctrl::Round { m, k, round }) => {
                 let mut losses = Vec::new();
                 // 1F1B-Sync: warmup with K forwards, then alternate BP/FP,
                 // drain remaining backwards.
@@ -191,20 +445,34 @@ fn stage_main(mut ctx: StageCtx) {
                 let mut fp_done = 0usize;
                 let mut bp_done = 0usize;
                 for _ in 0..warmup {
-                    fwd(&mut ctx, &mut pending_logits);
+                    if ctx.kill_due(round, fp_done) {
+                        return Err(StageFail::Killed {
+                            round,
+                            micro: fp_done,
+                        });
+                    }
+                    do_fwd(ctx, &mut pending_logits)?;
                     fp_done += 1;
                 }
                 while bp_done < m {
-                    bwd(&mut ctx, &mut head, &mut pending_logits, &mut losses);
+                    do_bwd(ctx, &mut head, &mut pending_logits, &mut losses)?;
                     bp_done += 1;
                     if fp_done < m {
-                        fwd(&mut ctx, &mut pending_logits);
+                        if ctx.kill_due(round, fp_done) {
+                            return Err(StageFail::Killed {
+                                round,
+                                micro: fp_done,
+                            });
+                        }
+                        do_fwd(ctx, &mut pending_logits)?;
                         fp_done += 1;
                     }
                 }
                 ctx.reply_tx
                     .send(Reply::RoundDone { losses })
-                    .expect("portal closed");
+                    .map_err(|_| StageFail::Disconnect {
+                        during: "round-done reply",
+                    })?;
             }
             Ok(Ctrl::Apply { lr, scale }) => {
                 // Pipeline flush: local SGD on the accumulated gradients.
@@ -222,7 +490,11 @@ fn stage_main(mut ctx: StageCtx) {
                     offset += layer.read_params(&params[offset..]);
                     layer.zero_grads();
                 }
-                ctx.reply_tx.send(Reply::Applied).expect("portal closed");
+                ctx.reply_tx
+                    .send(Reply::Applied)
+                    .map_err(|_| StageFail::Disconnect {
+                        during: "apply reply",
+                    })?;
             }
             Ok(Ctrl::Collect) => {
                 let mut params = Vec::new();
@@ -231,31 +503,195 @@ fn stage_main(mut ctx: StageCtx) {
                 }
                 ctx.reply_tx
                     .send(Reply::Params(params))
-                    .expect("portal closed");
+                    .map_err(|_| StageFail::Disconnect {
+                        during: "params reply",
+                    })?;
             }
             Ok(Ctrl::SetParams(params)) => {
-                let mut offset = 0;
-                for layer in &mut ctx.layers {
-                    offset += layer.read_params(&params[offset..]);
+                let got = params.len();
+                if got == own_params {
+                    let mut offset = 0;
+                    for layer in &mut ctx.layers {
+                        offset += layer.read_params(&params[offset..]);
+                    }
+                    assert_eq!(offset, got, "layer param accounting diverged");
                 }
-                debug_assert_eq!(offset, params.len());
+                // On mismatch nothing was applied — no stale-tail
+                // corruption; the portal turns the ack into a typed error.
+                ctx.reply_tx
+                    .send(Reply::SetDone {
+                        expected: own_params,
+                        got,
+                    })
+                    .map_err(|_| StageFail::Disconnect {
+                        during: "set-params ack",
+                    })?;
             }
-            Ok(Ctrl::Shutdown) | Err(_) => return,
+            Ok(Ctrl::Shutdown) | Err(_) => return Ok(()),
         }
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+}
+
+/// Thread body: runs the protocol loop under `catch_unwind` and posts a
+/// death note before the context (and with it every channel endpoint)
+/// drops, so neighbours can only observe the disconnect *after* the
+/// root cause is on the board.
+fn stage_thread(mut ctx: StageCtx) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| stage_loop(&mut ctx)));
+    let during = match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(fail)) => Some(fail.describe()),
+        Err(payload) => Some(format!("panic: {}", panic_message(payload.as_ref()))),
+    };
+    if let Some(during) = during {
+        ctx.deaths.lock().push(DeathNote {
+            stage: ctx.stage_idx,
+            during,
+        });
+    }
+}
+
+/// Everything `spawn_stages` wires up.
+struct Wiring {
+    stages: Vec<StageThread>,
+    input_tx: Sender<Bytes>,
+    target_tx: Sender<Vec<usize>>,
+}
+
+/// Builds the channel topology and spawns one thread per stage.
+///
+/// Data channels between stages are bounded by the *receiving* stage's
+/// residency: the activation channel into stage `s+1` holds at most
+/// `k[s+1]` micro-batches and the gradient channel back into stage `s`
+/// at most `k[s]`, so in-flight memory is governed by the §4.3 `K_s`
+/// bound. The portal-side input/target channels stay unbounded — the
+/// portal owns the round's batches either way, and a bounded feed would
+/// let a dead stage 0 wedge the portal inside `send`.
+fn spawn_stages(
+    segments: Vec<Vec<Box<dyn Layer>>>,
+    k: &[usize],
+    comm: &Arc<Mutex<CommStats>>,
+    progress: &Arc<AtomicU64>,
+    deaths: &DeathBoard,
+    fault_plan: &FaultPlan,
+) -> Wiring {
+    let s_count = segments.len();
+    let (input_tx, first_rx) = unbounded::<Bytes>();
+    let mut act_rx = Some(first_rx);
+    let mut grad_txs: Vec<Option<Sender<Bytes>>> = vec![None; s_count];
+    let mut grad_rxs: Vec<Option<Receiver<Bytes>>> = vec![None; s_count];
+    for s in 0..s_count.saturating_sub(1) {
+        let (tx, rx) = bounded::<Bytes>(k[s]);
+        grad_txs[s + 1] = Some(tx); // stage s+1 sends grads up to s
+        grad_rxs[s] = Some(rx);
+    }
+    let (target_tx, target_rx) = unbounded::<Vec<usize>>();
+
+    let mut stages = Vec::with_capacity(s_count);
+    let mut segments = segments;
+    for (s, layers) in segments.drain(..).enumerate() {
+        assert!(!layers.is_empty(), "PipelineTrainer: stage {s} empty");
+        let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let is_last = s == s_count - 1;
+        let (downstream_act_tx, next_rx) = if is_last {
+            (None, None)
+        } else {
+            let (tx, rx) = bounded::<Bytes>(k[s + 1]);
+            (Some(tx), Some(rx))
+        };
+        let ctx = StageCtx {
+            layers,
+            is_last,
+            upstream_grad_tx: grad_txs[s].take(),
+            input_rx: act_rx.take().expect("input channel"),
+            downstream_act_tx,
+            grad_rx: grad_rxs[s].take(),
+            target_rx: is_last.then(|| target_rx.clone()),
+            ctrl_rx,
+            reply_tx,
+            comm: Arc::clone(comm),
+            progress: Arc::clone(progress),
+            stage_idx: s,
+            kills: fault_plan.for_stage(s),
+            deaths: Arc::clone(deaths),
+        };
+        act_rx = next_rx;
+        let handle = std::thread::Builder::new()
+            .name(format!("ecofl-stage-{s}"))
+            .spawn(move || stage_thread(ctx))
+            .expect("spawn stage thread");
+        stages.push(StageThread {
+            ctrl_tx,
+            reply_rx,
+            handle: Some(handle),
+        });
+    }
+
+    Wiring {
+        stages,
+        input_tx,
+        target_tx,
+    }
+}
+
 impl PipelineTrainer {
-    /// Launches one thread per stage.
+    /// Launches one thread per stage with default supervision and no
+    /// fault injection. Kept for callers that own their segments
+    /// directly; such a trainer cannot [`recover`](Self::recover)
+    /// (there is no factory to rebuild dead stages from).
     ///
     /// `segments[s]` is the ordered layer list of stage `s`; `k[s]` is the
     /// warmup residency (use `S − s`, the §4.3 bound with negligible
     /// communication, for an in-memory channel transport).
     ///
     /// # Panics
-    /// Panics on empty segments or a `k` length mismatch.
+    /// Panics on empty segments, a `k` length mismatch, or a stage dying
+    /// during launch.
     #[must_use]
     pub fn launch(segments: Vec<Vec<Box<dyn Layer>>>, k: Vec<usize>) -> Self {
+        Self::build(segments, k, RuntimeOptions::default(), None)
+            .expect("PipelineTrainer::launch: stage died during launch")
+    }
+
+    /// Launches a supervised, crash-recoverable trainer: `factory()`
+    /// builds the stage segments now and again on every
+    /// [`recover`](Self::recover).
+    ///
+    /// # Errors
+    /// [`ExecError::StageDied`] if a stage dies before the initial
+    /// checkpoint completes (possible with a `FaultPlan`, pathological
+    /// otherwise).
+    ///
+    /// # Panics
+    /// Panics on empty segments or a `k` length mismatch (programmer
+    /// errors, same contract as [`launch`](Self::launch)).
+    pub fn launch_supervised(
+        factory: SegmentFactory,
+        k: Vec<usize>,
+        opts: RuntimeOptions,
+    ) -> Result<Self, ExecError> {
+        let segments = factory();
+        Self::build(segments, k, opts, Some(factory))
+    }
+
+    fn build(
+        segments: Vec<Vec<Box<dyn Layer>>>,
+        k: Vec<usize>,
+        opts: RuntimeOptions,
+        factory: Option<SegmentFactory>,
+    ) -> Result<Self, ExecError> {
         let s_count = segments.len();
         assert!(s_count > 0, "PipelineTrainer: need at least one stage");
         assert_eq!(k.len(), s_count, "PipelineTrainer: K length mismatch");
@@ -266,71 +702,36 @@ impl PipelineTrainer {
             bwd_bytes: vec![0; s_count.saturating_sub(1)],
         }));
         let progress = Arc::new(AtomicU64::new(0));
+        let deaths: DeathBoard = Arc::new(Mutex::new(Vec::new()));
+        let wiring = spawn_stages(segments, &k, &comm, &progress, &deaths, &opts.fault_plan);
 
-        // Data channels: input into stage 0, activations between stages,
-        // gradients between stages (bounded to keep memory honest).
-        let (input_tx, first_rx) = unbounded::<Bytes>();
-        let mut act_rx = Some(first_rx);
-        let mut grad_txs: Vec<Option<Sender<Bytes>>> = vec![None; s_count];
-        let mut grad_rxs: Vec<Option<Receiver<Bytes>>> = vec![None; s_count];
-        for s in 0..s_count.saturating_sub(1) {
-            let (tx, rx) = bounded::<Bytes>(64);
-            grad_txs[s + 1] = Some(tx); // stage s+1 sends grads up to s
-            grad_rxs[s] = Some(rx);
-        }
-        let (target_tx, target_rx) = unbounded::<Vec<usize>>();
-
-        let mut stages = Vec::with_capacity(s_count);
-        let mut segments = segments;
-        for (s, layers) in segments.drain(..).enumerate() {
-            assert!(!layers.is_empty(), "PipelineTrainer: stage {s} empty");
-            let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
-            let (reply_tx, reply_rx) = unbounded::<Reply>();
-            let is_last = s == s_count - 1;
-            let (downstream_act_tx, next_rx) = if is_last {
-                (None, None)
-            } else {
-                let (tx, rx) = bounded::<Bytes>(64);
-                (Some(tx), Some(rx))
-            };
-            let ctx = StageCtx {
-                layers,
-                is_last,
-                upstream_grad_tx: grad_txs[s].take(),
-                input_rx: act_rx.take().expect("input channel"),
-                downstream_act_tx,
-                grad_rx: grad_rxs[s].take(),
-                target_rx: is_last.then(|| target_rx.clone()),
-                ctrl_rx,
-                reply_tx,
-                comm: Arc::clone(&comm),
-                progress: Arc::clone(&progress),
-                stage_idx: s,
-            };
-            act_rx = next_rx;
-            let handle = std::thread::Builder::new()
-                .name(format!("ecofl-stage-{s}"))
-                .spawn(move || stage_main(ctx))
-                .expect("spawn stage thread");
-            stages.push(StageThread {
-                ctrl_tx,
-                reply_rx,
-                handle: Some(handle),
-            });
-        }
-
-        Self {
-            stages,
-            input_tx,
-            target_tx,
+        let mut trainer = Self {
+            stages: wiring.stages,
+            input_tx: wiring.input_tx,
+            target_tx: wiring.target_tx,
             k,
             comm,
             progress,
-        }
+            deaths,
+            opts,
+            factory,
+            round: 0,
+            checkpoint: Checkpoint {
+                round: 0,
+                stage_params: Vec::new(),
+            },
+            failure: None,
+            replaying: false,
+        };
+        // Checkpoint 0: the pristine launch parameters, so a crash in the
+        // very first round is recoverable too.
+        trainer.take_checkpoint()?;
+        Ok(trainer)
     }
 
     /// Micro-batches whose loss has been computed so far — a lock-free
-    /// progress probe for monitoring threads.
+    /// progress probe for monitoring threads. Monotone across recoveries
+    /// and includes work from rounds later aborted by a fault.
     #[must_use]
     pub fn micro_batches_processed(&self) -> u64 {
         self.progress.load(Ordering::Relaxed)
@@ -342,87 +743,428 @@ impl PipelineTrainer {
         self.stages.len()
     }
 
+    /// Index of the next sync-round (also how many rounds completed).
+    #[must_use]
+    pub fn rounds_completed(&self) -> u64 {
+        self.round
+    }
+
+    /// Round of the last parameter checkpoint (the round [`recover`]
+    /// rewinds to).
+    ///
+    /// [`recover`]: Self::recover
+    #[must_use]
+    pub fn checkpoint_round(&self) -> u64 {
+        self.checkpoint.round
+    }
+
+    /// The stored failure, if the trainer is poisoned.
+    #[must_use]
+    pub fn failure(&self) -> Option<&ExecError> {
+        self.failure.as_ref()
+    }
+
+    /// Builds the `StageDied` error for a wait on stage `s` that ended
+    /// without a reply: the root cause is the *first* note on the death
+    /// board; an empty board means the stage is alive but silent
+    /// (wedged), attributed to `s` itself.
+    fn death_error(&self, s: usize, during: &str) -> ExecError {
+        let board = self.deaths.lock();
+        if let Some(first) = board.first() {
+            ExecError::StageDied {
+                stage: first.stage,
+                during: first.during.clone(),
+            }
+        } else {
+            ExecError::StageDied {
+                stage: s,
+                during: format!("{during} (no reply within {:?})", self.opts.recv_timeout),
+            }
+        }
+    }
+
+    /// Bounded, disconnect-aware wait for a reply from stage `s`.
+    fn recv_reply(&self, s: usize, during: &str) -> Result<Reply, ExecError> {
+        self.stages[s]
+            .reply_rx
+            .recv_timeout(self.opts.recv_timeout)
+            .map_err(|_| self.death_error(s, during))
+    }
+
+    /// Poisons the trainer and reports the failure to the tracer.
+    fn fail(&mut self, err: ExecError) -> ExecError {
+        if let (Some(tr), ExecError::StageDied { stage, .. }) = (&self.opts.tracer, &err) {
+            tr.event(
+                Domain::Pipeline,
+                EventKind::StageDied,
+                *stage,
+                self.round as f64,
+                0.0,
+            );
+        }
+        self.failure = Some(err.clone());
+        err
+    }
+
+    /// Collects all stage parameters into a fresh checkpoint.
+    fn take_checkpoint(&mut self) -> Result<(), ExecError> {
+        for (s, stage) in self.stages.iter().enumerate() {
+            if stage.ctrl_tx.send(Ctrl::Collect).is_err() {
+                let e = self.death_error(s, "checkpoint collect dispatch");
+                return Err(self.fail(e));
+            }
+        }
+        let mut stage_params = Vec::with_capacity(self.stages.len());
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "checkpoint collect") {
+                Ok(Reply::Params(p)) => stage_params.push(p),
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "checkpoint collect (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        self.checkpoint = Checkpoint {
+            round: self.round,
+            stage_params,
+        };
+        if let Some(tr) = &self.opts.tracer {
+            tr.event(
+                Domain::Pipeline,
+                EventKind::CheckpointTaken,
+                0,
+                self.round as f64,
+                self.round as f64,
+            );
+        }
+        Ok(())
+    }
+
     /// Trains one sync-round over `micro_batches` and flushes with plain
-    /// SGD at `lr` (gradients averaged over the micro-batch count).
-    /// Returns the mean micro-batch loss.
+    /// SGD at `lr` (gradients averaged over the micro-batch count), then
+    /// checkpoints the post-flush parameters. Returns the mean
+    /// micro-batch loss, computed from the last stage's per-micro-batch
+    /// losses.
+    ///
+    /// # Errors
+    /// [`ExecError::StageDied`] if any stage dies (or stops replying for
+    /// longer than [`RuntimeOptions::recv_timeout`]) during the round;
+    /// the trainer is then poisoned until [`recover`](Self::recover).
     ///
     /// # Panics
-    /// Panics if `micro_batches` is empty or a stage thread died.
-    pub fn train_round(&mut self, micro_batches: &[(Tensor, Vec<usize>)], lr: f32) -> f32 {
+    /// Panics if `micro_batches` is empty (programmer error, not a
+    /// runtime disturbance).
+    pub fn train_round(
+        &mut self,
+        micro_batches: &[(Tensor, Vec<usize>)],
+        lr: f32,
+    ) -> Result<f32, ExecError> {
+        if let Some(e) = &self.failure {
+            return Err(e.clone());
+        }
         let m = micro_batches.len();
         assert!(m > 0, "train_round: need at least one micro-batch");
+        let round = self.round;
         for (s, stage) in self.stages.iter().enumerate() {
-            stage
+            if stage
                 .ctrl_tx
-                .send(Ctrl::Round { m, k: self.k[s] })
-                .expect("stage alive");
+                .send(Ctrl::Round {
+                    m,
+                    k: self.k[s],
+                    round,
+                })
+                .is_err()
+            {
+                let e = self.death_error(s, "round dispatch");
+                return Err(self.fail(e));
+            }
         }
+        let last = self.stages.len() - 1;
         for (x, targets) in micro_batches {
-            self.input_tx.send(encode_tensor(x)).expect("stage 0 alive");
-            self.target_tx
-                .send(targets.clone())
-                .expect("last stage alive");
+            if self.input_tx.send(encode_tensor(x)).is_err() {
+                let e = self.death_error(0, "input feed");
+                return Err(self.fail(e));
+            }
+            if self.target_tx.send(targets.clone()).is_err() {
+                let e = self.death_error(last, "target feed");
+                return Err(self.fail(e));
+            }
         }
         let mut mean_loss = 0.0f32;
-        for stage in &self.stages {
-            match stage.reply_rx.recv().expect("stage alive") {
-                Reply::RoundDone { losses } => {
-                    if !losses.is_empty() {
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "round execution") {
+                Ok(Reply::RoundDone { losses }) => {
+                    if s == last {
+                        assert_eq!(
+                            losses.len(),
+                            m,
+                            "last stage must report one loss per micro-batch"
+                        );
                         mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
+                    } else {
+                        assert!(
+                            losses.is_empty(),
+                            "only the last stage computes losses (stage {s} reported {})",
+                            losses.len()
+                        );
                     }
                 }
-                _ => panic!("unexpected reply during round"),
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "round execution (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
             }
         }
         // Pipeline flush: synchronized update with 1/M gradient scaling.
         let scale = 1.0 / m as f32;
-        for stage in &self.stages {
-            stage
-                .ctrl_tx
-                .send(Ctrl::Apply { lr, scale })
-                .expect("stage alive");
-        }
-        for stage in &self.stages {
-            match stage.reply_rx.recv().expect("stage alive") {
-                Reply::Applied => {}
-                _ => panic!("unexpected reply during apply"),
+        for (s, stage) in self.stages.iter().enumerate() {
+            if stage.ctrl_tx.send(Ctrl::Apply { lr, scale }).is_err() {
+                let e = self.death_error(s, "apply dispatch");
+                return Err(self.fail(e));
             }
         }
-        mean_loss
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "apply") {
+                Ok(Reply::Applied) => {}
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "apply (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        self.round += 1;
+        self.take_checkpoint()?;
+        if self.replaying {
+            self.replaying = false;
+            if let Some(tr) = &self.opts.tracer {
+                tr.event(
+                    Domain::Pipeline,
+                    EventKind::RoundReplayed,
+                    0,
+                    round as f64,
+                    round as f64,
+                );
+            }
+        }
+        Ok(mean_loss)
+    }
+
+    /// Rebuilds the pipeline after a failure: tears down every surviving
+    /// stage thread (all waits are disconnect-bounded, so teardown
+    /// cannot hang on our code), relaunches all stages from the segment
+    /// factory, restores the last checkpoint and rewinds the round
+    /// counter to it. Replaying the interrupted round with the same data
+    /// then yields parameters bit-identical to an uninterrupted run.
+    /// Returns the checkpoint round now current. Injected [`FaultPlan`]
+    /// kills scheduled in or before the replayed round are disarmed —
+    /// faults model transient disturbances, so replay must be able to
+    /// make progress; kills in later rounds stay armed.
+    ///
+    /// Calling `recover` on a healthy trainer is allowed and simply
+    /// rolls back to the last checkpoint (which a healthy trainer takes
+    /// after every round, so this is a no-op parameter-wise).
+    ///
+    /// # Errors
+    /// [`ExecError::RecoveryUnsupported`] without a segment factory;
+    /// [`ExecError::StageDied`] / [`ExecError::ParamLenMismatch`] if the
+    /// relaunched stages die or the factory returns a different
+    /// architecture.
+    pub fn recover(&mut self) -> Result<u64, ExecError> {
+        if self.factory.is_none() {
+            return Err(ExecError::RecoveryUnsupported);
+        }
+        // Tear down: replace the data feeds (dropping the old senders so
+        // a stage blocked in `recv` wakes), drop every control sender,
+        // then join. Death-cascade disconnects unblock everything else.
+        let mut old = std::mem::take(&mut self.stages);
+        for stage in &old {
+            let _ = stage.ctrl_tx.send(Ctrl::Shutdown);
+        }
+        let handles: Vec<JoinHandle<()>> = old.iter_mut().filter_map(|s| s.handle.take()).collect();
+        let segments = self.factory.as_ref().expect("factory checked above")();
+        assert_eq!(
+            segments.len(),
+            self.k.len(),
+            "segment factory changed the stage count"
+        );
+        // Injected faults model *transient* disturbances: kills scheduled
+        // in or before the round being replayed are disarmed, otherwise
+        // the relaunched pipeline would re-fire the same kill on replay
+        // and never make progress. Kills in later rounds stay armed.
+        self.opts
+            .fault_plan
+            .kills
+            .retain(|kp| kp.round > self.checkpoint.round);
+        self.deaths = Arc::new(Mutex::new(Vec::new()));
+        let wiring = spawn_stages(
+            segments,
+            &self.k,
+            &self.comm,
+            &self.progress,
+            &self.deaths,
+            &self.opts.fault_plan,
+        );
+        self.stages = wiring.stages;
+        drop(std::mem::replace(&mut self.input_tx, wiring.input_tx));
+        drop(std::mem::replace(&mut self.target_tx, wiring.target_tx));
+        drop(old); // disconnects the dead pipeline's ctrl/reply channels
+        for h in handles {
+            let _ = h.join();
+        }
+        self.failure = None;
+        self.round = self.checkpoint.round;
+        self.replaying = true;
+        // Restore the checkpoint into the fresh stages.
+        for (s, params) in self.checkpoint.stage_params.iter().enumerate() {
+            if self.stages[s]
+                .ctrl_tx
+                .send(Ctrl::SetParams(params.clone()))
+                .is_err()
+            {
+                let e = self.death_error(s, "checkpoint restore dispatch");
+                return Err(self.fail(e));
+            }
+        }
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "checkpoint restore") {
+                Ok(Reply::SetDone { expected, got }) if expected == got => {}
+                Ok(Reply::SetDone { expected, got }) => {
+                    let e = ExecError::ParamLenMismatch {
+                        stage: s,
+                        expected,
+                        got,
+                    };
+                    return Err(self.fail(e));
+                }
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "checkpoint restore (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        Ok(self.round)
     }
 
     /// Collects the full flat parameter vector (stage order).
     ///
-    /// # Panics
-    /// Panics if a stage thread died.
-    #[must_use]
-    pub fn params(&self) -> Vec<f32> {
-        let mut all = Vec::new();
-        for stage in &self.stages {
-            stage.ctrl_tx.send(Ctrl::Collect).expect("stage alive");
-            match stage.reply_rx.recv().expect("stage alive") {
-                Reply::Params(p) => all.extend(p),
-                _ => panic!("unexpected reply during collect"),
+    /// # Errors
+    /// [`ExecError::StageDied`] if a stage died (the trainer is then
+    /// poisoned), or the stored failure if already poisoned.
+    pub fn params(&mut self) -> Result<Vec<f32>, ExecError> {
+        if let Some(e) = &self.failure {
+            return Err(e.clone());
+        }
+        for (s, stage) in self.stages.iter().enumerate() {
+            if stage.ctrl_tx.send(Ctrl::Collect).is_err() {
+                let e = self.death_error(s, "params collect dispatch");
+                return Err(self.fail(e));
             }
         }
-        all
+        let mut all = Vec::new();
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "params collect") {
+                Ok(Reply::Params(p)) => all.extend(p),
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "params collect (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        Ok(all)
     }
 
-    /// Overwrites the full flat parameter vector (stage order).
+    /// Overwrites the full flat parameter vector (stage order), acked by
+    /// every stage. Each stage hard-checks the slice length against its
+    /// own parameter count and refuses to apply a mismatched vector, so
+    /// a short vector can never leave tail parameters silently stale.
+    ///
+    /// # Errors
+    /// [`ExecError::ParamVecLen`] if `params.len()` differs from the sum
+    /// of `stage_lens` (nothing is sent); [`ExecError::ParamLenMismatch`]
+    /// if a stage's slice does not match its actual layout (stages with
+    /// matching lengths have applied theirs — fix `stage_lens` and
+    /// retry); [`ExecError::StageDied`] if a stage died.
     ///
     /// # Panics
-    /// Panics if a stage thread died.
-    pub fn set_params(&mut self, params: &[f32], stage_lens: &[usize]) {
-        assert_eq!(stage_lens.len(), self.stages.len());
+    /// Panics if `stage_lens` does not have one entry per stage
+    /// (programmer error).
+    pub fn set_params(&mut self, params: &[f32], stage_lens: &[usize]) -> Result<(), ExecError> {
+        if let Some(e) = &self.failure {
+            return Err(e.clone());
+        }
+        assert_eq!(
+            stage_lens.len(),
+            self.stages.len(),
+            "set_params: need one length per stage"
+        );
+        let total: usize = stage_lens.iter().sum();
+        if total != params.len() {
+            return Err(ExecError::ParamVecLen {
+                expected: total,
+                got: params.len(),
+            });
+        }
         let mut offset = 0;
-        for (stage, &len) in self.stages.iter().zip(stage_lens) {
-            stage
+        for (s, &len) in stage_lens.iter().enumerate() {
+            if self.stages[s]
                 .ctrl_tx
                 .send(Ctrl::SetParams(params[offset..offset + len].to_vec()))
-                .expect("stage alive");
+                .is_err()
+            {
+                let e = self.death_error(s, "set-params dispatch");
+                return Err(self.fail(e));
+            }
             offset += len;
         }
-        assert_eq!(offset, params.len(), "set_params: length mismatch");
+        // Drain every ack (keeping the reply protocol in sync) before
+        // reporting the first mismatch.
+        let mut first_mismatch = None;
+        for s in 0..self.stages.len() {
+            match self.recv_reply(s, "set-params ack") {
+                Ok(Reply::SetDone { expected, got }) => {
+                    if expected != got && first_mismatch.is_none() {
+                        first_mismatch = Some(ExecError::ParamLenMismatch {
+                            stage: s,
+                            expected,
+                            got,
+                        });
+                    }
+                }
+                Ok(_) => {
+                    let e = ExecError::StageDied {
+                        stage: s,
+                        during: "set-params ack (unexpected reply)".into(),
+                    };
+                    return Err(self.fail(e));
+                }
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        match first_mismatch {
+            // A rejected vector leaves the stages healthy: not poisoned.
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Snapshot of cross-boundary traffic so far.
@@ -432,29 +1174,33 @@ impl PipelineTrainer {
         (c.fwd_bytes.clone(), c.bwd_bytes.clone())
     }
 
-    /// Stops all stage threads.
-    pub fn shutdown(mut self) {
+    /// Unblocks and joins every stage thread: sends `Shutdown`, drops
+    /// the portal-side data feeds (so a stage stuck waiting for an input
+    /// that never came observes the disconnect), then joins.
+    fn teardown(&mut self) {
         for stage in &self.stages {
             let _ = stage.ctrl_tx.send(Ctrl::Shutdown);
         }
+        let (dummy_in, _) = unbounded::<Bytes>();
+        let (dummy_tg, _) = unbounded::<Vec<usize>>();
+        drop(std::mem::replace(&mut self.input_tx, dummy_in));
+        drop(std::mem::replace(&mut self.target_tx, dummy_tg));
         for stage in &mut self.stages {
             if let Some(h) = stage.handle.take() {
                 let _ = h.join();
             }
         }
     }
+
+    /// Stops all stage threads.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
 }
 
 impl Drop for PipelineTrainer {
     fn drop(&mut self) {
-        for stage in &self.stages {
-            let _ = stage.ctrl_tx.send(Ctrl::Shutdown);
-        }
-        for stage in &mut self.stages {
-            if let Some(h) = stage.handle.take() {
-                let _ = h.join();
-            }
-        }
+        self.teardown();
     }
 }
 
@@ -519,7 +1265,7 @@ mod tests {
         let lr = 0.1;
 
         // Pipeline round.
-        let pipe_loss = trainer.train_round(&batches, lr);
+        let pipe_loss = trainer.train_round(&batches, lr).expect("healthy round");
 
         // Reference: gradient accumulation then one scaled update.
         let mut ref_loss = 0.0;
@@ -540,7 +1286,7 @@ mod tests {
             (pipe_loss - ref_loss).abs() < 1e-6,
             "{pipe_loss} vs {ref_loss}"
         );
-        let pipe_params = trainer.params();
+        let pipe_params = trainer.params().expect("healthy collect");
         assert_eq!(
             pipe_params, params,
             "1F1B-Sync must be bit-identical to gradient accumulation"
@@ -549,15 +1295,36 @@ mod tests {
     }
 
     #[test]
+    fn unit_residency_is_bit_identical_too() {
+        // K_s = 1 everywhere shrinks every bounded channel to capacity 1;
+        // the schedule serializes but the semantics must not move.
+        let (segments, _, _) = build(31);
+        let mut wide = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        let (segments, _, _) = build(31);
+        let mut narrow = PipelineTrainer::launch(segments, vec![1, 1, 1]);
+        let batches = micro_batches(6, 5, 4);
+        let lw = wide.train_round(&batches, 0.1).expect("wide round");
+        let ln = narrow.train_round(&batches, 0.1).expect("narrow round");
+        assert_eq!(lw, ln, "loss must not depend on residency");
+        assert_eq!(
+            wide.params().expect("wide params"),
+            narrow.params().expect("narrow params"),
+            "parameters must not depend on residency"
+        );
+        wide.shutdown();
+        narrow.shutdown();
+    }
+
+    #[test]
     fn multiple_rounds_reduce_loss() {
         let (segments, _, _) = build(88);
         let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
         // Fixed batches make the loss monotone-ish under SGD.
         let batches = micro_batches(9, 4, 8);
-        let first = trainer.train_round(&batches, 0.2);
+        let first = trainer.train_round(&batches, 0.2).expect("round");
         let mut last = first;
         for _ in 0..30 {
-            last = trainer.train_round(&batches, 0.2);
+            last = trainer.train_round(&batches, 0.2).expect("round");
         }
         assert!(last < first * 0.8, "loss {first} -> {last} should drop");
         trainer.shutdown();
@@ -568,10 +1335,12 @@ mod tests {
         let (segments, _, _) = build(42);
         let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
         assert_eq!(trainer.micro_batches_processed(), 0);
-        let _ = trainer.train_round(&micro_batches(1, 5, 4), 0.1);
+        let _ = trainer.train_round(&micro_batches(1, 5, 4), 0.1).unwrap();
         assert_eq!(trainer.micro_batches_processed(), 5);
-        let _ = trainer.train_round(&micro_batches(2, 3, 4), 0.1);
+        let _ = trainer.train_round(&micro_batches(2, 3, 4), 0.1).unwrap();
         assert_eq!(trainer.micro_batches_processed(), 8);
+        assert_eq!(trainer.rounds_completed(), 2);
+        assert_eq!(trainer.checkpoint_round(), 2);
         trainer.shutdown();
     }
 
@@ -580,7 +1349,7 @@ mod tests {
         let (segments, _, _) = build(99);
         let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
         let batches = micro_batches(2, 3, 4);
-        let _ = trainer.train_round(&batches, 0.1);
+        let _ = trainer.train_round(&batches, 0.1).unwrap();
         let (fwd, bwd) = trainer.comm_stats();
         assert_eq!(fwd.len(), 2);
         // Boundary 0 carries [4,16] activations thrice; boundary 1 [4,12].
@@ -594,12 +1363,56 @@ mod tests {
     fn set_params_round_trip() {
         let (segments, _, stage_lens) = build(55);
         let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
-        let mut params = trainer.params();
+        let mut params = trainer.params().expect("params");
         for p in params.iter_mut() {
             *p = 0.5;
         }
-        trainer.set_params(&params, &stage_lens);
-        assert_eq!(trainer.params(), params);
+        trainer
+            .set_params(&params, &stage_lens)
+            .expect("set_params");
+        assert_eq!(trainer.params().expect("params"), params);
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn set_params_rejects_short_vector_with_typed_error() {
+        let (segments, _, stage_lens) = build(56);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        let before = trainer.params().expect("params");
+        let short = vec![0.5f32; before.len() - 3];
+        match trainer.set_params(&short, &stage_lens) {
+            Err(ExecError::ParamVecLen { expected, got }) => {
+                assert_eq!(expected, before.len());
+                assert_eq!(got, before.len() - 3);
+            }
+            other => panic!("expected ParamVecLen, got {other:?}"),
+        }
+        assert_eq!(
+            trainer.params().expect("params"),
+            before,
+            "a rejected vector must not touch any parameter"
+        );
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn set_params_rejects_bad_split_and_stays_usable() {
+        let (segments, _, stage_lens) = build(57);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        let params = trainer.params().expect("params");
+        // Same total, wrong split: stage 0's slice is one element short.
+        let mut bad = stage_lens.clone();
+        bad[0] -= 1;
+        bad[1] += 1;
+        match trainer.set_params(&params, &bad) {
+            Err(ExecError::ParamLenMismatch { stage, .. }) => assert_eq!(stage, 0),
+            other => panic!("expected ParamLenMismatch, got {other:?}"),
+        }
+        // The stages are healthy: a correct call and a round still work.
+        trainer.set_params(&params, &stage_lens).expect("set");
+        let _ = trainer
+            .train_round(&micro_batches(3, 2, 4), 0.1)
+            .expect("round after rejected set_params");
         trainer.shutdown();
     }
 
@@ -609,8 +1422,27 @@ mod tests {
         let segments: Vec<Vec<Box<dyn Layer>>> = vec![vec![Box::new(Linear::new(8, 4, &mut rng))]];
         let mut trainer = PipelineTrainer::launch(segments, vec![1]);
         let batches = micro_batches(4, 2, 4);
-        let loss = trainer.train_round(&batches, 0.1);
+        let loss = trainer.train_round(&batches, 0.1).expect("round");
         assert!(loss.is_finite() && loss > 0.0);
         trainer.shutdown();
+    }
+
+    #[test]
+    fn unsupervised_trainer_reports_recovery_unsupported() {
+        let (segments, _, _) = build(60);
+        let mut trainer = PipelineTrainer::launch(segments, vec![3, 2, 1]);
+        assert_eq!(trainer.recover(), Err(ExecError::RecoveryUnsupported));
+        trainer.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_from_seed_is_deterministic_and_in_range() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::from_seed(seed, 3, 4, 5);
+            let b = FaultPlan::from_seed(seed, 3, 4, 5);
+            assert_eq!(a, b);
+            let k = a.kills[0];
+            assert!(k.stage < 3 && k.round < 4 && k.micro < 5);
+        }
     }
 }

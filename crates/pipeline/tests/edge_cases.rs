@@ -142,8 +142,10 @@ fn spike_on_the_fast_stage_also_recovers() {
         at: 60.0,
         load: 0.5,
     };
-    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, true);
-    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, false);
+    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, true)
+        .expect("feasible spike scenario");
+    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 200.0, false)
+        .expect("feasible spike scenario");
     assert!(with.post_spike_throughput >= without.post_spike_throughput);
     assert!(
         !with.events.is_empty(),

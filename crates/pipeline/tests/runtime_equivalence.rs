@@ -97,7 +97,7 @@ fn pipelined_training_equals_reference() {
                     })
                     .collect();
 
-                let pipe_loss = trainer.train_round(&batches, lr);
+                let pipe_loss = trainer.train_round(&batches, lr).expect("healthy round");
 
                 reference.zero_grads();
                 let mut ref_loss = 0.0f32;
@@ -118,7 +118,7 @@ fn pipelined_training_equals_reference() {
                     "loss mismatch: {pipe_loss} vs {ref_loss}"
                 );
                 assert_eq!(
-                    trainer.params(),
+                    trainer.params().expect("healthy collect"),
                     reference.params(),
                     "parameters diverged after a round"
                 );

@@ -84,7 +84,8 @@ fn main() {
         spike,
         250.0,
         true,
-    );
+    )
+    .expect("feasible spike scenario");
     let without = simulate_load_spike(
         &model,
         &devices,
@@ -94,7 +95,8 @@ fn main() {
         spike,
         250.0,
         false,
-    );
+    )
+    .expect("feasible spike scenario");
     println!("\n=== Load spike on device 1 at t = 100 s ===");
     println!(
         "pre-spike throughput        : {:6.2} samples/s",

@@ -60,6 +60,24 @@ cargo test --workspace -q --offline
 echo "==> determinism gate: cargo test -q --release --offline -p ecofl-fl --test determinism"
 cargo test -q --release --offline -p ecofl-fl --test determinism
 
+# Fault-injection gate: killing any pipeline stage must surface a typed
+# error in bounded time, and recovery must replay bit-identically. A
+# reintroduced deadlock would hang the suite, so each run sits under a
+# watchdog timeout; the thread-pool width is swept because channel/join
+# interleavings differ between a starved and an oversubscribed pool.
+echo "==> fault-injection gate: ecofl-pipeline --test fault_injection at ECOFL_THREADS=1/2/8 (watchdog 300s)"
+for threads in 1 2 8; do
+    echo "    ECOFL_THREADS=$threads"
+    ECOFL_THREADS=$threads timeout 300 \
+        cargo test -q --release --offline -p ecofl-pipeline --test fault_injection || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: fault-injection suite hit the watchdog — a crash path deadlocked." >&2
+        fi
+        exit "$status"
+    }
+done
+
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -219,6 +219,9 @@ fn cmd_gantt(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
 }
 
 fn cmd_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    if args.contains_key("kill-stage") {
+        return cmd_spike_kill(args);
+    }
     let model = parse_model(require(args, "model")?)?;
     let devices = parse_devices(require(args, "devices")?)?;
     let load = get(args, "load", 0.6f64)?;
@@ -232,8 +235,8 @@ fn cmd_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     }
     let spike = LoadSpike { device, at, load };
     let link = Link::mbps_100();
-    let with = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, true);
-    let without = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, false);
+    let with = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, true)?;
+    let without = simulate_load_spike(&model, &devices, &link, 8, 16, spike, horizon, false)?;
     println!(
         "{}: {load:.0}% load on device {device} at t = {at}s",
         model.name
@@ -261,6 +264,129 @@ fn cmd_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
         );
     }
     Ok(())
+}
+
+/// §4.4 fault demo on the *real* threaded runtime: deterministically
+/// kill one stage mid-round, surface the typed error, recover from the
+/// last checkpoint, replay — and verify the final parameters are
+/// bit-identical to an uninterrupted twin run.
+fn cmd_spike_kill(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    use ecofl_pipeline::runtime::{FaultPlan, PipelineTrainer, RuntimeOptions, SegmentFactory};
+    use ecofl_tensor::{Layer, Linear, ReLU};
+
+    let devices = parse_devices(require(args, "devices")?)?;
+    let stages = devices.len();
+    let kill_stage = get(args, "kill-stage", 1usize)?;
+    let kill_round = get(args, "kill-round", 1u64)?;
+    let kill_micro = get(args, "kill-micro", 1usize)?;
+    let rounds = get(args, "rounds", 3u64)?;
+    let seed = get(args, "seed", 42u64)?;
+    if stages < 2 {
+        return Err(EcoFlError::Config(
+            "--kill-stage needs at least 2 devices".into(),
+        ));
+    }
+    if kill_stage >= stages {
+        return Err(EcoFlError::Config(format!(
+            "--kill-stage {kill_stage} out of range (have {stages} stages)"
+        )));
+    }
+    if kill_round >= rounds {
+        return Err(EcoFlError::Config(format!(
+            "--kill-round {kill_round} out of range (running {rounds} rounds)"
+        )));
+    }
+
+    // A small MLP, one hidden block per device.
+    let widths: Vec<usize> = std::iter::once(16)
+        .chain(std::iter::repeat_n(24, stages - 1))
+        .chain(std::iter::once(6))
+        .collect();
+    let make_factory = |seed: u64| -> SegmentFactory {
+        let widths = widths.clone();
+        Box::new(move || {
+            let mut rng = Rng::new(seed);
+            (0..widths.len() - 1)
+                .map(|s| {
+                    let mut layers: Vec<Box<dyn Layer>> =
+                        vec![Box::new(Linear::new(widths[s], widths[s + 1], &mut rng))];
+                    if s + 2 < widths.len() {
+                        layers.push(Box::new(ReLU::new()));
+                    }
+                    layers
+                })
+                .collect()
+        })
+    };
+    let m = 4usize;
+    let bs = 8usize;
+    let data: Vec<Vec<(Tensor, Vec<usize>)>> = (0..rounds)
+        .map(|r| {
+            let mut rng = Rng::new(seed.wrapping_add(1000 + r));
+            (0..m)
+                .map(|_| {
+                    let x = Tensor::randn(&[bs, 16], 1.0, &mut rng);
+                    let y = (0..bs).map(|_| rng.range_usize(0, 6)).collect();
+                    (x, y)
+                })
+                .collect()
+        })
+        .collect();
+    let k: Vec<usize> = (0..stages).map(|s| stages - s).collect();
+    let lr = 0.1;
+
+    // Uninterrupted twin.
+    let mut twin = PipelineTrainer::launch_supervised(
+        make_factory(seed),
+        k.clone(),
+        RuntimeOptions::default(),
+    )
+    .map_err(EcoFlError::from)?;
+    for batch in &data {
+        twin.train_round(batch, lr).map_err(EcoFlError::from)?;
+    }
+    let twin_params = twin.params().map_err(EcoFlError::from)?;
+    twin.shutdown();
+
+    // Faulty run: same seed, one injected kill.
+    println!(
+        "{stages}-stage pipeline, killing stage {kill_stage} before micro-batch \
+         {kill_micro} of round {kill_round}"
+    );
+    let opts = RuntimeOptions {
+        fault_plan: FaultPlan::kill_at(kill_stage, kill_round, kill_micro),
+        ..RuntimeOptions::default()
+    };
+    let mut trainer = PipelineTrainer::launch_supervised(make_factory(seed), k, opts)
+        .map_err(EcoFlError::from)?;
+    let mut r = 0u64;
+    while r < rounds {
+        match trainer.train_round(&data[r as usize], lr) {
+            Ok(loss) => {
+                println!("  round {r}: loss {loss:.4}");
+                r += 1;
+            }
+            Err(e) => {
+                println!("  round {r}: FAULT — {e}");
+                let back = trainer.recover().map_err(EcoFlError::from)?;
+                println!("  recovered from checkpoint of round {back}; replaying");
+                r = back;
+            }
+        }
+    }
+    let params = trainer.params().map_err(EcoFlError::from)?;
+    trainer.shutdown();
+    if params == twin_params {
+        println!("replayed parameters are bit-identical to the uninterrupted run");
+        Ok(())
+    } else {
+        Err(EcoFlError::Exec(
+            ecofl_pipeline::executor::ExecError::StageDied {
+                stage: kill_stage,
+                during: "recovery verification (parameters diverged from twin)".into(),
+            },
+        ))
+    }
 }
 
 fn cmd_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
@@ -443,7 +569,7 @@ fn cmd_trace_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
         true,
         SchedulerConfig::default(),
         &tracer,
-    );
+    )?;
     let view = tracer.view();
     let path = write_trace(args, "spike", &tracer.records())?;
     println!(
@@ -514,6 +640,9 @@ fn usage() -> &'static str {
               [--schedule 1f1b|gpipe|async] [--mbs N] [--micro-batches N]\n\
        spike  --model M --devices D  run the Fig. 13 load-spike scenario\n\
               [--load F] [--at T] [--device I] [--horizon T]\n\
+              [--kill-stage I]       instead: kill a real runtime stage,\n\
+              [--kill-round N] [--kill-micro N] [--rounds N] [--seed N]\n\
+                                     recover + replay, verify bit-identity\n\
        fl     [--strategy S]         run a federated-learning simulation\n\
               [--clients N] [--horizon T] [--dataset mnist|fashion|cifar]\n\
               [--comm-latency T] [--seed N]\n\

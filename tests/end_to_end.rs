@@ -148,8 +148,10 @@ fn adaptive_rescheduling_recovers_throughput() {
         at: 80.0,
         load: 0.6,
     };
-    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 220.0, true);
-    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 220.0, false);
+    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 220.0, true)
+        .expect("feasible spike scenario");
+    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 220.0, false)
+        .expect("feasible spike scenario");
     assert!(with.post_spike_throughput > without.post_spike_throughput);
     assert!(!with.events.is_empty());
 }
@@ -189,7 +191,9 @@ fn threaded_pipeline_trains_a_real_model() {
                 )
             })
             .collect();
-        last_loss = trainer.train_round(&batches, 0.1);
+        last_loss = trainer
+            .train_round(&batches, 0.1)
+            .expect("healthy pipeline round");
         if round == 0 {
             first_loss = Some(last_loss);
         }

@@ -108,8 +108,10 @@ fn fig13_shape_scheduler_recovers() {
         at: 60.0,
         load: 0.6,
     };
-    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 160.0, true);
-    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 160.0, false);
+    let with = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 160.0, true)
+        .expect("feasible spike scenario");
+    let without = simulate_load_spike(&model, &devices, &link, 8, 8, spike, 160.0, false)
+        .expect("feasible spike scenario");
     assert!(with.post_spike_throughput > without.post_spike_throughput * 1.1);
 }
 

@@ -118,6 +118,7 @@ fn gpipe_memory_dominates_1f1b() {
             Err(ExecError::Oom { .. }) => {
                 // OOM is an acceptable (stronger) outcome for Gpipe.
             }
+            Err(e) => panic!("simulator can only fail with Oom, got {e}"),
         }
     }
 }
