@@ -10,9 +10,85 @@
 //!
 //! Run after the figure benches (`cargo bench --workspace` orders targets
 //! alphabetically, so `fig*` precede `headline_summary`).
+//!
+//! Besides recomputing the claims, this target times the headline-scale
+//! workloads themselves (an end-to-end FL run and a 1F1B pipeline round)
+//! and writes a `BENCH_headline.json` snapshot — the wall-clock
+//! trajectory that complements `BENCH_micro.json`'s kernel view.
 
-use ecofl_bench::{header, results_dir};
+use ecofl_bench::{
+    bench_iters, bench_warmup, header, results_dir, time_case, write_bench_snapshot,
+};
 use ecofl_compat::json::{self, Value};
+use ecofl_data::federated::PartitionScheme;
+use ecofl_data::{FederatedDataset, SyntheticSpec};
+use ecofl_fl::engine::{run, FlSetup, Strategy};
+use ecofl_fl::FlConfig;
+use ecofl_models::{efficientnet_at, ModelArch};
+use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
+use ecofl_pipeline::orchestrator::k_bounds;
+use ecofl_pipeline::partition::partition_dp;
+use ecofl_pipeline::profiler::PipelineProfile;
+use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+use std::hint::black_box;
+
+/// End-to-end runs are ~1000x a micro case; default to fewer measured
+/// iterations (still overridable via `ECOFL_BENCH_ITERS`).
+const DEFAULT_ITERS: usize = 5;
+const DEFAULT_WARMUP: usize = 1;
+
+fn bench_fl_runs() {
+    let config = FlConfig::tiny();
+    let data = FederatedDataset::generate(
+        &SyntheticSpec::mnist_like(),
+        config.num_clients,
+        60,
+        60,
+        PartitionScheme::ClassesPerClient(2),
+        None,
+        config.seed,
+    );
+    let setup = FlSetup {
+        data,
+        arch: ModelArch::Mlp,
+        config,
+    };
+    let iters = bench_iters(DEFAULT_ITERS);
+    let warmup = bench_warmup(DEFAULT_WARMUP);
+    time_case("fl_run_fedavg_tiny", warmup, iters, || {
+        run(Strategy::FedAvg, black_box(&setup))
+    });
+    time_case("fl_run_ecofl_tiny", warmup, iters, || {
+        run(
+            Strategy::EcoFl {
+                dynamic_grouping: true,
+            },
+            black_box(&setup),
+        )
+    });
+}
+
+fn bench_pipeline_round() {
+    let model = efficientnet_at(2, 224);
+    let devices = vec![
+        Device::new(tx2_q()),
+        Device::new(nano_h()),
+        Device::new(nano_h()),
+    ];
+    let link = Link::mbps_100();
+    let partition = partition_dp(&model, &devices, &link, 16).expect("feasible");
+    let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 16);
+    let k = k_bounds(&profile).expect("residency");
+    let iters = bench_iters(DEFAULT_ITERS);
+    let warmup = bench_warmup(DEFAULT_WARMUP);
+    time_case("pipeline_1f1b_round_b2_m16", warmup, iters, || {
+        PipelineExecutor::new(
+            black_box(&profile),
+            SchedulePolicy::OneFOneBSync { k: k.clone() },
+        )
+        .run(16, 1)
+    });
+}
 
 fn load(id: &str) -> Option<Value> {
     let path = results_dir().join(format!("{id}.json"));
@@ -21,6 +97,11 @@ fn load(id: &str) -> Option<Value> {
 }
 
 fn main() {
+    header("Headline workloads (wall-clock)");
+    bench_fl_runs();
+    bench_pipeline_round();
+    write_bench_snapshot("headline");
+
     header("Headline claims vs measured");
     let mut missing = Vec::new();
 

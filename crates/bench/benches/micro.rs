@@ -2,10 +2,16 @@
 //! `ecofl_bench::time_case` (the criterion-free harness):
 //! the Eq. 1 dynamic-programming partitioner, the event-driven pipeline
 //! executor, k-means latency clustering, JS divergence, FedAvg
-//! aggregation, client local training, and the tensor matmul that
-//! dominates it.
+//! aggregation, client local training, and the blocked tensor kernels
+//! that dominate it — each blocked kernel timed next to its retained
+//! naive reference so every `BENCH_micro.json` snapshot carries its own
+//! before/after ratio.
+//!
+//! Iteration counts honor `ECOFL_BENCH_ITERS` / `ECOFL_BENCH_WARMUP`
+//! (the CI smoke path runs 1 iteration); the run finishes by writing a
+//! `BENCH_micro.json` snapshot via `write_bench_snapshot`.
 
-use ecofl_bench::{header, time_case};
+use ecofl_bench::{bench_iters, bench_warmup, header, time_case, write_bench_snapshot};
 use ecofl_data::SyntheticSpec;
 use ecofl_fl::aggregate::weighted_average;
 use ecofl_fl::client::{local_train, LocalTrainConfig};
@@ -16,14 +22,23 @@ use ecofl_pipeline::orchestrator::k_bounds;
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
 use ecofl_simnet::{nano_h, tx2_q, Device, Link};
-use ecofl_tensor::Tensor;
+use ecofl_tensor::{reference, Conv2d, Layer, Sgd, Tensor};
 use ecofl_util::{js_divergence, Rng};
 use std::hint::black_box;
 
-/// Criterion ran `sample_size(20)`; keep the same measured-iteration
-/// count so timings stay comparable across the harness switch.
-const ITERS: usize = 20;
-const WARMUP: usize = 3;
+/// Criterion ran `sample_size(20)`; keep the same default
+/// measured-iteration count so timings stay comparable across the
+/// harness switch. Overridden by `ECOFL_BENCH_ITERS`.
+const DEFAULT_ITERS: usize = 20;
+const DEFAULT_WARMUP: usize = 3;
+
+fn iters() -> usize {
+    bench_iters(DEFAULT_ITERS)
+}
+
+fn warmup() -> usize {
+    bench_warmup(DEFAULT_WARMUP)
+}
 
 fn bench_partition() {
     let model = efficientnet_at(6, 224);
@@ -33,7 +48,7 @@ fn bench_partition() {
         Device::new(nano_h()),
     ];
     let link = Link::mbps_100();
-    time_case("partition_dp_b6_3dev", WARMUP, ITERS, || {
+    time_case("partition_dp_b6_3dev", warmup(), iters(), || {
         partition_dp(black_box(&model), &devices, &link, 16)
     });
 }
@@ -49,7 +64,7 @@ fn bench_executor() {
     let partition = partition_dp(&model, &devices, &link, 16).expect("feasible");
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 16);
     let k = k_bounds(&profile).expect("residency");
-    time_case("executor_sync_round_m16", WARMUP, ITERS, || {
+    time_case("executor_sync_round_m16", warmup(), iters(), || {
         PipelineExecutor::new(
             black_box(&profile),
             SchedulePolicy::OneFOneBSync { k: k.clone() },
@@ -61,7 +76,7 @@ fn bench_executor() {
 fn bench_kmeans() {
     let mut rng = Rng::new(5);
     let points: Vec<f64> = (0..300).map(|_| rng.range_f64(5.0, 150.0)).collect();
-    time_case("kmeans_300_clients_k5", WARMUP, ITERS, || {
+    time_case("kmeans_300_clients_k5", warmup(), iters(), || {
         let mut r = Rng::new(7);
         kmeans_1d(black_box(&points), 5, &mut r, 100)
     });
@@ -70,7 +85,7 @@ fn bench_kmeans() {
 fn bench_js() {
     let p: Vec<f64> = (0..10).map(|i| (i + 1) as f64 / 55.0).collect();
     let q = vec![0.1f64; 10];
-    time_case("js_divergence_10_classes", WARMUP, ITERS, || {
+    time_case("js_divergence_10_classes", warmup(), iters(), || {
         js_divergence(black_box(&p), black_box(&q))
     });
 }
@@ -80,7 +95,7 @@ fn bench_aggregate() {
     let updates: Vec<Vec<f32>> = (0..20)
         .map(|_| (0..4938).map(|_| rng.next_f32()).collect())
         .collect();
-    time_case("weighted_average_20x4938", WARMUP, ITERS, || {
+    time_case("weighted_average_20x4938", warmup(), iters(), || {
         let refs: Vec<(&[f32], f64)> = updates.iter().map(|u| (u.as_slice(), 60.0)).collect();
         weighted_average(black_box(&refs))
     });
@@ -100,7 +115,7 @@ fn bench_local_train() {
         lr: 0.05,
         mu: 0.05,
     };
-    time_case("local_train_60samples_3epochs", WARMUP, ITERS, || {
+    time_case("local_train_60samples_3epochs", warmup(), iters(), || {
         let mut r = Rng::new(11);
         local_train(ModelArch::Mlp, black_box(&start), &data, &cfg, &mut r)
     });
@@ -110,8 +125,52 @@ fn bench_matmul() {
     let mut rng = Rng::new(13);
     let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
     let b_mat = Tensor::randn(&[64, 64], 1.0, &mut rng);
-    time_case("matmul_64x64", WARMUP, ITERS, || {
+    time_case("matmul_64x64", warmup(), iters(), || {
         black_box(&a).matmul(black_box(&b_mat))
+    });
+    time_case("matmul_64x64_naive", warmup(), iters(), || {
+        reference::naive_matmul(black_box(a.data()), black_box(b_mat.data()), 64, 64, 64)
+    });
+    time_case("matmul_tn_64x64", warmup(), iters(), || {
+        black_box(&a).matmul_tn(black_box(&b_mat))
+    });
+    time_case("matmul_nt_64x64", warmup(), iters(), || {
+        black_box(&a).matmul_nt(black_box(&b_mat))
+    });
+
+    let a256 = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let b256 = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    time_case("matmul_256x256", warmup(), iters(), || {
+        black_box(&a256).matmul(black_box(&b256))
+    });
+}
+
+fn bench_conv() {
+    let mut rng = Rng::new(17);
+    let x = Tensor::randn(&[4, 8, 16, 16], 1.0, &mut rng);
+    let mut conv = Conv2d::new(8, 16, 3, 1, &mut rng);
+    let out = conv.forward(&x);
+    let grad = Tensor::randn(out.shape(), 1.0, &mut rng);
+    conv.clear_cache();
+    time_case("conv2d_fwd_4x8x16x16_k3", warmup(), iters(), || {
+        let y = conv.forward(black_box(&x));
+        conv.clear_cache();
+        y
+    });
+    time_case("conv2d_fwd_bwd_4x8x16x16_k3", warmup(), iters(), || {
+        conv.forward(black_box(&x));
+        conv.backward(black_box(&grad))
+    });
+}
+
+fn bench_sgd() {
+    let mut rng = Rng::new(19);
+    let mut params: Vec<f32> = (0..4938).map(|_| rng.next_f32()).collect();
+    let grads: Vec<f32> = (0..4938).map(|_| rng.next_f32()).collect();
+    let anchor: Vec<f32> = (0..4938).map(|_| rng.next_f32()).collect();
+    let mut opt = Sgd::new(0.05).with_momentum(0.9).with_proximal(0.05);
+    time_case("sgd_prox_momentum_4938", warmup(), iters(), || {
+        opt.step(black_box(&mut params), black_box(&grads), Some(&anchor));
     });
 }
 
@@ -124,4 +183,7 @@ fn main() {
     bench_aggregate();
     bench_local_train();
     bench_matmul();
+    bench_conv();
+    bench_sgd();
+    write_bench_snapshot("micro");
 }

@@ -1,0 +1,119 @@
+//! Validates `BENCH_<topic>.json` snapshot files against the
+//! [`ecofl_bench::CaseStats`] schema — the gate `scripts/bench.sh` and
+//! the CI bench-smoke step run after every snapshot write.
+//!
+//! Usage: `validate_bench <snapshot.json>...`
+//!
+//! Each file must parse as a non-empty JSON array of records carrying
+//! exactly the `CaseStats` fields with sane values (finite non-negative
+//! timings, `min_ns <= median_ns`, `iters >= 1`, non-empty `case` /
+//! `git_rev`, and no duplicate case names). Exits non-zero naming the
+//! first violation, so a malformed snapshot fails the pipeline instead
+//! of silently landing in the trajectory.
+
+use ecofl_compat::json::{self, Value};
+
+const REQUIRED_FIELDS: [&str; 7] = [
+    "case",
+    "mean_ns",
+    "min_ns",
+    "median_ns",
+    "iters",
+    "warmup",
+    "git_rev",
+];
+
+fn check_record(rec: &Value, idx: usize) -> Result<String, String> {
+    let at = |field: &str| format!("record {idx}: field {field:?}");
+    let obj = rec
+        .as_object()
+        .ok_or_else(|| format!("record {idx}: not a JSON object"))?;
+    for field in REQUIRED_FIELDS {
+        if !obj.iter().any(|(k, _)| k == field) {
+            return Err(format!("{} missing", at(field)));
+        }
+    }
+    for (key, _) in obj {
+        if !REQUIRED_FIELDS.contains(&key.as_str()) {
+            return Err(format!("record {idx}: unknown field {key:?}"));
+        }
+    }
+    let case = rec
+        .get("case")
+        .and_then(Value::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("{} must be a non-empty string", at("case")))?;
+    let num = |field: &str| -> Result<f64, String> {
+        rec.get(field)
+            .and_then(Value::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("{} must be a finite non-negative number", at(field)))
+    };
+    let (mean, min, median) = (num("mean_ns")?, num("min_ns")?, num("median_ns")?);
+    if min > median {
+        return Err(format!(
+            "record {idx} ({case}): min_ns {min} exceeds median_ns {median}"
+        ));
+    }
+    if min > mean {
+        return Err(format!(
+            "record {idx} ({case}): min_ns {min} exceeds mean_ns {mean}"
+        ));
+    }
+    let iters = rec
+        .get("iters")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{} must be a non-negative integer", at("iters")))?;
+    if iters == 0 {
+        return Err(format!("record {idx} ({case}): iters must be >= 1"));
+    }
+    rec.get("warmup")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{} must be a non-negative integer", at("warmup")))?;
+    rec.get("git_rev")
+        .and_then(Value::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("{} must be a non-empty string", at("git_rev")))?;
+    Ok(case.to_string())
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: Value = json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
+    let records = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: top level must be a JSON array"))?;
+    if records.is_empty() {
+        return Err(format!("{path}: snapshot holds no cases"));
+    }
+    let mut names: Vec<String> = Vec::with_capacity(records.len());
+    for (idx, rec) in records.iter().enumerate() {
+        let case = check_record(rec, idx).map_err(|e| format!("{path}: {e}"))?;
+        if names.contains(&case) {
+            return Err(format!("{path}: duplicate case {case:?}"));
+        }
+        names.push(case);
+    }
+    Ok(records.len())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_bench <snapshot.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("[validate-bench] {path}: ok ({n} cases)"),
+            Err(e) => {
+                eprintln!("[validate-bench] FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -51,11 +51,17 @@ pub fn local_train(
     rng: &mut Rng,
 ) -> LocalUpdate {
     assert!(!data.is_empty(), "local_train: empty client dataset");
-    let mut model = arch.build(data.feature_dim(), data.num_classes(), rng);
+    // The synchronized group model overwrites every weight, so build the
+    // zeroed skeleton instead of spending `param_len()` Gaussian draws on
+    // an initialization that is discarded immediately.
+    let mut model = arch.build_uninit(data.feature_dim(), data.num_classes());
     model.set_params(start_params);
     let mut opt = Sgd::new(cfg.lr).with_proximal(cfg.mu);
     let anchor: Option<Vec<f32>> = (cfg.mu > 0.0).then(|| start_params.to_vec());
 
+    // Flat param/grad buffers reused across every mini-batch.
+    let mut params = Vec::with_capacity(model.param_len());
+    let mut grads = Vec::with_capacity(model.param_len());
     let mut final_loss = 0.0f32;
     for _epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0f32;
@@ -66,8 +72,9 @@ pub fn local_train(
             let x = Tensor::from_vec(feats, &[labels.len(), data.feature_dim()]);
             model.zero_grads();
             epoch_loss += model.train_step(&x, &labels);
-            let mut params = model.params();
-            opt.step(&mut params, &model.grads(), anchor.as_deref());
+            model.params_into(&mut params);
+            model.grads_into(&mut grads);
+            opt.step(&mut params, &grads, anchor.as_deref());
             model.set_params(&params);
         }
         final_loss = epoch_loss / n_batches.max(1) as f32;

@@ -30,6 +30,19 @@ impl ModelArch {
             ModelArch::Cnn => cnn_for(feature_dim, num_classes, rng),
         }
     }
+
+    /// Builds the network skeleton with **zeroed** parameters, for callers
+    /// that immediately overwrite them with `set_params` (every FL client
+    /// synchronizing a group/global model). Skips the ~`param_len()`
+    /// Gaussian draws [`ModelArch::build`] spends on weights that are
+    /// discarded one call later.
+    #[must_use]
+    pub fn build_uninit(self, feature_dim: usize, num_classes: usize) -> Network {
+        match self {
+            ModelArch::Mlp => mlp_uninit(feature_dim, num_classes),
+            ModelArch::Cnn => cnn_uninit(feature_dim, num_classes),
+        }
+    }
 }
 
 /// Two-hidden-layer MLP: `in → 64 → 32 → classes` with ReLU.
@@ -66,6 +79,43 @@ pub fn cnn_for(feature_dim: usize, num_classes: usize, rng: &mut Rng) -> Network
         Box::new(AvgPool2d::new(2)),
         Box::new(Flatten::new()),
         Box::new(Linear::new(16 * 2 * 2, num_classes, rng)),
+    ];
+    Network::new(layers)
+}
+
+/// Parameter-free skeleton of [`mlp_for`] (zeroed weights).
+#[must_use]
+pub fn mlp_uninit(feature_dim: usize, num_classes: usize) -> Network {
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Linear::zeroed(feature_dim, 64)),
+        Box::new(ReLU::new()),
+        Box::new(Linear::zeroed(64, 32)),
+        Box::new(ReLU::new()),
+        Box::new(Linear::zeroed(32, num_classes)),
+    ];
+    Network::new(layers)
+}
+
+/// Parameter-free skeleton of [`cnn_for`] (zeroed weights).
+///
+/// # Panics
+/// Panics unless `feature_dim == 64`.
+#[must_use]
+pub fn cnn_uninit(feature_dim: usize, num_classes: usize) -> Network {
+    assert_eq!(
+        feature_dim, 64,
+        "cnn_uninit: CNN expects 64 features (8×8 layout), got {feature_dim}"
+    );
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Reshape8x8),
+        Box::new(Conv2d::zeroed(1, 8, 3, 1)),
+        Box::new(ReLU::new()),
+        Box::new(AvgPool2d::new(2)),
+        Box::new(Conv2d::zeroed(8, 16, 3, 1)),
+        Box::new(ReLU::new()),
+        Box::new(AvgPool2d::new(2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::zeroed(16 * 2 * 2, num_classes)),
     ];
     Network::new(layers)
 }
@@ -152,5 +202,19 @@ mod tests {
         let a = mlp_for(32, 10, &mut Rng::new(5)).params();
         let b = mlp_for(32, 10, &mut Rng::new(5)).params();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uninit_skeletons_match_layout_with_zeroed_params() {
+        for arch in [ModelArch::Mlp, ModelArch::Cnn] {
+            let built = arch.build(64, 10, &mut Rng::new(6));
+            let mut skeleton = arch.build_uninit(64, 10);
+            assert_eq!(skeleton.param_len(), built.param_len());
+            assert!(skeleton.params().iter().all(|&p| p == 0.0));
+            // The layouts must agree: round-tripping the real params
+            // through the skeleton is the identity.
+            skeleton.set_params(&built.params());
+            assert_eq!(skeleton.params(), built.params());
+        }
     }
 }

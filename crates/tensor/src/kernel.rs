@@ -1,0 +1,812 @@
+//! Cache-blocked, register-tiled matrix and convolution kernels.
+//!
+//! This module is the compute core behind [`crate::Tensor::matmul`] and the
+//! `Conv2d`/`Sgd` hot paths. The design is the classic BLIS-style
+//! decomposition scaled down to the model sizes this workspace trains:
+//!
+//! - **Row chunks.** Output rows are processed in fixed
+//!   [`ROWS_PER_CHUNK`]-row chunks. The chunk grid depends only on the
+//!   output shape — never on the worker count — so the parallel path
+//!   (`compat::par::par_chunks_mut`) computes exactly the same tiles as the
+//!   sequential path and results are bit-identical at `ECOFL_THREADS=1/2/8`.
+//! - **Register tiles.** Inside a chunk, an `MR×NR` accumulator tile lives
+//!   in locals for the whole depth (`k`) loop, so each output element is
+//!   loaded and stored once instead of `k` times, and the innermost loop is
+//!   a contiguous fused-multiply-accumulate stream over `b`'s rows that the
+//!   compiler auto-vectorizes.
+//! - **Packed-transpose panels.** `gemm_tn` (the `xᵀ·g` gradient product)
+//!   packs `MR`-column panels of the transposed operand into a small
+//!   reusable buffer instead of materializing the full transpose, then runs
+//!   the same register-tiled kernel over the panel.
+//!
+//! # SIMD dispatch and the tolerance policy
+//!
+//! Three instantiations of the same kernel body exist:
+//!
+//! - a **portable** path (`acc + a*b`, 4×8 tiles) that performs every
+//!   multiply and add in exactly the order of the retained naive kernels in
+//!   [`crate::reference`] — outputs are **bit-identical** to them,
+//! - an **FMA** path (`f32::mul_add`, 6×16 tiles) compiled with
+//!   `#[target_feature(enable = "avx2", enable = "fma")]` and selected at
+//!   runtime when the CPU supports it, and
+//! - an **AVX-512** path (8×32 tiles held in zmm registers by explicit
+//!   `_mm512_fmadd_ps` intrinsics) selected when `avx512f` is present.
+//!
+//! Fused multiply-add skips the intermediate rounding of the product, so
+//! the FMA/AVX-512 outputs differ from the naive reference by at most
+//! `2·k·ε` relative to the absolute-value inner product (≈1e-6 relative
+//! for the `k ≲ 100` shapes the models use); the property tests in
+//! `tests/kernel_equivalence.rs` enforce that bound. Per output element
+//! both paths accumulate in the same ascending-`p` scalar-lane order as
+//! the naive loop — only the `mul_add` rounding differs.
+//!
+//! On a given machine the dispatch decision is constant, so runs remain
+//! deterministic; `ECOFL_PORTABLE_KERNELS=1` forces the portable path
+//! (used by CI to prove the exact-equality claim on any host).
+
+use ecofl_compat::par::{max_threads, par_chunks_mut};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Register-tile rows of the AVX2 FMA kernel (6 rows × 2 AVX lanes of
+/// accumulators = 12 of 16 vector registers).
+pub const MR_FMA: usize = 6;
+/// Register-tile columns of the AVX2 FMA kernel (two 8-lane registers).
+pub const NR_FMA: usize = 16;
+/// Register-tile rows of the AVX-512 kernel (8 rows × 2 zmm lanes of
+/// accumulators = 16 of 32 zmm registers; 8 also divides
+/// [`ROWS_PER_CHUNK`] exactly, so no chunk carries padded tile rows).
+pub const MR_AVX512: usize = 8;
+/// Register-tile columns of the AVX-512 kernel (two 16-lane registers).
+pub const NR_AVX512: usize = 32;
+/// Register-tile rows of the portable kernel (sized for 16 SSE registers).
+pub const MR_PORTABLE: usize = 4;
+/// Register-tile columns of the portable kernel.
+pub const NR_PORTABLE: usize = 8;
+/// Output rows per parallel chunk — a common multiple of every kernel's
+/// `MR`, so every chunk except the last decomposes into full register
+/// tiles and the tile grid is independent of how chunks map to threads.
+pub const ROWS_PER_CHUNK: usize = 24;
+
+/// Below this many multiply-accumulates a matmul stays sequential: the
+/// scoped worker pool spawns threads per call, which only amortizes over
+/// large products (the old 64³ threshold put the micro-bench's own case
+/// on the spawn-dominated path).
+const PAR_MAC_THRESHOLD: usize = 1 << 22;
+
+/// Which kernel instantiation runtime dispatch selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelPath {
+    /// Plain `mul`+`add`, 4×8 tiles — bit-identical to the naive
+    /// references on every machine.
+    Portable,
+    /// AVX2 + FMA, 6×16 tiles.
+    Fma,
+    /// AVX-512, 8×32 tiles (two 16-lane zmm accumulator columns).
+    Avx512,
+}
+
+fn kernel_path() -> KernelPath {
+    static PATH: OnceLock<KernelPath> = OnceLock::new();
+    *PATH.get_or_init(|| {
+        if std::env::var_os("ECOFL_PORTABLE_KERNELS").is_some_and(|v| v == "1") {
+            return KernelPath::Portable;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // The NT/conv helpers run the AVX2 instantiation even on
+                // the AVX-512 tier, so that tier requires both.
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    return KernelPath::Avx512;
+                }
+                return KernelPath::Fma;
+            }
+        }
+        KernelPath::Portable
+    })
+}
+
+/// Whether runtime dispatch selected a fused-multiply-add kernel
+/// (AVX2+FMA or AVX-512) instead of the portable path.
+///
+/// Constant for the lifetime of the process: the decision depends only on
+/// CPU features and the `ECOFL_PORTABLE_KERNELS` environment variable read
+/// once. When `false`, every kernel in this module is bit-identical to the
+/// naive references in [`crate::reference`].
+#[must_use]
+pub fn fma_kernels_active() -> bool {
+    kernel_path() != KernelPath::Portable
+}
+
+/// Runs `f(first_row, chunk_rows_slice)` over fixed `ROWS_PER_CHUNK`-row
+/// chunks of `out`, in parallel when `par` is set. The chunk grid is a pure
+/// function of `out.len()` and `n`, so parallel and sequential execution
+/// produce identical results.
+fn for_row_chunks(out: &mut [f32], n: usize, par: bool, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let chunk = ROWS_PER_CHUNK * n;
+    if par && max_threads() > 1 {
+        par_chunks_mut(out, chunk, |ci, rows| f(ci * ROWS_PER_CHUNK, rows));
+    } else {
+        for (ci, rows) in out.chunks_mut(chunk).enumerate() {
+            f(ci * ROWS_PER_CHUNK, rows);
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable A-panel packing scratch, one per worker thread. Fresh
+    /// `Vec`s per GEMM call cost ~2µs on the 64³ micro-bench case — a
+    /// fifth of the whole call. Contents are garbage between calls by
+    /// design: `pack_a` overwrites every live lane and zero-fills every
+    /// padded lane on each call.
+    static A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable B-strip packing scratch (packed once per call on the
+    /// calling thread, shared read-only with workers).
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Grows `buf` to at least `len` elements and returns the `len`-prefix
+/// without zeroing previously used capacity.
+fn scratch(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    &mut buf[..len]
+}
+
+/// Where a GEMM chunk reads its left-hand operand from.
+///
+/// `Rows` is the plain product (`a·b`, contiguous row panel); `Cols` is the
+/// packed-transpose path (`aᵀ·b`) — the packer below gathers columns of the
+/// `[k,m]` operand directly into the tile layout, so the transpose is never
+/// materialized.
+#[derive(Clone, Copy)]
+enum ASrc<'a> {
+    /// A row-major `[m,k]` matrix with leading dimension `lda`; chunks take
+    /// row ranges.
+    Rows { a: &'a [f32], lda: usize },
+    /// A row-major `[k,m]` matrix; chunks take column ranges.
+    Cols { a: &'a [f32], m: usize },
+}
+
+/// The innermost register tile: `acc[r][j] += Σ_p ap[p·MR+r] · bp[p·NR+j]`
+/// over zero-padded packed panels.
+///
+/// Everything is `chunks_exact` with const-generic widths, so the body has
+/// **no bounds checks and no side exits** — the compiler keeps the whole
+/// `MR×NR` accumulator in vector registers for the depth loop instead of
+/// spilling it to the stack each iteration (the difference is ~4x).
+///
+/// `madd` is the multiply-accumulate op — `acc + a*b` on the portable
+/// instantiation, `a.mul_add(b, acc)` on the FMA one. Per output element
+/// the products accumulate in ascending-`p` order into a single scalar
+/// lane, matching the naive triple loop, so the only divergence from
+/// [`crate::reference::naive_matmul`] is the `madd` rounding itself.
+#[inline(always)]
+fn microkernel<const MR: usize, const NR: usize>(
+    madd: impl Fn(f32, f32, f32) -> f32 + Copy,
+    apanel: &[f32],
+    bpanel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for (ap, bp) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let a_rp = ap[r];
+            for j in 0..NR {
+                accr[j] = madd(a_rp, bp[j], accr[j]);
+            }
+        }
+    }
+}
+
+/// Packs the chunk's A rows/columns (starting at output row `i0`) into
+/// `[tile][p][r]` order (`MR` consecutive row values per depth step),
+/// zero-padding the tail tile. Padded lanes multiply into accumulator rows
+/// that are never stored.
+fn pack_a<const MR: usize>(src: ASrc<'_>, i0: usize, rows: usize, k: usize, apack: &mut [f32]) {
+    if !rows.is_multiple_of(MR) {
+        let full = (rows / MR) * k * MR;
+        apack[full..].fill(0.0);
+    }
+    match src {
+        ASrc::Rows { a, lda } => {
+            for t in 0..rows.div_ceil(MR) {
+                let tile = &mut apack[t * k * MR..(t + 1) * k * MR];
+                for r in 0..MR.min(rows - t * MR) {
+                    let arow = &a[(i0 + t * MR + r) * lda..][..k];
+                    for (p, &v) in arow.iter().enumerate() {
+                        tile[p * MR + r] = v;
+                    }
+                }
+            }
+        }
+        ASrc::Cols { a, m } => {
+            for (p, arow) in a.chunks_exact(m).enumerate() {
+                let acols = &arow[i0..i0 + rows];
+                for (r, &v) in acols.iter().enumerate() {
+                    apack[(r / MR) * k * MR + p * MR + (r % MR)] = v;
+                }
+            }
+        }
+    }
+}
+
+/// AVX-512 instantiation of the microkernel body, written with explicit
+/// `_mm512_*` intrinsics: at `NR = 32` the autovectorizer keeps the
+/// accumulator tile on the stack (rustc tunes for 256-bit vectors, and
+/// thirty-two 256-bit accumulators do not fit the sixteen ymm registers
+/// `avx512f` alone exposes), which costs ~14x. Held by hand the tile is
+/// sixteen of thirty-two zmm registers. Lane for lane the arithmetic is
+/// exactly `acc[j] = a.mul_add(b[j], acc[j])`, identical to what the
+/// generic FMA instantiation computes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn microkernel_avx512(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR_AVX512]; MR_AVX512]) {
+    use std::arch::x86_64::{
+        _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps,
+    };
+    // SAFETY: every load/store stays inside `acc`'s 32-wide rows or the
+    // `chunks_exact` panels (16 lanes at offsets 0 and 16).
+    unsafe {
+        let mut c = [[_mm512_setzero_ps(); 2]; MR_AVX512];
+        for (cr, row) in c.iter_mut().zip(acc.iter()) {
+            cr[0] = _mm512_loadu_ps(row.as_ptr());
+            cr[1] = _mm512_loadu_ps(row.as_ptr().add(16));
+        }
+        for (ap, bp) in apanel
+            .chunks_exact(MR_AVX512)
+            .zip(bpanel.chunks_exact(NR_AVX512))
+        {
+            let b0 = _mm512_loadu_ps(bp.as_ptr());
+            let b1 = _mm512_loadu_ps(bp.as_ptr().add(16));
+            for (&a_rp, cr) in ap.iter().zip(c.iter_mut()) {
+                let av = _mm512_set1_ps(a_rp);
+                cr[0] = _mm512_fmadd_ps(av, b0, cr[0]);
+                cr[1] = _mm512_fmadd_ps(av, b1, cr[1]);
+            }
+        }
+        for (row, cr) in acc.iter_mut().zip(&c) {
+            _mm512_storeu_ps(row.as_mut_ptr(), cr[0]);
+            _mm512_storeu_ps(row.as_mut_ptr().add(16), cr[1]);
+        }
+    }
+}
+
+/// The full GEMM driver for one kernel instantiation: packs B once into
+/// zero-padded `NR`-column strips (`[strip][p][j]`, shared read-only by all
+/// chunks/threads), then runs the row chunks — pack the chunk's A panel,
+/// sweep the strips, run the microkernel per tile, and write back only the
+/// live `rb×cb` window of each accumulator.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver<const MR: usize, const NR: usize>(
+    kern: impl Fn(&[f32], &[f32], &mut [[f32; NR]; MR]) + Copy + Sync,
+    asrc: ASrc<'_>,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    par: bool,
+) {
+    let strips = n.div_ceil(NR);
+    B_SCRATCH.with_borrow_mut(|bbuf| {
+        let bpack = scratch(bbuf, strips * k * NR);
+        for (p, brow) in b.chunks_exact(n).enumerate() {
+            for s in 0..strips {
+                let jb = s * NR;
+                let cb = (n - jb).min(NR);
+                let prow = &mut bpack[s * k * NR + p * NR..][..NR];
+                prow[..cb].copy_from_slice(&brow[jb..jb + cb]);
+                prow[cb..].fill(0.0);
+            }
+        }
+        let bpack = &*bpack;
+        for_row_chunks(out, n, par, move |i0, chunk| {
+            let rows = chunk.len() / n.max(1);
+            let tiles = rows.div_ceil(MR);
+            A_SCRATCH.with_borrow_mut(|abuf| {
+                let apack = scratch(abuf, tiles * k * MR);
+                run_chunk::<MR, NR>(kern, asrc, k, n, bpack, i0, chunk, rows, apack, accumulate);
+            });
+        });
+    });
+}
+
+/// One row chunk of [`gemm_driver`]: pack the chunk's A panel, sweep the B
+/// strips, run the microkernel per tile, write back the live `rb×cb`
+/// window of each accumulator.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<const MR: usize, const NR: usize>(
+    kern: impl Fn(&[f32], &[f32], &mut [[f32; NR]; MR]) + Copy,
+    asrc: ASrc<'_>,
+    k: usize,
+    n: usize,
+    bpack: &[f32],
+    i0: usize,
+    chunk: &mut [f32],
+    rows: usize,
+    apack: &mut [f32],
+    accumulate: bool,
+) {
+    pack_a::<MR>(asrc, i0, rows, k, apack);
+    for (s, bstrip) in bpack.chunks_exact(k * NR).enumerate() {
+        let jb = s * NR;
+        let cb = (n - jb).min(NR);
+        for (t, atile) in apack.chunks_exact(k * MR).enumerate() {
+            let rb = MR.min(rows - t * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            kern(atile, bstrip, &mut acc);
+            for (r, accr) in acc.iter().enumerate().take(rb) {
+                let orow = &mut chunk[(t * MR + r) * n + jb..(t * MR + r) * n + jb + cb];
+                if accumulate {
+                    for (o, &v) in orow.iter_mut().zip(&accr[..cb]) {
+                        *o += v;
+                    }
+                } else {
+                    orow.copy_from_slice(&accr[..cb]);
+                }
+            }
+        }
+    }
+}
+
+fn gemm_portable(
+    asrc: ASrc<'_>,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    par: bool,
+) {
+    gemm_driver::<MR_PORTABLE, NR_PORTABLE>(
+        |ap, bp, acc| microkernel(|a, b, acc| acc + a * b, ap, bp, acc),
+        asrc,
+        k,
+        b,
+        n,
+        out,
+        accumulate,
+        par,
+    );
+}
+
+/// Safe to *define*; callers must ensure AVX2+FMA are available (enforced
+/// by the [`kernel_path`] runtime check at the dispatch site).
+/// The parallel closure inside inherits the target features; worker
+/// threads only ever run it after the same runtime check passed.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn gemm_fma(
+    asrc: ASrc<'_>,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    par: bool,
+) {
+    gemm_driver::<MR_FMA, NR_FMA>(
+        |ap, bp, acc| microkernel(|a, b, acc| a.mul_add(b, acc), ap, bp, acc),
+        asrc,
+        k,
+        b,
+        n,
+        out,
+        accumulate,
+        par,
+    );
+}
+
+/// Same contract as [`gemm_fma`], instantiated for 512-bit vectors via the
+/// hand-held [`microkernel_avx512`] tile.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn gemm_avx512(
+    asrc: ASrc<'_>,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    par: bool,
+) {
+    gemm_driver::<MR_AVX512, NR_AVX512>(
+        |ap, bp, acc| microkernel_avx512(ap, bp, acc),
+        asrc,
+        k,
+        b,
+        n,
+        out,
+        accumulate,
+        par,
+    );
+}
+
+/// Dispatches a GEMM to the selected kernel instantiation.
+fn gemm_dispatch(
+    asrc: ASrc<'_>,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    par: bool,
+) {
+    match kernel_path() {
+        // SAFETY: `kernel_path` verified the corresponding CPU features at
+        // runtime; the functions contain only safe Rust compiled with
+        // those features enabled.
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx512 => unsafe { gemm_avx512(asrc, k, b, n, out, accumulate, par) },
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Fma => unsafe { gemm_fma(asrc, k, b, n, out, accumulate, par) },
+        _ => gemm_portable(asrc, k, b, n, out, accumulate, par),
+    }
+}
+
+/// `out = a·b` for row-major `a: [m,k]`, `b: [k,n]`, `out: [m,n]`.
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let par = m * n * k >= PAR_MAC_THRESHOLD;
+    gemm_dispatch(ASrc::Rows { a, lda: k }, k, b, n, out, false, par);
+}
+
+/// `out (+)= aᵀ·b` for row-major `a: [k,m]`, `b: [k,n]`, `out: [m,n]`,
+/// without materializing `aᵀ`: the packer gathers each chunk's columns of
+/// `a` straight into the microkernel tile layout.
+pub(crate) fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let par = m * n * k >= PAR_MAC_THRESHOLD;
+    gemm_dispatch(ASrc::Cols { a, m }, k, b, n, out, accumulate, par);
+}
+
+/// One output row of `a·bᵀ`: `out[j] = Σ_p arow[p]·b[j·k+p]`.
+///
+/// Both operands are walked contiguously (that is the point of the NT
+/// layout — no transpose is formed). The dot product accumulates into
+/// `LANES` independent partial sums folded in a fixed order at the end, so
+/// results are deterministic and thread-count independent, but reassociated
+/// relative to the naive scalar chain — NT products are always compared
+/// against the reference under the documented tolerance, on both paths.
+#[inline(always)]
+fn nt_row_body(
+    madd: impl Fn(f32, f32, f32) -> f32 + Copy,
+    arow: &[f32],
+    b: &[f32],
+    k: usize,
+    orow: &mut [f32],
+) {
+    const LANES: usize = 8;
+    for (j, o) in orow.iter_mut().enumerate() {
+        let brow = &b[j * k..(j + 1) * k];
+        let mut lanes = [0.0f32; LANES];
+        let mut chunks_a = arow.chunks_exact(LANES);
+        let mut chunks_b = brow.chunks_exact(LANES);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            for l in 0..LANES {
+                lanes[l] = madd(ca[l], cb[l], lanes[l]);
+            }
+        }
+        for (l, (&av, &bv)) in chunks_a
+            .remainder()
+            .iter()
+            .zip(chunks_b.remainder())
+            .enumerate()
+        {
+            lanes[l] = madd(av, bv, lanes[l]);
+        }
+        // Fixed pairwise fold — part of the kernel's defined semantics.
+        *o = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn nt_rows_fma(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, chunk: &mut [f32]) {
+    for (r, orow) in chunk.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        nt_row_body(
+            |x, y, acc| x.mul_add(y, acc),
+            &a[i * k..(i + 1) * k],
+            b,
+            k,
+            orow,
+        );
+    }
+}
+
+fn nt_rows_portable(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, chunk: &mut [f32]) {
+    for (r, orow) in chunk.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        nt_row_body(|x, y, acc| acc + x * y, &a[i * k..(i + 1) * k], b, k, orow);
+    }
+}
+
+/// `out = a·bᵀ` for row-major `a: [m,k]`, `b: [n,k]`, `out: [m,n]`.
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let par = m * n * k >= PAR_MAC_THRESHOLD;
+    for_row_chunks(out, n, par, |i0, chunk| {
+        #[cfg(target_arch = "x86_64")]
+        if fma_kernels_active() {
+            // SAFETY: guarded by the same runtime AVX2+FMA detection as
+            // `gemm_dispatch`.
+            unsafe { nt_rows_fma(a, b, k, n, i0, chunk) };
+            return;
+        }
+        nt_rows_portable(a, b, k, n, i0, chunk);
+    });
+}
+
+/// Geometry of one `Conv2d` application (stride 1, symmetric zero padding).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConvShape {
+    pub batch: usize,
+    pub in_c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub out_c: usize,
+    pub k: usize,
+    pub pad: usize,
+    pub oh: usize,
+    pub ow: usize,
+}
+
+impl ConvShape {
+    /// Valid output-row range for kernel row `ky`: `oy` such that
+    /// `iy = oy + ky - pad ∈ [0, h)`.
+    fn oy_range(&self, ky: usize) -> (usize, usize) {
+        let lo = self.pad.saturating_sub(ky);
+        let hi = (self.h + self.pad - ky).min(self.oh);
+        (lo.min(hi), hi)
+    }
+
+    /// Valid output-column range for kernel column `kx`.
+    fn ox_range(&self, kx: usize) -> (usize, usize) {
+        let lo = self.pad.saturating_sub(kx);
+        let hi = (self.w + self.pad - kx).min(self.ow);
+        (lo.min(hi), hi)
+    }
+
+    fn macs(&self) -> usize {
+        self.batch * self.out_c * self.oh * self.ow * self.in_c * self.k * self.k
+    }
+}
+
+/// Blocked Conv2d forward: `out[bi,oc] = bias[oc] + Σ_{ic,ky,kx} w·x`.
+///
+/// The loops are restructured so the innermost loop streams a contiguous
+/// output row against a contiguous input row (no per-pixel padding
+/// branches); per output element the taps still arrive in the naive
+/// `(ic, ky, kx)` order with the bias added first, so results are
+/// bit-identical to [`crate::reference::naive_conv2d_forward`].
+pub(crate) fn conv2d_forward(x: &[f32], wgt: &[f32], bias: &[f32], s: &ConvShape, out: &mut [f32]) {
+    let plane = s.oh * s.ow;
+    let par = s.macs() >= PAR_MAC_THRESHOLD;
+    let run = |plane_idx: usize, oplane: &mut [f32]| {
+        let (bi, oc) = (plane_idx / s.out_c, plane_idx % s.out_c);
+        oplane.fill(bias[oc]);
+        for ic in 0..s.in_c {
+            let xplane = &x[((bi * s.in_c + ic) * s.h) * s.w..][..s.h * s.w];
+            for ky in 0..s.k {
+                let (ylo, yhi) = s.oy_range(ky);
+                for kx in 0..s.k {
+                    let (xlo, xhi) = s.ox_range(kx);
+                    if xlo >= xhi {
+                        continue;
+                    }
+                    let wv = wgt[((oc * s.in_c + ic) * s.k + ky) * s.k + kx];
+                    for oy in ylo..yhi {
+                        let iy = oy + ky - s.pad;
+                        let ix0 = xlo + kx - s.pad;
+                        let xrow = &xplane[iy * s.w + ix0..][..xhi - xlo];
+                        let orow = &mut oplane[oy * s.ow + xlo..oy * s.ow + xhi];
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += wv * xv;
+                        }
+                    }
+                }
+            }
+        }
+    };
+    if par && max_threads() > 1 {
+        par_chunks_mut(out, plane, |idx, oplane| run(idx, oplane));
+    } else {
+        for (idx, oplane) in out.chunks_mut(plane).enumerate() {
+            run(idx, oplane);
+        }
+    }
+}
+
+/// Blocked Conv2d backward.
+///
+/// Three passes, each with its own parallel axis and its own equivalence
+/// contract against [`crate::reference::naive_conv2d_backward`]:
+///
+/// - `gb` (sequential, cheap): contributions arrive in the naive
+///   `(bi, oy, ox)` order per channel — **bit-identical**.
+/// - `gw` (parallel over `oc`, disjoint weight slices): the per-row dot
+///   products use 8-lane partial sums, reassociating the naive scalar
+///   chain — **documented tolerance**.
+/// - `gx` (parallel over `bi`, disjoint input planes): contiguous axpy
+///   rows; tap order per input element differs from the naive loop nest —
+///   **documented tolerance**.
+pub(crate) fn conv2d_backward(
+    x: &[f32],
+    wgt: &[f32],
+    g: &[f32],
+    s: &ConvShape,
+    gx: &mut [f32],
+    gw: &mut [f32],
+    gb: &mut [f32],
+) {
+    let oplane = s.oh * s.ow;
+    let par = s.macs() >= PAR_MAC_THRESHOLD && max_threads() > 1;
+
+    // Pass 1: bias gradient, naive accumulation order per channel.
+    for bi in 0..s.batch {
+        for (oc, gbo) in gb.iter_mut().enumerate() {
+            let gplane = &g[(bi * s.out_c + oc) * oplane..][..oplane];
+            for &gv in gplane {
+                *gbo += gv;
+            }
+        }
+    }
+
+    // Pass 2: weight gradient — each `oc` owns a disjoint `gw` slice.
+    let wslice = s.in_c * s.k * s.k;
+    let gw_pass = |oc: usize, gwo: &mut [f32]| {
+        for bi in 0..s.batch {
+            let gplane = &g[(bi * s.out_c + oc) * oplane..][..oplane];
+            for ic in 0..s.in_c {
+                let xplane = &x[((bi * s.in_c + ic) * s.h) * s.w..][..s.h * s.w];
+                for ky in 0..s.k {
+                    let (ylo, yhi) = s.oy_range(ky);
+                    for kx in 0..s.k {
+                        let (xlo, xhi) = s.ox_range(kx);
+                        if xlo >= xhi {
+                            continue;
+                        }
+                        let mut lanes = [0.0f32; 8];
+                        for oy in ylo..yhi {
+                            let iy = oy + ky - s.pad;
+                            let ix0 = xlo + kx - s.pad;
+                            let grow = &gplane[oy * s.ow + xlo..oy * s.ow + xhi];
+                            let xrow = &xplane[iy * s.w + ix0..][..xhi - xlo];
+                            let mut ga = grow.chunks_exact(8);
+                            let mut xa = xrow.chunks_exact(8);
+                            for (gc, xc) in (&mut ga).zip(&mut xa) {
+                                for l in 0..8 {
+                                    lanes[l] += gc[l] * xc[l];
+                                }
+                            }
+                            for (l, (&gv, &xv)) in
+                                ga.remainder().iter().zip(xa.remainder()).enumerate()
+                            {
+                                lanes[l] += gv * xv;
+                            }
+                        }
+                        gwo[(ic * s.k + ky) * s.k + kx] += ((lanes[0] + lanes[1])
+                            + (lanes[2] + lanes[3]))
+                            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+                    }
+                }
+            }
+        }
+    };
+    if par {
+        par_chunks_mut(gw, wslice, gw_pass);
+    } else {
+        for (oc, gwo) in gw.chunks_mut(wslice).enumerate() {
+            gw_pass(oc, gwo);
+        }
+    }
+
+    // Pass 3: input gradient — each batch element owns a disjoint plane.
+    let xvol = s.in_c * s.h * s.w;
+    let gx_pass = |bi: usize, gxb: &mut [f32]| {
+        for oc in 0..s.out_c {
+            let gplane = &g[(bi * s.out_c + oc) * oplane..][..oplane];
+            for ic in 0..s.in_c {
+                let gxplane = &mut gxb[ic * s.h * s.w..(ic + 1) * s.h * s.w];
+                for ky in 0..s.k {
+                    let (ylo, yhi) = s.oy_range(ky);
+                    for kx in 0..s.k {
+                        let (xlo, xhi) = s.ox_range(kx);
+                        if xlo >= xhi {
+                            continue;
+                        }
+                        let wv = wgt[((oc * s.in_c + ic) * s.k + ky) * s.k + kx];
+                        for oy in ylo..yhi {
+                            let iy = oy + ky - s.pad;
+                            let ix0 = xlo + kx - s.pad;
+                            let grow = &gplane[oy * s.ow + xlo..oy * s.ow + xhi];
+                            let gxrow = &mut gxplane[iy * s.w + ix0..iy * s.w + ix0 + xhi - xlo];
+                            for (gxv, &gv) in gxrow.iter_mut().zip(grow) {
+                                *gxv += wv * gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    if par {
+        par_chunks_mut(gx, xvol, gx_pass);
+    } else {
+        for (bi, gxb) in gx.chunks_mut(xvol).enumerate() {
+            gx_pass(bi, gxb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_is_common_tile_multiple() {
+        assert_eq!(ROWS_PER_CHUNK % MR_FMA, 0);
+        assert_eq!(ROWS_PER_CHUNK % MR_AVX512, 0);
+        assert_eq!(ROWS_PER_CHUNK % MR_PORTABLE, 0);
+    }
+
+    #[test]
+    fn gemm_known_values() {
+        // [2,3]·[3,2] with small integers is exact on every path.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut out = [0.0f32; 4];
+        gemm(&a, &b, &mut out, 2, 3, 2);
+        assert_eq!(out, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_tn_equals_explicit_transpose() {
+        // aᵀ·b where a is [k=2, m=3].
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // rows [1 2 3], [4 5 6]
+        let b = [1.0, 0.0, 0.0, 1.0]; // k=2, n=2 identity
+        let mut out = [0.0f32; 6];
+        gemm_tn(&a, &b, &mut out, 2, 3, 2, false);
+        assert_eq!(out, [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_tn_accumulates_in_place() {
+        let a = [1.0, 2.0]; // k=2, m=1
+        let b = [3.0, 4.0]; // k=2, n=1
+        let mut out = [10.0f32];
+        gemm_tn(&a, &b, &mut out, 2, 1, 1, true);
+        assert_eq!(out, [10.0 + 1.0 * 3.0 + 2.0 * 4.0]);
+    }
+
+    #[test]
+    fn gemm_nt_is_row_dot_products() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // m=2, k=2
+        let b = [5.0, 6.0, 7.0, 8.0]; // n=2, k=2
+        let mut out = [0.0f32; 4];
+        gemm_nt(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [17.0, 23.0, 39.0, 53.0]);
+    }
+}

@@ -6,6 +6,7 @@
 //! flat `f32` vectors, and the pipeline partitioner reasons about per-layer
 //! parameter byte counts.
 
+use crate::kernel::{self, ConvShape};
 use crate::tensor::Tensor;
 use ecofl_util::Rng;
 use std::collections::VecDeque;
@@ -69,6 +70,17 @@ impl Linear {
         let std = (2.0 / in_dim as f64).sqrt() as f32;
         Self {
             weight: Tensor::randn(&[in_dim, out_dim], std, rng),
+            ..Self::zeroed(in_dim, out_dim)
+        }
+    }
+
+    /// Zero-initialized linear layer — for receivers that immediately
+    /// overwrite the parameters (`set_params`), skipping the Gaussian
+    /// draws of [`Linear::new`].
+    #[must_use]
+    pub fn zeroed(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            weight: Tensor::zeros(&[in_dim, out_dim]),
             bias: Tensor::zeros(&[out_dim]),
             grad_weight: Tensor::zeros(&[in_dim, out_dim]),
             grad_bias: Tensor::zeros(&[out_dim]),
@@ -102,13 +114,12 @@ impl Layer for Linear {
             .cached_input
             .pop_front()
             .expect("Linear::backward called before forward");
-        let input = &input;
-        // dW = xᵀ g ; db = Σ_rows g ; dx = g Wᵀ
-        let gw = input.transpose().matmul(grad_out);
-        self.grad_weight.add_scaled(&gw, 1.0);
+        // dW = xᵀ g ; db = Σ_rows g ; dx = g Wᵀ. Both transpose-composed
+        // products run fused kernels that never materialize a transpose.
+        input.matmul_tn_acc(grad_out, &mut self.grad_weight);
         let gb = grad_out.sum_rows();
         self.grad_bias.add_scaled(&gb, 1.0);
-        grad_out.matmul(&self.weight.transpose())
+        grad_out.matmul_nt(&self.weight)
     }
 
     fn param_len(&self) -> usize {
@@ -288,6 +299,17 @@ impl Conv2d {
         let std = (2.0 / fan_in as f64).sqrt() as f32;
         Self {
             weight: Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, rng),
+            ..Self::zeroed(in_channels, out_channels, kernel, padding)
+        }
+    }
+
+    /// Zero-initialized convolution — for receivers that immediately
+    /// overwrite the parameters (`set_params`), skipping the Gaussian
+    /// draws of [`Conv2d::new`].
+    #[must_use]
+    pub fn zeroed(in_channels: usize, out_channels: usize, kernel: usize, padding: usize) -> Self {
+        Self {
+            weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             bias: Tensor::zeros(&[out_channels]),
             grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             grad_bias: Tensor::zeros(&[out_channels]),
@@ -299,11 +321,18 @@ impl Conv2d {
         }
     }
 
-    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (
-            h + 2 * self.padding + 1 - self.kernel,
-            w + 2 * self.padding + 1 - self.kernel,
-        )
+    fn conv_shape(&self, b: usize, h: usize, w: usize) -> ConvShape {
+        ConvShape {
+            batch: b,
+            in_c: self.in_channels,
+            h,
+            w,
+            out_c: self.out_channels,
+            k: self.kernel,
+            pad: self.padding,
+            oh: h + 2 * self.padding + 1 - self.kernel,
+            ow: w + 2 * self.padding + 1 - self.kernel,
+        }
     }
 }
 
@@ -313,42 +342,17 @@ impl Layer for Conv2d {
             panic!("Conv2d: expected 4-D input, got {:?}", input.shape());
         };
         assert_eq!(c, self.in_channels, "Conv2d: channel mismatch");
-        let (oh, ow) = self.out_hw(h, w);
-        let k = self.kernel;
-        let p = self.padding as isize;
-        let mut out = vec![0.0f32; b * self.out_channels * oh * ow];
-        let x = input.data();
-        let wgt = self.weight.data();
-        for bi in 0..b {
-            for oc in 0..self.out_channels {
-                let bias = self.bias.data()[oc];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias;
-                        for ic in 0..c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
-                                    acc += x[xi] * wgt[wi];
-                                }
-                            }
-                        }
-                        out[((bi * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
-        }
+        let s = self.conv_shape(b, h, w);
+        let mut out = vec![0.0f32; b * s.out_c * s.oh * s.ow];
+        kernel::conv2d_forward(
+            input.data(),
+            self.weight.data(),
+            self.bias.data(),
+            &s,
+            &mut out,
+        );
         self.cached_input.push_back(input.clone());
-        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
+        Tensor::from_vec(out, &[b, s.out_c, s.oh, s.ow])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -356,55 +360,25 @@ impl Layer for Conv2d {
             .cached_input
             .pop_front()
             .expect("Conv2d::backward called before forward");
-        let input = &input;
-        let [b, c, h, w] = *input.shape() else {
+        let [b, _, h, w] = *input.shape() else {
             unreachable!()
         };
-        let (oh, ow) = self.out_hw(h, w);
+        let s = self.conv_shape(b, h, w);
         assert_eq!(
             grad_out.shape(),
-            &[b, self.out_channels, oh, ow],
+            &[b, s.out_c, s.oh, s.ow],
             "Conv2d::backward: gradient shape mismatch"
         );
-        let k = self.kernel;
-        let p = self.padding as isize;
-        let x = input.data();
-        let g = grad_out.data();
-        let wgt = self.weight.data();
-        let mut gx = vec![0.0f32; x.len()];
-        let gw = self.grad_weight.data_mut();
-        let gb = self.grad_bias.data_mut();
-        for bi in 0..b {
-            for oc in 0..self.out_channels {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[((bi * self.out_channels + oc) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        gb[oc] += go;
-                        for ic in 0..c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
-                                    gw[wi] += go * x[xi];
-                                    gx[xi] += go * wgt[wi];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let mut gx = vec![0.0f32; input.len()];
+        kernel::conv2d_backward(
+            input.data(),
+            self.weight.data(),
+            grad_out.data(),
+            &s,
+            &mut gx,
+            self.grad_weight.data_mut(),
+            self.grad_bias.data_mut(),
+        );
         Tensor::from_vec(gx, input.shape())
     }
 

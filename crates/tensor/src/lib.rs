@@ -15,15 +15,21 @@
 //! - [`optim::Sgd`]: SGD with optional momentum and the FedProx proximal
 //!   term `µ/2·‖w − w_global‖²` used by Eco-FL's intra-group solver (§5.1).
 //!
-//! Matrix multiplication parallelizes across rows with the compat
-//! worker pool above a size
-//! threshold; results are bit-identical to the sequential path because rows
-//! are independent.
+//! The compute core lives in [`kernel`]: cache-blocked, register-tiled
+//! matmul/conv kernels with runtime AVX-512/AVX2+FMA dispatch and fixed-chunk
+//! parallelism (results are bit-identical across `ECOFL_THREADS=1/2/8`).
+//! The naive triple loops they replaced are retained in [`reference`] as
+//! the semantic ground truth; `tests/kernel_equivalence.rs` proves each
+//! blocked kernel against them — bit-identically on the portable path,
+//! within the documented tolerance where FMA/lane reduction reassociates
+//! (see DESIGN.md, "Kernel tiling and the tolerance policy").
 
+pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod reference;
 pub mod tensor;
 
 pub use layers::{AvgPool2d, Conv2d, Flatten, Layer, Linear, ReLU, Tanh};

@@ -81,20 +81,35 @@ impl Network {
     #[must_use]
     pub fn params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_len());
-        for layer in &self.layers {
-            layer.write_params(&mut out);
-        }
+        self.params_into(&mut out);
         out
+    }
+
+    /// Clears `out` and writes all parameters into it, reusing its
+    /// allocation — the hot-loop variant of [`Network::params`] (local
+    /// training extracts the full vector every mini-batch).
+    pub fn params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.write_params(out);
+        }
     }
 
     /// All accumulated gradients, same layout as [`Network::params`].
     #[must_use]
     pub fn grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_len());
-        for layer in &self.layers {
-            layer.write_grads(&mut out);
-        }
+        self.grads_into(&mut out);
         out
+    }
+
+    /// Clears `out` and writes all gradients into it, reusing its
+    /// allocation — the hot-loop variant of [`Network::grads`].
+    pub fn grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.write_grads(out);
+        }
     }
 
     /// Overwrites all parameters from a flat vector.

@@ -75,6 +75,13 @@ impl Sgd {
     /// `None` when `µ = 0` or no anchor applies (e.g. plain FedAvg local
     /// training).
     ///
+    /// The mode branches (`µ > 0`? momentum?) are resolved once, outside
+    /// the element loop, so each specialization below is a straight-line
+    /// fused-multiply-add stream the compiler vectorizes. The per-element
+    /// arithmetic is unchanged from the original branch-in-loop form, so
+    /// results stay **bit-identical** to
+    /// [`crate::reference::naive_sgd_step`] on every configuration.
+    ///
     /// # Panics
     /// Panics if vector lengths disagree, or if `µ > 0` but no reference is
     /// supplied.
@@ -84,31 +91,54 @@ impl Sgd {
             grads.len(),
             "step: params/grads length mismatch"
         );
-        if self.mu > 0.0 {
+        let anchor = if self.mu > 0.0 {
             let anchor = reference.expect("step: proximal term requires a reference vector");
             assert_eq!(
                 params.len(),
                 anchor.len(),
                 "step: reference length mismatch"
             );
-        }
+            Some(anchor)
+        } else {
+            None
+        };
         if self.momentum > 0.0 && self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        for i in 0..params.len() {
-            let mut g = grads[i];
-            if self.mu > 0.0 {
-                // ∇[µ/2‖w − w_ref‖²] = µ(w − w_ref)
-                g += self.mu * (params[i] - reference.unwrap()[i]);
+        let (lr, mom, mu) = (self.lr, self.momentum, self.mu);
+        match (anchor, mom > 0.0) {
+            (None, false) => {
+                for (p, &g) in params.iter_mut().zip(grads) {
+                    *p -= lr * g;
+                }
             }
-            let update = if self.momentum > 0.0 {
-                let v = self.momentum * self.velocity[i] + g;
-                self.velocity[i] = v;
-                v
-            } else {
-                g
-            };
-            params[i] -= self.lr * update;
+            (None, true) => {
+                for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+                    let vnew = mom * *v + g;
+                    *v = vnew;
+                    *p -= lr * vnew;
+                }
+            }
+            (Some(anchor), false) => {
+                for ((p, &g), &a) in params.iter_mut().zip(grads).zip(anchor) {
+                    // ∇[µ/2‖w − w_ref‖²] = µ(w − w_ref)
+                    let gp = g + mu * (*p - a);
+                    *p -= lr * gp;
+                }
+            }
+            (Some(anchor), true) => {
+                for (((p, &g), &a), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(anchor)
+                    .zip(&mut self.velocity)
+                {
+                    let gp = g + mu * (*p - a);
+                    let vnew = mom * *v + gp;
+                    *v = vnew;
+                    *p -= lr * vnew;
+                }
+            }
         }
     }
 }

@@ -1,18 +1,16 @@
 //! Row-major dense `f32` tensors with shape checking.
 //!
 //! The hot path of the whole FL simulation is `matmul` inside client local
-//! training; it is written cache-friendly (ikj loop order so the inner loop
-//! streams contiguous memory) and parallelized across output rows
-//! with the compat worker pool once the work is large enough to
-//! amortize the fork-join cost.
+//! training; it and the transpose-composed products [`Tensor::matmul_tn`] /
+//! [`Tensor::matmul_nt`] delegate to the cache-blocked, register-tiled
+//! kernels in [`crate::kernel`] (SIMD-dispatched at runtime, parallelized
+//! across fixed row chunks once the work is large enough to amortize the
+//! fork-join cost — see that module for the determinism and tolerance
+//! contract against [`crate::reference`]).
 
-use ecofl_compat::par::par_chunks_mut;
+use crate::kernel;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
-
-/// Below this many multiply-accumulates `matmul` stays sequential; the
-/// fork-join overhead would dominate tiny client-side batches.
-const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -162,9 +160,10 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors (`[m,k] × [k,n] → [m,n]`).
     ///
-    /// Parallelizes across output rows when the work exceeds a threshold;
-    /// per-row results are independent so the output is identical to the
-    /// sequential computation.
+    /// Runs the register-tiled kernel in [`crate::kernel`]; results are
+    /// bit-identical across thread counts (the chunk grid is fixed) and
+    /// match [`crate::reference::naive_matmul`] exactly on the portable
+    /// path, within the documented tolerance on the FMA path.
     ///
     /// # Panics
     /// Panics on non-2-D inputs or mismatched inner dimensions.
@@ -174,30 +173,61 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &other.data;
+        kernel::gemm(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
 
-        let row_kernel = |i: usize, out_row: &mut [f32]| {
-            // ikj order: the inner loop walks b and out_row contiguously.
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(brow) {
-                    *o += aip * bv;
-                }
-            }
-        };
+    /// `selfᵀ · other` without materializing the transpose
+    /// (`[k,m]ᵀ × [k,n] → [m,n]`).
+    ///
+    /// This is the gradient product `xᵀ·g` in `Linear::backward`; the
+    /// kernel packs column panels of `self` into a small reused buffer
+    /// instead of building the full `[m,k]` transpose.
+    ///
+    /// # Panics
+    /// Panics on non-2-D inputs or mismatched leading dimensions.
+    #[must_use]
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.cols(), other.cols()]);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
 
-        if m * n * k >= PAR_MATMUL_THRESHOLD {
-            par_chunks_mut(&mut out, n, |i, out_row| row_kernel(i, out_row));
-        } else {
-            for (i, out_row) in out.chunks_mut(n).enumerate() {
-                row_kernel(i, out_row);
-            }
-        }
+    /// `acc += selfᵀ · other`, the accumulating form of
+    /// [`Tensor::matmul_tn`] used for gradient accumulation.
+    ///
+    /// # Panics
+    /// Panics on non-2-D inputs or shape mismatches (including `acc`).
+    pub fn matmul_tn_acc(&self, other: &Tensor, acc: &mut Tensor) {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_tn: leading dimensions {k} vs {k2}");
+        assert_eq!(
+            acc.shape(),
+            &[m, n],
+            "matmul_tn_acc: accumulator shape mismatch"
+        );
+        kernel::gemm_tn(&self.data, &other.data, &mut acc.data, k, m, n, true);
+    }
+
+    /// `self · otherᵀ` without materializing the transpose
+    /// (`[m,k] × [n,k]ᵀ → [m,n]`).
+    ///
+    /// This is the gradient product `g·Wᵀ` in `Linear::backward`. Both
+    /// operands are walked row-contiguously; the per-element dot product
+    /// uses fixed-order lane accumulators, so outputs are deterministic but
+    /// compared against [`crate::reference::naive_matmul_nt`] under the
+    /// documented tolerance on every path.
+    ///
+    /// # Panics
+    /// Panics on non-2-D inputs or mismatched trailing dimensions.
+    #[must_use]
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_nt: trailing dimensions {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        kernel::gemm_nt(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -335,31 +365,63 @@ mod tests {
     }
 
     #[test]
-    fn matmul_parallel_matches_sequential() {
-        // Above the threshold the parallel path must give identical results.
+    fn matmul_matches_naive_reference() {
+        // The blocked kernel must match the retained naive reference:
+        // bit-identically on the portable path, within the documented FMA
+        // tolerance otherwise (tests/kernel_equivalence.rs sweeps shapes;
+        // this is the in-crate smoke check).
         let mut rng = Rng::new(2);
-        let a = Tensor::randn(&[80, 70], 1.0, &mut rng);
-        let b = Tensor::randn(&[70, 90], 1.0, &mut rng);
-        let big = a.matmul(&b);
-        // Sequential reference.
         let (m, k, n) = (80, 70, 90);
-        let mut reference = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let aip = a.data()[i * k + p];
-                if aip == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    reference[i * n + j] += aip * b.data()[p * n + j];
-                }
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let big = a.matmul(&b);
+        let reference = crate::reference::naive_matmul(a.data(), b.data(), m, k, n);
+        if crate::kernel::fma_kernels_active() {
+            for (x, y) in big.data().iter().zip(&reference) {
+                assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
             }
+        } else {
+            assert_eq!(
+                big.data(),
+                &reference[..],
+                "portable path must be bit-identical to the naive reference"
+            );
         }
-        assert_eq!(
-            big.data(),
-            &reference[..],
-            "parallel path must be bit-identical"
-        );
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_composition() {
+        let mut rng = Rng::new(12);
+        let a = Tensor::randn(&[9, 5], 1.0, &mut rng); // [k=9, m=5]
+        let b = Tensor::randn(&[9, 7], 1.0, &mut rng); // [k=9, n=7]
+        let fused = a.matmul_tn(&b);
+        let composed = a.transpose().matmul(&b);
+        assert_eq!(fused.shape(), &[5, 7]);
+        for (x, y) in fused.data().iter().zip(composed.data()) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]); // [k=2, m=1]
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]); // [k=2, n=1]
+        let mut acc = Tensor::full(&[1, 1], 5.0);
+        a.matmul_tn_acc(&b, &mut acc);
+        assert_eq!(acc.data(), &[5.0 + 1.0 * 3.0 + 2.0 * 4.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_composition() {
+        let mut rng = Rng::new(13);
+        let a = Tensor::randn(&[6, 11], 1.0, &mut rng); // [m=6, k=11]
+        let b = Tensor::randn(&[8, 11], 1.0, &mut rng); // [n=8, k=11]
+        let fused = a.matmul_nt(&b);
+        let composed = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), &[6, 8]);
+        for (x, y) in fused.data().iter().zip(composed.data()) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Property tests proving the blocked kernels in `ecofl_tensor::kernel`
+//! against the retained naive references in `ecofl_tensor::reference`.
+//!
+//! The equivalence contract (DESIGN.md, "Kernel tiling and the tolerance
+//! policy"):
+//!
+//! | kernel                  | portable path  | FMA / AVX-512 path |
+//! |-------------------------|----------------|--------------------|
+//! | `matmul`, `matmul_tn`   | bit-identical  | FMA tolerance      |
+//! | `matmul_nt`             | lane tolerance | lane tolerance     |
+//! | `Conv2d` forward, `gb`  | bit-identical  | bit-identical      |
+//! | `Conv2d` `gw`, `gx`     | lane tolerance | lane tolerance     |
+//! | `Sgd::step`             | bit-identical  | bit-identical      |
+//!
+//! "FMA tolerance" bounds the `mul_add` rounding difference: per output
+//! element both sides accumulate in the same ascending-`p` order, each of
+//! the `k` fused steps skips at most one intermediate rounding, so the
+//! divergence is at most `2·k·ε` relative to the inner product of
+//! absolute values. "Lane tolerance" covers kernels that also reassociate
+//! the sum (8-lane partial accumulators, or a different tap order for
+//! conv `gx`) — same bound, it just applies on the portable path too.
+//!
+//! Shapes cover the `ROWS_PER_CHUNK = 24` tile edges `{1, 7, 23, 24, 25}`
+//! exhaustively plus random rectangles, and `CI` runs this suite at
+//! `ECOFL_THREADS=1/2/8` and under `ECOFL_PORTABLE_KERNELS=1`.
+
+use ecofl_compat::check::{any_u64, forall, pair, quad, triple, usize_in};
+use ecofl_tensor::kernel::fma_kernels_active;
+use ecofl_tensor::{reference, Conv2d, Layer, Sgd, Tensor};
+use ecofl_util::Rng;
+
+const CASES: usize = 48;
+
+/// `ROWS_PER_CHUNK` is 24; probe both sides of every tile boundary.
+const EDGES: [usize; 5] = [1, 7, 23, 24, 25];
+
+fn randv(n: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+}
+
+/// Asserts exact bitwise equality (the "bit-identical" contract).
+fn assert_bits(actual: &[f32], expect: &[f32], what: &str) {
+    assert_eq!(actual.len(), expect.len(), "{what}: length");
+    for (i, (a, e)) in actual.iter().zip(expect).enumerate() {
+        assert_eq!(a.to_bits(), e.to_bits(), "{what}[{i}]: {a} != {e} bitwise");
+    }
+}
+
+/// Asserts the documented rounding tolerance: `|a − e| ≤ 2·k·ε·(1+absref)`
+/// where `absref` is the same reduction over absolute values — the
+/// rigorous bound for `k` fused/reassociated accumulation steps.
+fn assert_tol(actual: &[f32], expect: &[f32], absref: &[f32], k: usize, what: &str) {
+    assert_eq!(actual.len(), expect.len(), "{what}: length");
+    for (i, ((a, e), ar)) in actual.iter().zip(expect).zip(absref).enumerate() {
+        let tol = 2.0 * k as f32 * f32::EPSILON * (1.0 + ar);
+        assert!(
+            (a - e).abs() <= tol,
+            "{what}[{i}]: {a} vs {e} exceeds tol {tol}"
+        );
+    }
+}
+
+fn check_matmul(seed: u64, m: usize, k: usize, n: usize) {
+    let mut rng = Rng::new(seed);
+    let a = Tensor::from_vec(randv(m * k, &mut rng), &[m, k]);
+    let b = Tensor::from_vec(randv(k * n, &mut rng), &[k, n]);
+    let blocked = a.matmul(&b);
+    let naive = reference::naive_matmul(a.data(), b.data(), m, k, n);
+    if fma_kernels_active() {
+        let aabs: Vec<f32> = a.data().iter().map(|v| v.abs()).collect();
+        let babs: Vec<f32> = b.data().iter().map(|v| v.abs()).collect();
+        let absref = reference::naive_matmul(&aabs, &babs, m, k, n);
+        assert_tol(blocked.data(), &naive, &absref, k, "matmul");
+    } else {
+        assert_bits(blocked.data(), &naive, "matmul");
+    }
+}
+
+fn check_matmul_tn(seed: u64, k: usize, m: usize, n: usize) {
+    let mut rng = Rng::new(seed);
+    let a = Tensor::from_vec(randv(k * m, &mut rng), &[k, m]);
+    let b = Tensor::from_vec(randv(k * n, &mut rng), &[k, n]);
+    let blocked = a.matmul_tn(&b);
+    let naive = reference::naive_matmul_tn(a.data(), b.data(), k, m, n);
+    if fma_kernels_active() {
+        let aabs: Vec<f32> = a.data().iter().map(|v| v.abs()).collect();
+        let babs: Vec<f32> = b.data().iter().map(|v| v.abs()).collect();
+        let absref = reference::naive_matmul_tn(&aabs, &babs, k, m, n);
+        assert_tol(blocked.data(), &naive, &absref, k, "matmul_tn");
+    } else {
+        assert_bits(blocked.data(), &naive, "matmul_tn");
+    }
+}
+
+fn check_matmul_nt(seed: u64, m: usize, k: usize, n: usize) {
+    let mut rng = Rng::new(seed);
+    let a = Tensor::from_vec(randv(m * k, &mut rng), &[m, k]);
+    let b = Tensor::from_vec(randv(n * k, &mut rng), &[n, k]);
+    let blocked = a.matmul_nt(&b);
+    let naive = reference::naive_matmul_nt(a.data(), b.data(), m, k, n);
+    // NT uses 8-lane partial sums on every path: always tolerance.
+    let aabs: Vec<f32> = a.data().iter().map(|v| v.abs()).collect();
+    let babs: Vec<f32> = b.data().iter().map(|v| v.abs()).collect();
+    let absref = reference::naive_matmul_nt(&aabs, &babs, m, k, n);
+    assert_tol(blocked.data(), &naive, &absref, k, "matmul_nt");
+}
+
+#[test]
+fn matmul_matches_naive_on_tile_edges() {
+    for m in EDGES {
+        for k in EDGES {
+            for n in EDGES {
+                let seed = (m * 10_000 + k * 100 + n) as u64;
+                check_matmul(seed, m, k, n);
+                check_matmul_tn(seed ^ 0xA5A5, k, m, n);
+                check_matmul_nt(seed ^ 0x5A5A, m, k, n);
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_matches_naive_on_random_shapes() {
+    let input = quad(any_u64(), usize_in(1, 40), usize_in(1, 40), usize_in(1, 40));
+    forall(
+        "matmul_matches_naive_on_random_shapes",
+        CASES,
+        &input,
+        |&(seed, m, k, n)| {
+            check_matmul(seed, m, k, n);
+            check_matmul_tn(seed, k, m, n);
+            check_matmul_nt(seed, m, k, n);
+        },
+    );
+}
+
+#[test]
+fn matmul_tn_acc_accumulates_exactly() {
+    let input = quad(any_u64(), usize_in(1, 25), usize_in(1, 25), usize_in(1, 25));
+    forall(
+        "matmul_tn_acc_accumulates_exactly",
+        CASES,
+        &input,
+        |&(seed, k, m, n)| {
+            let mut rng = Rng::new(seed);
+            let a = Tensor::from_vec(randv(k * m, &mut rng), &[k, m]);
+            let b = Tensor::from_vec(randv(k * n, &mut rng), &[k, n]);
+            let init = randv(m * n, &mut rng);
+            let mut acc = Tensor::from_vec(init.clone(), &[m, n]);
+            a.matmul_tn_acc(&b, &mut acc);
+            // `accumulate` adds the finished tile onto the prior value, so
+            // `init + (fresh product)` is exact on every path.
+            let fresh = a.matmul_tn(&b);
+            let expect: Vec<f32> = init.iter().zip(fresh.data()).map(|(i, p)| i + p).collect();
+            assert_bits(acc.data(), &expect, "matmul_tn_acc");
+        },
+    );
+}
+
+/// The chunk grid is a pure function of the output shape, so a matmul
+/// large enough to take the parallel path must produce, row range by row
+/// range, exactly the bits of the small sequential matmuls over the same
+/// 24-row slices — at any `ECOFL_THREADS`.
+#[test]
+fn parallel_chunks_match_sequential_slices_bitwise() {
+    const CHUNK: usize = 24; // ROWS_PER_CHUNK
+    let (m, k, n) = (48, 512, 256); // m·k·n exceeds the parallel threshold
+    let mut rng = Rng::new(99);
+    let a = Tensor::from_vec(randv(m * k, &mut rng), &[m, k]);
+    let b = Tensor::from_vec(randv(k * n, &mut rng), &[k, n]);
+    let whole = a.matmul(&b);
+    for (ci, arows) in a.data().chunks(CHUNK * k).enumerate() {
+        let rows = arows.len() / k;
+        let part = Tensor::from_vec(arows.to_vec(), &[rows, k]).matmul(&b);
+        let wrows = &whole.data()[ci * CHUNK * n..ci * CHUNK * n + rows * n];
+        assert_bits(part.data(), wrows, "parallel chunk");
+    }
+}
+
+#[test]
+fn conv2d_forward_is_bit_identical_to_naive() {
+    let gen = quad(
+        any_u64(),
+        pair(usize_in(1, 3), usize_in(1, 4)),   // batch, in_c
+        pair(usize_in(1, 4), usize_in(0, 2)),   // out_c, kernel selector
+        pair(usize_in(1, 12), usize_in(1, 12)), // h, w
+    );
+    forall(
+        "conv2d_forward_is_bit_identical_to_naive",
+        CASES,
+        &gen,
+        |&(seed, (batch, in_c), (out_c, ksel), (h0, w0))| {
+            let k = [1, 3, 5][ksel];
+            let pad = k / 2;
+            let (h, w) = (h0.max(k), w0.max(k));
+            let mut rng = Rng::new(seed);
+            let x = Tensor::from_vec(randv(batch * in_c * h * w, &mut rng), &[batch, in_c, h, w]);
+            let wgt = randv(out_c * in_c * k * k, &mut rng);
+            let bias = randv(out_c, &mut rng);
+            let mut conv = Conv2d::zeroed(in_c, out_c, k, pad);
+            let params: Vec<f32> = wgt.iter().chain(&bias).copied().collect();
+            conv.read_params(&params);
+            let out = conv.forward(&x);
+            let naive = reference::naive_conv2d_forward(
+                x.data(),
+                &wgt,
+                &bias,
+                batch,
+                in_c,
+                h,
+                w,
+                out_c,
+                k,
+                pad,
+            );
+            assert_bits(out.data(), &naive, "conv2d forward");
+        },
+    );
+}
+
+#[test]
+fn conv2d_backward_matches_naive_per_contract() {
+    let gen = quad(
+        any_u64(),
+        pair(usize_in(1, 3), usize_in(1, 4)),   // batch, in_c
+        pair(usize_in(1, 4), usize_in(0, 2)),   // out_c, kernel selector
+        pair(usize_in(1, 10), usize_in(1, 10)), // h, w
+    );
+    forall(
+        "conv2d_backward_matches_naive_per_contract",
+        CASES,
+        &gen,
+        |&(seed, (batch, in_c), (out_c, ksel), (h0, w0))| {
+            let k = [1, 3, 5][ksel];
+            let pad = k / 2;
+            let (h, w) = (h0.max(k), w0.max(k));
+            let (oh, ow) = (h + 2 * pad + 1 - k, w + 2 * pad + 1 - k);
+            let mut rng = Rng::new(seed);
+            let x = Tensor::from_vec(randv(batch * in_c * h * w, &mut rng), &[batch, in_c, h, w]);
+            let wgt = randv(out_c * in_c * k * k, &mut rng);
+            let bias = randv(out_c, &mut rng);
+            let g = Tensor::from_vec(
+                randv(batch * out_c * oh * ow, &mut rng),
+                &[batch, out_c, oh, ow],
+            );
+            let mut conv = Conv2d::zeroed(in_c, out_c, k, pad);
+            let params: Vec<f32> = wgt.iter().chain(&bias).copied().collect();
+            conv.read_params(&params);
+            conv.forward(&x);
+            let gx = conv.backward(&g);
+            let mut grads = Vec::new();
+            conv.write_grads(&mut grads);
+            let (gw, gb) = grads.split_at(out_c * in_c * k * k);
+
+            let (ngx, ngw, ngb) = reference::naive_conv2d_backward(
+                x.data(),
+                &wgt,
+                g.data(),
+                batch,
+                in_c,
+                h,
+                w,
+                out_c,
+                k,
+                pad,
+            );
+            // gb accumulates in the naive order on every path.
+            assert_bits(gb, &ngb, "conv2d gb");
+
+            // gw (8-lane sums) and gx (reordered taps): tolerance, bounded
+            // by the same reduction over absolute values.
+            let xabs: Vec<f32> = x.data().iter().map(|v| v.abs()).collect();
+            let wabs: Vec<f32> = wgt.iter().map(|v| v.abs()).collect();
+            let gabs: Vec<f32> = g.data().iter().map(|v| v.abs()).collect();
+            let (agx, agw, _) = reference::naive_conv2d_backward(
+                &xabs, &wabs, &gabs, batch, in_c, h, w, out_c, k, pad,
+            );
+            assert_tol(gw, &ngw, &agw, batch * oh * ow, "conv2d gw");
+            assert_tol(gx.data(), &ngx, &agx, out_c * k * k, "conv2d gx");
+        },
+    );
+}
+
+#[test]
+fn sgd_step_is_bit_identical_to_naive() {
+    let gen = quad(
+        any_u64(),
+        usize_in(1, 80),
+        usize_in(0, 1), // momentum on/off
+        usize_in(0, 1), // proximal on/off
+    );
+    forall(
+        "sgd_step_is_bit_identical_to_naive",
+        CASES,
+        &gen,
+        |&(seed, len, with_mom, with_mu)| {
+            let (momentum, mu) = (0.9 * with_mom as f32, 0.05 * with_mu as f32);
+            let mut rng = Rng::new(seed);
+            let init = randv(len, &mut rng);
+            let anchor = randv(len, &mut rng);
+            let anchor_opt = (mu > 0.0).then_some(anchor.as_slice());
+
+            let mut opt = Sgd::new(0.05);
+            if momentum > 0.0 {
+                opt = opt.with_momentum(momentum);
+            }
+            if mu > 0.0 {
+                opt = opt.with_proximal(mu);
+            }
+            let mut fast = init.clone();
+            let mut naive = init;
+            let mut velocity = vec![0.0f32; len];
+            for step in 0..4 {
+                let grads = randv(len, &mut rng);
+                opt.step(&mut fast, &grads, anchor_opt);
+                reference::naive_sgd_step(
+                    &mut naive,
+                    &grads,
+                    anchor_opt,
+                    (momentum > 0.0).then_some(velocity.as_mut_slice()),
+                    0.05,
+                    momentum,
+                    mu,
+                );
+                assert_bits(&fast, &naive, &format!("sgd step {step}"));
+            }
+        },
+    );
+}
+
+#[test]
+fn local_train_shapes_exercise_every_kernel() {
+    // The exact MLP shapes the FL clients train (64→32→10): one smoke
+    // round asserting the composed forward/backward stays within the
+    // per-kernel bounds proven above. Catches wiring regressions in
+    // `layers.rs` (e.g. a gradient product mapped to the wrong kernel).
+    let input = triple(any_u64(), usize_in(1, 16), usize_in(1, 48));
+    forall(
+        "local_train_shapes_exercise_every_kernel",
+        24,
+        &input,
+        |&(seed, batch, hidden)| {
+            let mut rng = Rng::new(seed);
+            let x = Tensor::from_vec(randv(batch * 64, &mut rng), &[batch, 64]);
+            let g = Tensor::from_vec(randv(batch * hidden, &mut rng), &[batch, hidden]);
+            // grad_weight = xᵀ·g via the packed-transpose path vs the
+            // materialized transpose through the plain blocked kernel.
+            let packed = x.matmul_tn(&g);
+            let materialized = x.transpose().matmul(&g);
+            let xabs = Tensor::from_vec(x.data().iter().map(|v| v.abs()).collect(), &[batch, 64]);
+            let gabs =
+                Tensor::from_vec(g.data().iter().map(|v| v.abs()).collect(), &[batch, hidden]);
+            let absref = xabs.transpose().matmul(&gabs);
+            assert_tol(
+                packed.data(),
+                materialized.data(),
+                absref.data(),
+                batch,
+                "packed transpose vs materialized",
+            );
+        },
+    );
+}

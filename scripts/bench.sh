@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Benchmark trajectory runner: regenerates the committed BENCH_*.json
+# snapshots at the repo root.
+#
+#   ./scripts/bench.sh            # full run, snapshots -> repo root
+#   ./scripts/bench.sh --smoke    # 1-iteration schema check -> target/bench-smoke
+#
+# Drives the `micro` and `headline_summary` bench targets (both built on
+# `ecofl_bench::time_case`), then validates the emitted snapshots with
+# the `validate_bench` schema gate — a malformed snapshot fails the run
+# instead of landing in the trajectory. Iteration counts honor
+# ECOFL_BENCH_ITERS / ECOFL_BENCH_WARMUP; `--smoke` pins them to 1/0
+# unless the caller overrode them, so CI can assert the plumbing without
+# asserting machine-dependent timings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) smoke=1 ;;
+        *)
+            echo "usage: $0 [--smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [ "$smoke" -eq 1 ]; then
+    out_dir="$PWD/target/bench-smoke"
+    export ECOFL_BENCH_ITERS="${ECOFL_BENCH_ITERS:-1}"
+    export ECOFL_BENCH_WARMUP="${ECOFL_BENCH_WARMUP:-0}"
+    rm -rf "$out_dir"
+else
+    out_dir="$PWD"
+fi
+export ECOFL_BENCH_DIR="$out_dir"
+
+# Stamp records with the current revision even where the git binary is
+# unavailable inside the bench process.
+if [ -z "${ECOFL_GIT_REV:-}" ]; then
+    ECOFL_GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+    export ECOFL_GIT_REV
+fi
+
+echo "==> bench trajectory: iters=${ECOFL_BENCH_ITERS:-default}" \
+    "warmup=${ECOFL_BENCH_WARMUP:-default} rev=$ECOFL_GIT_REV -> $out_dir"
+
+echo "==> cargo bench --offline -p ecofl-bench --bench micro"
+cargo bench --offline -p ecofl-bench --bench micro
+
+echo "==> cargo bench --offline -p ecofl-bench --bench headline_summary"
+cargo bench --offline -p ecofl-bench --bench headline_summary
+
+for topic in micro headline; do
+    if [ ! -s "$out_dir/BENCH_$topic.json" ]; then
+        echo "ERROR: bench run produced no $out_dir/BENCH_$topic.json" >&2
+        exit 1
+    fi
+done
+
+echo "==> validate_bench"
+cargo build --release --offline -q -p ecofl-bench --bin validate_bench
+./target/release/validate_bench "$out_dir/BENCH_micro.json" "$out_dir/BENCH_headline.json"
+
+echo "==> bench snapshots written to $out_dir"
