@@ -2,10 +2,11 @@
 //! `ecofl_bench::time_case` (the criterion-free harness):
 //! the Eq. 1 dynamic-programming partitioner, the event-driven pipeline
 //! executor, k-means latency clustering, JS divergence, FedAvg
-//! aggregation, client local training, and the blocked tensor kernels
+//! aggregation, client local training, the blocked tensor kernels
 //! that dominate it — each blocked kernel timed next to its retained
 //! naive reference so every `BENCH_micro.json` snapshot carries its own
-//! before/after ratio.
+//! before/after ratio — and the segmented run store (block append,
+//! summary-pruned round query vs. full scan).
 //!
 //! Iteration counts honor `ECOFL_BENCH_ITERS` / `ECOFL_BENCH_WARMUP`
 //! (the CI smoke path runs 1 iteration); the run finishes by writing a
@@ -163,6 +164,62 @@ fn bench_conv() {
     });
 }
 
+fn bench_store() {
+    use ecofl_obs::{Domain, RunStore, SpanKind, SpanRecord, TraceQuery, TraceRecord};
+
+    // A deterministic 40-round, 20k-record trace: 500 spans per round,
+    // virtual times spread so every block summary is round-disjoint.
+    let records: Vec<TraceRecord> = (0..40u64)
+        .flat_map(|r| {
+            (0..500u64).map(move |i| {
+                let t = (r * 100) as f64 + i as f64 * 0.1;
+                TraceRecord::Span(SpanRecord {
+                    domain: Domain::Pipeline,
+                    kind: if i % 2 == 0 {
+                        SpanKind::Forward
+                    } else {
+                        SpanKind::Backward
+                    },
+                    entity: (i % 4) as usize,
+                    round: r as usize,
+                    micro: (i % 3) as usize,
+                    t0: t,
+                    t1: t + 0.05,
+                })
+            })
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("ecofl-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    time_case("store_append_20k_records", warmup(), iters(), || {
+        let mut store = RunStore::create(&dir)
+            .expect("create store")
+            .with_block_records(256);
+        store.append(black_box(&records)).expect("append");
+        store.flush().expect("flush");
+        store.record_count()
+    });
+
+    // Query the store the append case left behind: a one-round range
+    // (summaries prune ~79 of 80 blocks) next to the full scan.
+    let store = RunStore::open(&dir).expect("open store");
+    let pruned = TraceQuery::new().rounds(30..31);
+    time_case("store_query_rounds_pruned", warmup(), iters(), || {
+        store
+            .query(black_box(&pruned))
+            .expect("query")
+            .records
+            .len()
+    });
+    let full = TraceQuery::new();
+    time_case("store_query_full_scan", warmup(), iters(), || {
+        store.query(black_box(&full)).expect("query").records.len()
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_sgd() {
     let mut rng = Rng::new(19);
     let mut params: Vec<f32> = (0..4938).map(|_| rng.next_f32()).collect();
@@ -185,5 +242,6 @@ fn main() {
     bench_matmul();
     bench_conv();
     bench_sgd();
+    bench_store();
     write_bench_snapshot("micro");
 }

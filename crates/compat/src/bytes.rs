@@ -122,6 +122,12 @@ impl Bytes {
     pub fn get_f32_le(&mut self) -> f32 {
         f32::from_le_bytes(self.take::<4>())
     }
+
+    /// The unread remainder as a slice (the cursor does not advance).
+    #[must_use]
+    pub fn chunk(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
 }
 
 #[cfg(test)]

@@ -17,19 +17,22 @@ pub use ecofl_fl::engine::{
     run as run_strategy, run_traced as run_strategy_traced, FlSetup, RunResult, Strategy,
 };
 pub use ecofl_fl::{
-    strategy_object, summarize_view, AggregationStrategy, ConvergenceSummary, DynamicsConfig,
-    FlConfig, LatencyModel, Scheduler,
+    strategy_object, summarize_store, summarize_view, AggregationStrategy, ConvergenceSummary,
+    DynamicsConfig, FlConfig, LatencyModel, Scheduler,
 };
 pub use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 pub use ecofl_models::{
     efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,
 };
-pub use ecofl_obs::{TraceRecord, TraceView, Tracer};
+pub use ecofl_obs::{RecordKind, RunStore, TraceQuery, TraceRecord, TraceView, Tracer};
 pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike, SpikeError};
 pub use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 pub use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};
 pub use ecofl_pipeline::profiler::PipelineProfile;
-pub use ecofl_pipeline::runtime::{FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions};
+pub use ecofl_pipeline::runtime::{
+    load_checkpoint_at_or_before, load_latest_checkpoint, stored_checkpoints, CheckpointRecord,
+    FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions,
+};
 pub use ecofl_pipeline::{
     data_parallel_epoch, single_device_epoch, ExecutionReport, PipelineExecutor, SchedulePolicy,
 };

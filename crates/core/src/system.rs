@@ -16,9 +16,10 @@ use ecofl_data::{FederatedDataset, SyntheticSpec};
 use ecofl_fl::engine::{run as run_fl, run_traced as run_fl_traced, FlSetup, RunResult, Strategy};
 use ecofl_fl::FlConfig;
 use ecofl_models::{efficientnet, ModelArch, ModelProfile};
-use ecofl_obs::Tracer;
+use ecofl_obs::{RunStore, Tracer};
 use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 use ecofl_simnet::{Device, DeviceSpec, Link};
+use std::path::PathBuf;
 
 /// A participating client: a named cluster of trusted in-home devices.
 #[derive(Debug, Clone)]
@@ -59,6 +60,7 @@ pub struct EcoFlSystemBuilder {
     orchestrator: OrchestratorConfig,
     strategy: Strategy,
     seed: u64,
+    run_store: Option<PathBuf>,
 }
 
 impl Default for EcoFlSystemBuilder {
@@ -82,6 +84,7 @@ impl Default for EcoFlSystemBuilder {
                 dynamic_grouping: true,
             },
             seed: 42,
+            run_store: None,
         }
     }
 }
@@ -182,6 +185,22 @@ impl EcoFlSystemBuilder {
         self
     }
 
+    /// Persists every run of the built system to the segmented run
+    /// store at `path`: the full FL trace is appended (and flushed) to
+    /// the store's trace segment after each run, so it can be queried
+    /// offline with `TraceQuery` without re-running. [`build`] opens
+    /// (or creates) the store to fail bad paths early; a write failure
+    /// during [`run`] panics, since silently losing the trace a caller
+    /// asked to persist would be worse.
+    ///
+    /// [`build`]: Self::build
+    /// [`run`]: EcoFlSystem::run
+    #[must_use]
+    pub fn run_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.run_store = Some(path.into());
+        self
+    }
+
     /// Validates and assembles the system.
     ///
     /// # Errors
@@ -211,6 +230,10 @@ impl EcoFlSystemBuilder {
                         ))
                     })?;
             plans.push(plan);
+        }
+        if let Some(dir) = &self.run_store {
+            RunStore::open_or_create(dir)
+                .map_err(|e| EcoFlError::Config(format!("run store {}: {e}", dir.display())))?;
         }
         Ok(EcoFlSystem {
             builder: self,
@@ -273,6 +296,10 @@ impl EcoFlSystem {
 
     fn run_inner(&self, tracer: Option<&Tracer>) -> EcoFlReport {
         let b = &self.builder;
+        // With a run store configured but no caller tracer, record on an
+        // internal one so the store still captures the full trace.
+        let internal = (tracer.is_none() && b.run_store.is_some()).then(Tracer::new);
+        let tracer = tracer.or(internal.as_ref());
         let n_clients = b.replicate_to.unwrap_or(b.homes.len()).max(b.homes.len());
 
         // One FL round ≈ e local epochs over the client's shard, executed
@@ -314,6 +341,14 @@ impl EcoFlSystem {
             Some(tr) => run_fl_traced(b.strategy, &setup, tr),
             None => run_fl(b.strategy, &setup),
         };
+        if let (Some(dir), Some(tr)) = (&b.run_store, tracer) {
+            // `build` validated the path; see the `run_store` setter for
+            // why a write failure here is fatal rather than silent.
+            let mut store = RunStore::open_or_create(dir)
+                .unwrap_or_else(|e| panic!("run store {}: {e}", dir.display()));
+            tr.persist(&mut store)
+                .unwrap_or_else(|e| panic!("run store {}: persist failed: {e}", dir.display()));
+        }
         EcoFlReport {
             pipeline_plans: self.plans.clone(),
             client_delays,
@@ -428,6 +463,28 @@ mod tests {
             cheap.fl.global_updates
         );
         assert_eq!(cheap.client_delays, costly.client_delays);
+    }
+
+    #[test]
+    fn run_store_persists_the_fl_trace() {
+        let dir = std::env::temp_dir().join(format!("ecofl-system-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let system = EcoFlSystem::builder()
+            .homes(homes())
+            .replicate_homes(6)
+            .fl_config(quick_cfg())
+            .run_store(&dir)
+            .seed(13)
+            .build()
+            .expect("feasible");
+        let report = system.run();
+        assert!(report.fl.global_updates > 0);
+        let store = RunStore::open(&dir).expect("store was written");
+        assert!(store.record_count() > 0, "FL trace must be in the store");
+        let summary = ecofl_fl::summarize_store(&store, "eco-fl", &[0.3])
+            .expect("summary straight off the store");
+        assert!(summary.best_accuracy > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

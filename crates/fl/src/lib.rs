@@ -50,6 +50,6 @@ pub use client::{local_train, LocalTrainConfig};
 pub use config::{DynamicsConfig, FlConfig};
 pub use engine::{run, run_traced, FlSetup, RunResult, Strategy};
 pub use latency::LatencyModel;
-pub use metrics::{summarize, summarize_view, ConvergenceSummary};
+pub use metrics::{summarize, summarize_store, summarize_view, ConvergenceSummary};
 pub use sched::{AggregationStrategy, Cohort, HorizonPolicy, Scheduler};
 pub use strategies::strategy_object;

@@ -7,7 +7,7 @@
 
 use crate::engine::RunResult;
 use ecofl_compat::serde::{Deserialize, Serialize};
-use ecofl_obs::TraceView;
+use ecofl_obs::{RecordKind, RunStore, TraceQuery, TraceView};
 use ecofl_util::TimeSeries;
 
 /// Quantitative summary of one accuracy trace.
@@ -60,6 +60,22 @@ pub fn summarize_view(view: &TraceView, strategy: &str, thresholds: &[f64]) -> C
         best_accuracy: accuracy.max_value().unwrap_or(0.0),
         max_drawdown: max_drawdown(&accuracy),
     }
+}
+
+/// [`summarize_view`] straight off a [`RunStore`]: a gauge-kind
+/// [`TraceQuery`] prunes every block without gauges before decoding,
+/// so recomputing convergence metrics over a large stored run touches
+/// only the blocks that carry accuracy samples.
+///
+/// # Errors
+/// Returns any store read/decode error.
+pub fn summarize_store(
+    store: &RunStore,
+    strategy: &str,
+    thresholds: &[f64],
+) -> std::io::Result<ConvergenceSummary> {
+    let view = store.view(&TraceQuery::new().kind(RecordKind::Gauge))?;
+    Ok(summarize_view(&view, strategy, thresholds))
 }
 
 /// AUC divided by the observed time span (`0` for fewer than two points).

@@ -42,12 +42,16 @@
 
 pub mod record;
 pub mod sink;
+pub mod store;
 pub mod tracer;
 pub mod view;
 
 pub use record::{
     CounterRecord, Domain, EventKind, EventRecord, GaugeRecord, SpanKind, SpanRecord, TraceRecord,
 };
-pub use sink::{read_jsonl, trace_dir, write_jsonl};
+pub use sink::trace_dir;
+#[allow(deprecated)] // re-exported for one release; see the sink module docs
+pub use sink::{read_jsonl, write_jsonl};
+pub use store::{CheckpointMeta, QueryResult, RecordKind, RunStore, SegmentInfo, TraceQuery};
 pub use tracer::Tracer;
 pub use view::TraceView;

@@ -1,23 +1,33 @@
-//! Trace persistence: one JSON object per line (JSONL).
+//! Legacy flat-JSONL trace persistence — now thin compat shims.
 //!
-//! Traces land under `target/ecofl-results/trace/` next to the bench
-//! harness's JSON series, so one directory holds every machine-readable
-//! artifact a run produces. Each line is an externally-tagged
-//! [`TraceRecord`], making the files greppable (`grep Migration …`) and
-//! trivially streamable by downstream tooling.
+//! The segmented [`RunStore`](crate::store::RunStore) replaced flat
+//! JSONL files as the storage API in PR 7; [`write_jsonl`] and
+//! [`read_jsonl`] remain for one release as deprecated wrappers over
+//! the store's line codec, so existing callers keep producing and
+//! parsing byte-identical files while they migrate. New code should
+//! open a `RunStore` (and `export_jsonl` when a flat file is really
+//! wanted).
 
 use crate::record::TraceRecord;
-use ecofl_compat::json;
-use std::io::Write;
+use crate::store::{jsonl_to_records, records_to_jsonl};
 use std::path::{Path, PathBuf};
 
-/// Directory where traces are written: `target/ecofl-results/trace/`.
+/// Directory where traces are written.
+///
+/// Defaults to `target/ecofl-results/trace/` next to the bench
+/// harness's JSON series; the `ECOFL_TRACE_DIR` environment variable
+/// overrides it (read on every call), so tests and CI can isolate
+/// their outputs instead of colliding in the shared default under
+/// parallel `cargo test`.
 ///
 /// # Panics
 /// Panics if the directory cannot be created.
 #[must_use]
 pub fn trace_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ecofl-results/trace");
+    let dir = match std::env::var_os("ECOFL_TRACE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ecofl-results/trace"),
+    };
     std::fs::create_dir_all(&dir).expect("create trace dir");
     dir
 }
@@ -26,36 +36,41 @@ pub fn trace_dir() -> PathBuf {
 ///
 /// # Errors
 /// Returns any I/O error from creating or writing the file.
+#[deprecated(
+    since = "0.1.0",
+    note = "use obs::store::RunStore::append + export_jsonl; flat JSONL is a compat path"
+)]
 pub fn write_jsonl(path: &Path, records: &[TraceRecord]) -> std::io::Result<()> {
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for record in records {
-        let line = json::to_string(record)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        writeln!(out, "{line}")?;
-    }
-    out.flush()
+    std::fs::write(path, records_to_jsonl(records)?)
 }
 
 /// Reads a JSONL trace back into records.
 ///
 /// # Errors
 /// Returns an I/O error for unreadable files or unparseable lines.
+#[deprecated(
+    since = "0.1.0",
+    note = "use obs::store::RunStore::records or a TraceQuery; flat JSONL is a compat path"
+)]
 pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<TraceRecord>> {
-    let text = std::fs::read_to_string(path)?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|line| {
-            json::from_str(line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
-        })
-        .collect()
+    jsonl_to_records(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims themselves are what these tests cover
 mod tests {
     use super::*;
     use crate::record::{Domain, SpanKind};
     use crate::tracer::Tracer;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ecofl-sink-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
 
     #[test]
     fn jsonl_round_trips() {
@@ -71,18 +86,35 @@ mod tests {
         t.gauge("accuracy", 3.0, 0.75);
         let records = t.records();
 
-        let path = trace_dir().join("obs-sink-roundtrip-test.jsonl");
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("roundtrip.jsonl");
         write_jsonl(&path, &records).expect("write");
         let back = read_jsonl(&path).expect("read");
         assert_eq!(back, records);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn blank_lines_are_skipped() {
-        let path = trace_dir().join("obs-sink-blank-test.jsonl");
+        let dir = temp_dir("blank");
+        let path = dir.join("blank.jsonl");
         std::fs::write(&path, "\n\n").expect("write");
         assert!(read_jsonl(&path).expect("read").is_empty());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_dir_honors_env_override() {
+        // This is the only test in the workspace that touches
+        // ECOFL_TRACE_DIR, so the process-global env var is safe here.
+        let dir = temp_dir("envdir");
+        std::env::set_var("ECOFL_TRACE_DIR", &dir);
+        let got = trace_dir();
+        std::env::remove_var("ECOFL_TRACE_DIR");
+        assert_eq!(got, dir);
+        assert!(got.is_dir());
+        let default = trace_dir();
+        assert!(default.ends_with("ecofl-results/trace"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

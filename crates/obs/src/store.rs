@@ -1,0 +1,661 @@
+//! The segmented run store: the typed storage API over `ecofl-store`.
+//!
+//! A [`RunStore`] is a directory holding two segment files —
+//! `trace.seg` for [`TraceRecord`] blocks and `checkpoints.seg` for
+//! versioned pipeline checkpoints. Trace records append in batches of
+//! [`RunStore::block_records`] per block; each block's payload is the
+//! same JSONL encoding the legacy sink wrote (one externally-tagged
+//! record per line), LZ-compressed, with a [`BlockSummary`] of four
+//! min/max columns:
+//!
+//! | column | meaning | populated by |
+//! |---|---|---|
+//! | `COL_ROUND` | sync/engine round | spans |
+//! | `COL_ENTITY` | stage / client / group index | spans, events |
+//! | `COL_TIME` | virtual time (`t0` and `t1` for spans) | all records |
+//! | `COL_DURATION` | span length in virtual seconds | spans |
+//!
+//! The summary `kind_mask` carries one bit per [`RecordKind`] in the
+//! low byte and one bit per [`Domain`] above it, so kind- and
+//! domain-filtered queries prune without decoding. [`TraceQuery`] is
+//! the builder: conjunctive predicates, each with a block-level
+//! `admits` test guaranteed *sound* (it may admit a block with no
+//! matching record, but never excludes one that has any).
+//!
+//! Checkpoint blocks store an opaque payload (the pipeline's
+//! `CheckpointRecord` encoding) under two columns `[seq, round]` and a
+//! dedicated mask bit; sequence numbers must increase monotonically,
+//! and every checkpoint append seals the segment — a checkpoint is
+//! durable the moment `append_checkpoint` returns.
+
+use crate::record::{Domain, TraceRecord};
+use crate::view::TraceView;
+use ecofl_compat::json;
+use ecofl_store::{BlockEntry, BlockSummary, Segment};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Summary column: span round.
+pub const COL_ROUND: usize = 0;
+/// Summary column: span/event entity index.
+pub const COL_ENTITY: usize = 1;
+/// Summary column: virtual time (span `t0..=t1`, otherwise `time`).
+pub const COL_TIME: usize = 2;
+/// Summary column: span duration.
+pub const COL_DURATION: usize = 3;
+/// Number of summary columns on trace blocks.
+pub const NCOLS: usize = 4;
+
+/// Mask bit marking a checkpoint block (no trace-record bits set).
+const CHECKPOINT_BIT: u32 = 1 << 16;
+
+/// Trace segment file name inside a store directory.
+pub const TRACE_SEGMENT: &str = "trace.seg";
+/// Checkpoint segment file name inside a store directory.
+pub const CHECKPOINT_SEGMENT: &str = "checkpoints.seg";
+
+fn invalid(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// The four shapes a [`TraceRecord`] can take, as a filterable tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A duration ([`TraceRecord::Span`]).
+    Span,
+    /// An instantaneous event ([`TraceRecord::Event`]).
+    Event,
+    /// A counter increment ([`TraceRecord::Counter`]).
+    Counter,
+    /// A gauge sample ([`TraceRecord::Gauge`]).
+    Gauge,
+}
+
+impl RecordKind {
+    /// The kind of `record`.
+    #[must_use]
+    pub fn of(record: &TraceRecord) -> RecordKind {
+        match record {
+            TraceRecord::Span(_) => RecordKind::Span,
+            TraceRecord::Event(_) => RecordKind::Event,
+            TraceRecord::Counter(_) => RecordKind::Counter,
+            TraceRecord::Gauge(_) => RecordKind::Gauge,
+        }
+    }
+
+    /// This kind's bit in a block summary `kind_mask`.
+    #[must_use]
+    pub fn bit(self) -> u32 {
+        match self {
+            RecordKind::Span => 1 << 0,
+            RecordKind::Event => 1 << 1,
+            RecordKind::Counter => 1 << 2,
+            RecordKind::Gauge => 1 << 3,
+        }
+    }
+}
+
+impl std::str::FromStr for RecordKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "span" => Ok(RecordKind::Span),
+            "event" => Ok(RecordKind::Event),
+            "counter" => Ok(RecordKind::Counter),
+            "gauge" => Ok(RecordKind::Gauge),
+            other => Err(format!(
+                "unknown record kind {other:?} (expected span|event|counter|gauge)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for Domain {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pipeline" => Ok(Domain::Pipeline),
+            "scheduler" => Ok(Domain::Scheduler),
+            "fl" => Ok(Domain::Fl),
+            "grouping" => Ok(Domain::Grouping),
+            other => Err(format!(
+                "unknown domain {other:?} (expected pipeline|scheduler|fl|grouping)"
+            )),
+        }
+    }
+}
+
+/// `domain`'s bit in a block summary `kind_mask` (above the kind bits).
+#[must_use]
+pub fn domain_bit(domain: Domain) -> u32 {
+    match domain {
+        Domain::Pipeline => 1 << 8,
+        Domain::Scheduler => 1 << 9,
+        Domain::Fl => 1 << 10,
+        Domain::Grouping => 1 << 11,
+    }
+}
+
+/// Builds the [`BlockSummary`] for one block of trace records.
+#[must_use]
+pub fn summarize(records: &[TraceRecord]) -> BlockSummary {
+    let mut s = BlockSummary::new(NCOLS);
+    s.count = records.len() as u64;
+    for r in records {
+        s.kind_mask |= RecordKind::of(r).bit();
+        s.cols[COL_TIME].include(r.time());
+        match r {
+            TraceRecord::Span(sp) => {
+                s.kind_mask |= domain_bit(sp.domain);
+                s.cols[COL_ROUND].include(sp.round as f64);
+                s.cols[COL_ENTITY].include(sp.entity as f64);
+                s.cols[COL_TIME].include(sp.t1);
+                s.cols[COL_DURATION].include(sp.duration());
+            }
+            TraceRecord::Event(ev) => {
+                s.kind_mask |= domain_bit(ev.domain);
+                s.cols[COL_ENTITY].include(ev.entity as f64);
+            }
+            TraceRecord::Counter(_) | TraceRecord::Gauge(_) => {}
+        }
+    }
+    s
+}
+
+/// A conjunctive predicate over trace records, built fluently:
+///
+/// ```
+/// use ecofl_obs::store::{RecordKind, TraceQuery};
+/// use ecofl_obs::Domain;
+/// let q = TraceQuery::new()
+///     .rounds(2..5)
+///     .domain(Domain::Pipeline)
+///     .kind(RecordKind::Span);
+/// ```
+///
+/// Every added clause narrows the result. Round and duration clauses
+/// only ever match spans; the domain clause matches spans and events
+/// (counters and gauges carry no domain and are excluded).
+#[derive(Debug, Clone, Default)]
+pub struct TraceQuery {
+    rounds: Option<(u64, u64)>,
+    time: Option<(f64, f64)>,
+    domain: Option<Domain>,
+    kind: Option<RecordKind>,
+    min_duration: Option<f64>,
+}
+
+impl TraceQuery {
+    /// The match-everything query.
+    #[must_use]
+    pub fn new() -> TraceQuery {
+        TraceQuery::default()
+    }
+
+    /// Keep only spans whose round lies in the half-open `range`.
+    #[must_use]
+    pub fn rounds(mut self, range: std::ops::Range<u64>) -> TraceQuery {
+        self.rounds = Some((range.start, range.end));
+        self
+    }
+
+    /// Keep only records whose timestamp lies in the half-open `range`.
+    #[must_use]
+    pub fn time(mut self, range: std::ops::Range<f64>) -> TraceQuery {
+        self.time = Some((range.start, range.end));
+        self
+    }
+
+    /// Keep only spans and events from `domain`.
+    #[must_use]
+    pub fn domain(mut self, domain: Domain) -> TraceQuery {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Keep only records of `kind`.
+    #[must_use]
+    pub fn kind(mut self, kind: RecordKind) -> TraceQuery {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Keep only spans at least `d` virtual seconds long.
+    #[must_use]
+    pub fn min_duration(mut self, d: f64) -> TraceQuery {
+        self.min_duration = Some(d);
+        self
+    }
+
+    /// Whether `record` satisfies every clause. This is the single
+    /// source of truth: the full-scan path applies it record by
+    /// record, and block pruning must agree with it (see
+    /// [`TraceQuery::admits`]).
+    #[must_use]
+    pub fn matches(&self, record: &TraceRecord) -> bool {
+        if let Some(kind) = self.kind {
+            if RecordKind::of(record) != kind {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.time {
+            let t = record.time();
+            if t < lo || t >= hi {
+                return false;
+            }
+        }
+        if let Some(domain) = self.domain {
+            let rd = match record {
+                TraceRecord::Span(s) => Some(s.domain),
+                TraceRecord::Event(e) => Some(e.domain),
+                _ => None,
+            };
+            if rd != Some(domain) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.rounds {
+            match record.as_span() {
+                Some(s) => {
+                    let r = s.round as u64;
+                    if r < lo || r >= hi {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        if let Some(d) = self.min_duration {
+            match record.as_span() {
+                Some(s) => {
+                    if s.duration() < d {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Whether a block with `summary` *could* contain a matching
+    /// record. Sound by construction: every clause's block test is a
+    /// relaxation of its record test, so a `false` here proves no
+    /// record inside matches — the block is skipped without decoding.
+    #[must_use]
+    pub fn admits(&self, summary: &BlockSummary) -> bool {
+        if let Some(kind) = self.kind {
+            if summary.kind_mask & kind.bit() == 0 {
+                return false;
+            }
+        }
+        if let Some(domain) = self.domain {
+            if summary.kind_mask & domain_bit(domain) == 0 {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.rounds {
+            let col = &summary.cols[COL_ROUND];
+            if !col.intersects(lo as f64, hi as f64) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.time {
+            if !summary.cols[COL_TIME].intersects(lo, hi) {
+                return false;
+            }
+        }
+        if let Some(d) = self.min_duration {
+            let col = &summary.cols[COL_DURATION];
+            if col.is_empty() || col.max < d {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// What a pruned query did and returned.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matching records in append order.
+    pub records: Vec<TraceRecord>,
+    /// Blocks in the trace segment.
+    pub blocks_total: usize,
+    /// Blocks whose summaries admitted the query and were decoded.
+    pub blocks_decoded: usize,
+}
+
+/// Footer rollup of one segment file, for `segments()` listings.
+#[derive(Debug, Clone)]
+pub struct SegmentInfo {
+    /// Segment file name (`trace.seg` or `checkpoints.seg`).
+    pub name: String,
+    /// Block count.
+    pub blocks: usize,
+    /// Total records (or checkpoints) across block summaries.
+    pub records: u64,
+    /// Data-region bytes on disk.
+    pub compressed_bytes: u64,
+    /// Bytes before compression.
+    pub raw_bytes: u64,
+    /// Union of every block summary.
+    pub summary: BlockSummary,
+}
+
+/// Footer metadata of one stored checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Monotone sequence number, unique within the store.
+    pub seq: u64,
+    /// Sync-round the checkpoint captured.
+    pub round: u64,
+    /// Payload size before compression.
+    pub bytes: u64,
+}
+
+/// Encodes records exactly as the legacy sink did: one externally-
+/// tagged JSON object per `\n`-terminated line. Block payloads and the
+/// `write_jsonl` shim share this, which is what makes pruned-query
+/// results byte-identical to a full JSONL scan.
+///
+/// # Errors
+/// Returns `InvalidData` if a record fails to serialize.
+pub fn records_to_jsonl(records: &[TraceRecord]) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for record in records {
+        let line = json::to_string(record).map_err(|e| invalid(e.to_string()))?;
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    Ok(out)
+}
+
+/// Decodes a [`records_to_jsonl`] payload (blank lines skipped).
+///
+/// # Errors
+/// Returns `InvalidData` for non-UTF-8 bytes or unparseable lines.
+pub fn jsonl_to_records(bytes: &[u8]) -> io::Result<Vec<TraceRecord>> {
+    let text = std::str::from_utf8(bytes).map_err(|e| invalid(e.to_string()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| json::from_str(line).map_err(|e| invalid(e.to_string())))
+        .collect()
+}
+
+/// Default records per trace block.
+pub const DEFAULT_BLOCK_RECORDS: usize = 512;
+
+/// A run's persistent storage: trace blocks plus versioned checkpoints
+/// in one directory. See the module docs for the layout.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    trace: Segment,
+    checkpoints: Segment,
+    block_records: usize,
+}
+
+impl RunStore {
+    /// Creates a fresh store at `dir` (truncating existing segments).
+    ///
+    /// # Errors
+    /// Returns any I/O error creating the directory or segments.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<RunStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunStore {
+            trace: Segment::create(dir.join(TRACE_SEGMENT))?,
+            checkpoints: Segment::create(dir.join(CHECKPOINT_SEGMENT))?,
+            dir,
+            block_records: DEFAULT_BLOCK_RECORDS,
+        })
+    }
+
+    /// Opens the store at `dir`, which must contain sealed segments.
+    ///
+    /// # Errors
+    /// Returns `NotFound` for a missing store and `InvalidData` for
+    /// corrupt segments.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<RunStore> {
+        let dir = dir.into();
+        Ok(RunStore {
+            trace: Segment::open(dir.join(TRACE_SEGMENT))?,
+            checkpoints: Segment::open(dir.join(CHECKPOINT_SEGMENT))?,
+            dir,
+            block_records: DEFAULT_BLOCK_RECORDS,
+        })
+    }
+
+    /// Opens `dir` if its segments exist, creates them otherwise.
+    ///
+    /// # Errors
+    /// Returns any I/O error from `open`/`create`.
+    pub fn open_or_create(dir: impl Into<PathBuf>) -> io::Result<RunStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunStore {
+            trace: Segment::open_or_create(dir.join(TRACE_SEGMENT))?,
+            checkpoints: Segment::open_or_create(dir.join(CHECKPOINT_SEGMENT))?,
+            dir,
+            block_records: DEFAULT_BLOCK_RECORDS,
+        })
+    }
+
+    /// Sets the records-per-block chunking for subsequent appends.
+    /// Smaller blocks prune finer; larger blocks compress better.
+    #[must_use]
+    pub fn with_block_records(mut self, n: usize) -> RunStore {
+        assert!(n > 0, "block_records must be positive");
+        self.block_records = n;
+        self
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records per appended block.
+    #[must_use]
+    pub fn block_records(&self) -> usize {
+        self.block_records
+    }
+
+    /// Appends `records` to the trace segment, chunked into blocks of
+    /// [`RunStore::block_records`]. Blocks become durable at the next
+    /// [`RunStore::flush`] (or drop).
+    ///
+    /// # Errors
+    /// Returns any serialization or I/O error.
+    pub fn append(&mut self, records: &[TraceRecord]) -> io::Result<()> {
+        for chunk in records.chunks(self.block_records) {
+            let payload = records_to_jsonl(chunk)?;
+            self.trace.append_block(&payload, summarize(chunk))?;
+        }
+        Ok(())
+    }
+
+    /// Seals both segments: everything appended so far survives a
+    /// crash and is visible to fresh opens.
+    ///
+    /// # Errors
+    /// Returns any I/O error from sealing.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.trace.seal()?;
+        self.checkpoints.seal()
+    }
+
+    /// Runs `query`, decoding only blocks whose summaries admit it.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn query(&self, query: &TraceQuery) -> io::Result<QueryResult> {
+        let blocks_total = self.trace.block_count();
+        let mut records = Vec::new();
+        let mut blocks_decoded = 0usize;
+        for (i, entry) in self.trace.blocks().iter().enumerate() {
+            if !query.admits(&entry.summary) {
+                continue;
+            }
+            blocks_decoded += 1;
+            let decoded = jsonl_to_records(&self.trace.read_block(i)?)?;
+            records.extend(decoded.into_iter().filter(|r| query.matches(r)));
+        }
+        Ok(QueryResult {
+            records,
+            blocks_total,
+            blocks_decoded,
+        })
+    }
+
+    /// A [`TraceView`] over the records matching `query` — the pruned
+    /// path into every existing view-level analysis.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn view(&self, query: &TraceQuery) -> io::Result<TraceView> {
+        Ok(TraceView::from_records(self.query(query)?.records))
+    }
+
+    /// Every trace record in append order (full scan).
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn records(&self) -> io::Result<Vec<TraceRecord>> {
+        Ok(self.query(&TraceQuery::new())?.records)
+    }
+
+    /// Trace record count from block summaries (no decoding).
+    #[must_use]
+    pub fn record_count(&self) -> u64 {
+        self.trace.record_count()
+    }
+
+    /// Footer entries of the trace segment, for pruning diagnostics.
+    #[must_use]
+    pub fn trace_blocks(&self) -> &[BlockEntry] {
+        self.trace.blocks()
+    }
+
+    /// Decodes trace block `index` back into its records.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn read_block_records(&self, index: usize) -> io::Result<Vec<TraceRecord>> {
+        jsonl_to_records(&self.trace.read_block(index)?)
+    }
+
+    /// Exports the full trace as legacy JSONL at `path` — byte-
+    /// identical to what `write_jsonl` would have produced.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn export_jsonl(&self, path: &Path) -> io::Result<()> {
+        let bytes = records_to_jsonl(&self.records()?)?;
+        std::fs::write(path, bytes)
+    }
+
+    /// Rollup listings for both segment files.
+    #[must_use]
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        [
+            (TRACE_SEGMENT, &self.trace),
+            (CHECKPOINT_SEGMENT, &self.checkpoints),
+        ]
+        .into_iter()
+        .map(|(name, seg)| SegmentInfo {
+            name: name.to_string(),
+            blocks: seg.block_count(),
+            records: seg.record_count(),
+            compressed_bytes: seg.compressed_bytes(),
+            raw_bytes: seg.raw_bytes(),
+            summary: seg.rollup(),
+        })
+        .collect()
+    }
+
+    /// Appends a checkpoint payload under `seq`/`round` and seals the
+    /// checkpoint segment immediately: when this returns, the
+    /// checkpoint is durable.
+    ///
+    /// # Errors
+    /// Returns `InvalidData` if `seq` does not exceed the last stored
+    /// sequence number, plus any I/O error.
+    pub fn append_checkpoint(&mut self, seq: u64, round: u64, payload: &[u8]) -> io::Result<()> {
+        if let Some(last) = self.checkpoint_metas().last() {
+            if seq <= last.seq {
+                return Err(invalid(format!(
+                    "checkpoint seq {seq} not above last stored seq {}",
+                    last.seq
+                )));
+            }
+        }
+        let mut summary = BlockSummary::new(2);
+        summary.count = 1;
+        summary.kind_mask = CHECKPOINT_BIT;
+        summary.cols[0].include(seq as f64);
+        summary.cols[1].include(round as f64);
+        self.checkpoints.append_block(payload, summary)?;
+        self.checkpoints.seal()
+    }
+
+    /// Metadata of every stored checkpoint, in sequence order.
+    #[must_use]
+    pub fn checkpoint_metas(&self) -> Vec<CheckpointMeta> {
+        self.checkpoints
+            .blocks()
+            .iter()
+            .map(|b| CheckpointMeta {
+                seq: b.summary.cols[0].min as u64,
+                round: b.summary.cols[1].min as u64,
+                bytes: u64::from(b.raw_len),
+            })
+            .collect()
+    }
+
+    /// The payload stored under exactly `seq`, if any.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn read_checkpoint(&self, seq: u64) -> io::Result<Option<Vec<u8>>> {
+        for (i, b) in self.checkpoints.blocks().iter().enumerate() {
+            if b.summary.cols[0].min as u64 == seq {
+                return Ok(Some(self.checkpoints.read_block(i)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The newest checkpoint with sequence number ≤ `seq` — the §4.4
+    /// point-in-time recovery primitive.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn latest_checkpoint_at_or_before(
+        &self,
+        seq: u64,
+    ) -> io::Result<Option<(CheckpointMeta, Vec<u8>)>> {
+        let metas = self.checkpoint_metas();
+        let best = metas
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.seq <= seq)
+            .max_by_key(|(_, m)| m.seq);
+        match best {
+            Some((i, meta)) => Ok(Some((*meta, self.checkpoints.read_block(i)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// The newest checkpoint in the store.
+    ///
+    /// # Errors
+    /// Returns any decode or I/O error.
+    pub fn latest_checkpoint(&self) -> io::Result<Option<(CheckpointMeta, Vec<u8>)>> {
+        self.latest_checkpoint_at_or_before(u64::MAX)
+    }
+}

@@ -174,6 +174,18 @@ impl Tracer {
     pub fn view(&self) -> TraceView {
         TraceView::from_records(self.records())
     }
+
+    /// Appends a snapshot of the trace to `store` and flushes it,
+    /// returning how many records were persisted.
+    ///
+    /// # Errors
+    /// Returns any serialization or I/O error from the store.
+    pub fn persist(&self, store: &mut crate::store::RunStore) -> std::io::Result<usize> {
+        let records = self.records();
+        store.append(&records)?;
+        store.flush()?;
+        Ok(records.len())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! Property tests for the segmented run store.
+//!
+//! Four laws, each checked over generated inputs:
+//!
+//! 1. append → read round-trips arbitrary record batches byte-identically,
+//! 2. every [`TraceQuery`] over the store returns exactly what the same
+//!    predicate returns over a full JSONL scan,
+//! 3. block summaries are *sound*: a block whose summary rejects a query
+//!    contains no record matching it,
+//! 4. checkpoint sequence numbers restore the latest-at-or-before state.
+
+use ecofl_compat::check;
+use ecofl_obs::store::{jsonl_to_records, records_to_jsonl};
+use ecofl_obs::{
+    CounterRecord, Domain, EventKind, EventRecord, GaugeRecord, RecordKind, RunStore, SpanKind,
+    SpanRecord, TraceQuery, TraceRecord,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh directory per call so `forall` cases never share state.
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ecofl-store-props-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates one record of any of the four kinds, spread over rounds
+/// 0..40, entities 0..8, times 0..100 and all four domains — wide
+/// enough that every query below both matches and rejects records.
+fn gen_record() -> check::Gen<TraceRecord> {
+    check::quad(
+        check::u32_in(0, 9),
+        check::usize_in(0, 7),
+        check::f64_in(0.0, 100.0),
+        check::usize_in(0, 39),
+    )
+    .map(|(sel, entity, time, round)| {
+        let domain = match sel % 4 {
+            0 => Domain::Pipeline,
+            1 => Domain::Scheduler,
+            2 => Domain::Fl,
+            _ => Domain::Grouping,
+        };
+        match sel {
+            0..=4 => TraceRecord::Span(SpanRecord {
+                domain,
+                kind: if sel % 2 == 0 {
+                    SpanKind::Forward
+                } else {
+                    SpanKind::Backward
+                },
+                entity,
+                round,
+                micro: sel as usize % 3,
+                t0: time,
+                t1: time + 0.1 + f64::from(sel) * 0.2,
+            }),
+            5 | 6 => TraceRecord::Event(EventRecord {
+                domain,
+                kind: EventKind::Aggregation,
+                entity,
+                time,
+                value: round as f64,
+            }),
+            7 | 8 => TraceRecord::Counter(CounterRecord {
+                name: format!("c{}", entity % 3),
+                time,
+                delta: 1.0,
+            }),
+            _ => TraceRecord::Gauge(GaugeRecord {
+                name: "accuracy".into(),
+                time,
+                value: round as f64 / 40.0,
+            }),
+        }
+    })
+}
+
+/// Queries exercising every clause alone and in combination.
+fn queries() -> Vec<TraceQuery> {
+    vec![
+        TraceQuery::new(),
+        TraceQuery::new().rounds(5..20),
+        TraceQuery::new().rounds(39..40),
+        TraceQuery::new().kind(RecordKind::Gauge),
+        TraceQuery::new().kind(RecordKind::Counter),
+        TraceQuery::new().domain(Domain::Fl),
+        TraceQuery::new().time(10.0..50.0),
+        TraceQuery::new().min_duration(0.6),
+        TraceQuery::new()
+            .rounds(0..10)
+            .domain(Domain::Pipeline)
+            .kind(RecordKind::Span),
+        TraceQuery::new()
+            .time(0.0..30.0)
+            .min_duration(0.5)
+            .rounds(3..33),
+    ]
+}
+
+#[test]
+fn prop_append_read_round_trips_batches() {
+    let gen = check::vec_in(gen_record(), 0, 90);
+    check::forall("store append/read roundtrip", 25, &gen, |records| {
+        let dir = temp_dir("roundtrip");
+        let mut store = RunStore::create(&dir).unwrap().with_block_records(7);
+        store.append(records).unwrap();
+        store.flush().unwrap();
+        // Typed equality through the live handle and a fresh open…
+        assert_eq!(&store.records().unwrap(), records);
+        let reopened = RunStore::open(&dir).unwrap();
+        let back = reopened.records().unwrap();
+        assert_eq!(&back, records);
+        // …and byte identity of the JSONL encoding.
+        assert_eq!(
+            records_to_jsonl(&back).unwrap(),
+            records_to_jsonl(records).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn prop_every_query_equals_a_full_jsonl_scan() {
+    let gen = check::vec_in(gen_record(), 0, 120);
+    check::forall("pruned query == full scan", 20, &gen, |records| {
+        let dir = temp_dir("scan");
+        let mut store = RunStore::create(&dir).unwrap().with_block_records(11);
+        store.append(records).unwrap();
+        store.flush().unwrap();
+        // The "legacy path": encode to JSONL, scan every line back,
+        // apply the predicate record by record.
+        let scan = jsonl_to_records(&records_to_jsonl(records).unwrap()).unwrap();
+        for query in queries() {
+            let result = store.query(&query).unwrap();
+            let expected: Vec<TraceRecord> =
+                scan.iter().filter(|r| query.matches(r)).cloned().collect();
+            assert_eq!(
+                result.records, expected,
+                "query {query:?} diverged from the full scan"
+            );
+            assert!(result.blocks_decoded <= result.blocks_total);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn prop_block_summaries_are_sound() {
+    let gen = check::vec_in(gen_record(), 1, 120);
+    check::forall("summary soundness", 20, &gen, |records| {
+        let dir = temp_dir("sound");
+        let mut store = RunStore::create(&dir).unwrap().with_block_records(9);
+        store.append(records).unwrap();
+        store.flush().unwrap();
+        for query in queries() {
+            for (i, entry) in store.trace_blocks().iter().enumerate() {
+                if query.admits(&entry.summary) {
+                    continue;
+                }
+                // The summary excluded this block: decoding it anyway
+                // must find no matching record.
+                let inside = store.read_block_records(i).unwrap();
+                assert!(
+                    inside.iter().all(|r| !query.matches(r)),
+                    "query {query:?} excluded block {i} which contains a match"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn prop_checkpoints_restore_latest_at_or_before() {
+    // (seq gap ≥ 1, round, payload bytes) per checkpoint.
+    let ckpt = check::triple(
+        check::u64_in(1, 4),
+        check::u64_in(0, 50),
+        check::vec_in(check::u32_in(0, 255).map(|b| b as u8), 0, 48),
+    );
+    let gen = check::vec_in(ckpt, 1, 10);
+    check::forall("checkpoint seq restore", 20, &gen, |plan| {
+        let dir = temp_dir("ckpt");
+        let mut store = RunStore::create(&dir).unwrap();
+        let mut stored: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+        let mut seq = 0u64;
+        for (gap, round, payload) in plan {
+            seq += gap;
+            store.append_checkpoint(seq, *round, payload).unwrap();
+            stored.push((seq, *round, payload.clone()));
+        }
+        // Re-using or regressing a sequence number is rejected.
+        assert!(store.append_checkpoint(seq, 0, b"dup").is_err());
+
+        let reopened = RunStore::open(&dir).unwrap();
+        let metas = reopened.checkpoint_metas();
+        assert!(metas.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(metas.len(), stored.len());
+
+        // Exact reads and latest-at-or-before probes around every seq.
+        let max_seq = stored.last().unwrap().0;
+        for probe in (0..=max_seq + 2).chain([u64::MAX]) {
+            let expected = stored.iter().rev().find(|(s, _, _)| *s <= probe);
+            let actual = reopened.latest_checkpoint_at_or_before(probe).unwrap();
+            match (expected, actual) {
+                (None, None) => {}
+                (Some((s, r, p)), Some((meta, payload))) => {
+                    assert_eq!((meta.seq, meta.round), (*s, *r));
+                    assert_eq!(&payload, p);
+                }
+                (e, a) => panic!("probe {probe}: expected {e:?}, got {a:?}"),
+            }
+        }
+        for (s, _, p) in &stored {
+            assert_eq!(
+                reopened.read_checkpoint(*s).unwrap().as_deref(),
+                Some(&p[..])
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}

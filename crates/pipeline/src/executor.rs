@@ -128,6 +128,12 @@ pub enum ExecError {
     /// `recover()` was called on a trainer launched without a segment
     /// factory (plain `launch`), which cannot rebuild dead stages.
     RecoveryUnsupported,
+    /// The configured run store failed: the checkpoint segment could
+    /// not be opened, written, or decoded.
+    CheckpointStore {
+        /// Underlying store or codec failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -160,6 +166,9 @@ impl std::fmt::Display for ExecError {
                     f,
                     "recovery unsupported: trainer was launched without a segment factory"
                 )
+            }
+            ExecError::CheckpointStore { detail } => {
+                write!(f, "checkpoint store: {detail}")
             }
         }
     }

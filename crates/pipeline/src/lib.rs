@@ -50,5 +50,8 @@ pub use orchestrator::{
 };
 pub use partition::{partition_dp, partition_even, Partition};
 pub use profiler::{PipelineProfile, StageProfile};
-pub use runtime::{FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions};
+pub use runtime::{
+    load_checkpoint_at_or_before, load_latest_checkpoint, stored_checkpoints, CheckpointRecord,
+    FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions,
+};
 pub use validate::{validate_plan, PlanViolation};

@@ -44,15 +44,23 @@
 //! # Checkpoint / recovery (§4.4 on the real runtime)
 //!
 //! The portal snapshots the full parameter vector at launch and after
-//! every sync-round flush. [`PipelineTrainer::recover`] tears the broken
-//! pipeline down (unblocking and joining every surviving thread),
-//! relaunches all stages from the segment factory, restores the last
-//! checkpoint, and rewinds the round counter — so replaying the
-//! interrupted round yields parameters **bit-identical** to an
-//! uninterrupted run on the same data (asserted by
-//! `tests/fault_injection.rs` across random stage counts, micro-batch
-//! counts and kill points). Recovery needs a way to rebuild dead stages,
-//! so it is available from [`PipelineTrainer::launch_supervised`] (which
+//! every sync-round flush, as a typed [`CheckpointRecord`] carrying a
+//! monotone sequence number. With [`RuntimeOptions::store_path`] set,
+//! every snapshot is also durably appended to the run store's
+//! checkpoint segment, and [`PipelineTrainer::recover`] restores from
+//! the store's newest checkpoint instead of the in-memory copy — the
+//! two paths are bit-identical by construction (the store holds exactly
+//! what `take_checkpoint` encoded), which `tests/fault_injection.rs`
+//! asserts. [`stored_checkpoints`] and [`load_checkpoint_at_or_before`]
+//! read the same segment offline for point-in-time recovery and
+//! cross-run diffing. Recovery tears the broken pipeline down
+//! (unblocking and joining every surviving thread), relaunches all
+//! stages from the segment factory, restores the checkpoint, and
+//! rewinds the round counter — so replaying the interrupted round
+//! yields parameters **bit-identical** to an uninterrupted run on the
+//! same data (asserted across random stage counts, micro-batch counts
+//! and kill points). Recovery needs a way to rebuild dead stages, so it
+//! is available from [`PipelineTrainer::launch_supervised`] (which
 //! takes a segment factory); plain [`PipelineTrainer::launch`] keeps the
 //! old signature and reports [`ExecError::RecoveryUnsupported`].
 //!
@@ -78,11 +86,13 @@ use crate::executor::ExecError;
 use ecofl_compat::bytes::{Bytes, BytesMut};
 use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, Sender};
 use ecofl_compat::sync::Mutex;
-use ecofl_obs::{Domain, EventKind, Tracer};
+use ecofl_obs::store::CheckpointMeta;
+use ecofl_obs::{Domain, EventKind, RunStore, Tracer};
 use ecofl_tensor::{Layer, SoftmaxCrossEntropy, Tensor};
 use ecofl_util::Rng;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -208,6 +218,14 @@ pub struct RuntimeOptions {
     /// Failure/recovery event sink (`StageDied`, `CheckpointTaken`,
     /// `RoundReplayed` under `Domain::Pipeline`, timestamped by round).
     pub tracer: Option<Tracer>,
+    /// Run-store directory for durable checkpoints. When set, every
+    /// checkpoint is also appended to the store's checkpoint segment
+    /// under a monotone sequence number, and [`PipelineTrainer::recover`]
+    /// restores from the store instead of the in-memory snapshot. The
+    /// store is opened (or created) at launch; opening an existing
+    /// store continues its sequence numbering, enabling cross-run
+    /// point-in-time recovery and diffing.
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for RuntimeOptions {
@@ -216,6 +234,7 @@ impl Default for RuntimeOptions {
             recv_timeout: Duration::from_secs(30),
             fault_plan: FaultPlan::none(),
             tracer: None,
+            store_path: None,
         }
     }
 }
@@ -315,15 +334,165 @@ pub struct PipelineTrainer {
     factory: Option<SegmentFactory>,
     /// Index of the next sync-round.
     round: u64,
-    checkpoint: Checkpoint,
+    checkpoint: CheckpointRecord,
+    /// Sequence number the next checkpoint will carry. Resumes from the
+    /// store's last stored number + 1 when a store is configured.
+    next_ckpt_seq: u64,
+    store: Option<RunStore>,
     failure: Option<ExecError>,
     replaying: bool,
 }
 
-/// Parameter snapshot taken at launch and after every sync-round flush.
-struct Checkpoint {
-    round: u64,
-    stage_params: Vec<Vec<f32>>,
+/// Wire-format version of [`CheckpointRecord::encode`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A versioned §4.4 parameter snapshot: the full flat parameter vector
+/// with its per-stage split, tagged by a store-wide monotone sequence
+/// number and the sync-round it captured. Taken at launch and after
+/// every sync-round flush; with [`RuntimeOptions::store_path`] set,
+/// each one is durably appended to the run store, where
+/// [`stored_checkpoints`] / [`load_checkpoint_at_or_before`] give
+/// point-in-time recovery and cross-run diffing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Monotone sequence number, unique within a store across runs.
+    pub seq: u64,
+    /// Sync-round the snapshot captured (recovery rewinds here).
+    pub round: u64,
+    /// Flat parameter count per stage, in stage order.
+    pub stage_lens: Vec<usize>,
+    /// The full flat parameter vector (stage order).
+    pub params: Vec<f32>,
+}
+
+impl CheckpointRecord {
+    /// Serializes the record: a version/seq/round/lens header followed
+    /// by the parameters as an [`encode_tensor`] rank-1 tensor.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf =
+            BytesMut::with_capacity(32 + self.stage_lens.len() * 8 + self.params.len() * 4);
+        buf.put_u32_le(CHECKPOINT_VERSION);
+        buf.put_u64_le(self.seq);
+        buf.put_u64_le(self.round);
+        buf.put_u64_le(self.stage_lens.len() as u64);
+        for &len in &self.stage_lens {
+            buf.put_u64_le(len as u64);
+        }
+        let tensor = Tensor::from_vec(self.params.clone(), &[self.params.len()]);
+        buf.put_slice(encode_tensor(&tensor).chunk());
+        buf.freeze().chunk().to_vec()
+    }
+
+    /// Deserializes an [`encode`](Self::encode) payload.
+    ///
+    /// # Errors
+    /// [`ExecError::CheckpointStore`] on a truncated buffer, unknown
+    /// version, or a parameter tensor inconsistent with the header.
+    pub fn decode(payload: &[u8]) -> Result<CheckpointRecord, ExecError> {
+        let bad = |detail: String| ExecError::CheckpointStore { detail };
+        let mut bytes = Bytes::from_vec(payload.to_vec());
+        if bytes.len() < 28 {
+            return Err(bad(format!(
+                "checkpoint payload truncated ({} bytes)",
+                payload.len()
+            )));
+        }
+        let version = bytes.get_u32_le();
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!("unknown checkpoint version {version}")));
+        }
+        let seq = bytes.get_u64_le();
+        let round = bytes.get_u64_le();
+        let nstages = bytes.get_u64_le() as usize;
+        if bytes.len() < nstages * 8 {
+            return Err(bad(format!("checkpoint header claims {nstages} stages")));
+        }
+        let stage_lens: Vec<usize> = (0..nstages).map(|_| bytes.get_u64_le() as usize).collect();
+        let total: usize = stage_lens.iter().sum();
+        // encode_tensor of a rank-1 [n] tensor is 8 (rank) + 8 (dim) +
+        // 4n bytes; validate before decode_tensor, which panics.
+        if bytes.len() != 16 + 4 * total {
+            return Err(bad(format!(
+                "checkpoint params region is {} bytes, expected {} for {total} parameters",
+                bytes.len(),
+                16 + 4 * total
+            )));
+        }
+        let tensor = decode_tensor(bytes);
+        if tensor.shape() != [total] {
+            return Err(bad(format!(
+                "checkpoint tensor shape {:?} does not match stage lens total {total}",
+                tensor.shape()
+            )));
+        }
+        Ok(CheckpointRecord {
+            seq,
+            round,
+            stage_lens,
+            params: tensor.data().to_vec(),
+        })
+    }
+
+    /// The parameter vector split back into per-stage slices.
+    ///
+    /// # Panics
+    /// Panics if `stage_lens` does not sum to `params.len()` (a decoded
+    /// record is always consistent).
+    #[must_use]
+    pub fn stage_params(&self) -> Vec<Vec<f32>> {
+        let total: usize = self.stage_lens.iter().sum();
+        assert_eq!(total, self.params.len(), "inconsistent checkpoint record");
+        let mut out = Vec::with_capacity(self.stage_lens.len());
+        let mut offset = 0;
+        for &len in &self.stage_lens {
+            out.push(self.params[offset..offset + len].to_vec());
+            offset += len;
+        }
+        out
+    }
+}
+
+fn store_err(e: std::io::Error) -> ExecError {
+    ExecError::CheckpointStore {
+        detail: e.to_string(),
+    }
+}
+
+/// Lists `(seq, round)` of every checkpoint in the store at `dir`.
+///
+/// # Errors
+/// [`ExecError::CheckpointStore`] if the store cannot be opened.
+pub fn stored_checkpoints(dir: &Path) -> Result<Vec<CheckpointMeta>, ExecError> {
+    Ok(RunStore::open(dir).map_err(store_err)?.checkpoint_metas())
+}
+
+/// Loads the newest checkpoint with sequence number ≤ `seq` from the
+/// store at `dir` — the point-in-time half of §4.4 recovery, also
+/// usable across runs (e.g. for diffing two checkpoints).
+///
+/// # Errors
+/// [`ExecError::CheckpointStore`] on open/read/decode failure.
+pub fn load_checkpoint_at_or_before(
+    dir: &Path,
+    seq: u64,
+) -> Result<Option<CheckpointRecord>, ExecError> {
+    let store = RunStore::open(dir).map_err(store_err)?;
+    match store
+        .latest_checkpoint_at_or_before(seq)
+        .map_err(store_err)?
+    {
+        Some((_, payload)) => Ok(Some(CheckpointRecord::decode(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+/// Loads the newest checkpoint from the store at `dir`.
+///
+/// # Errors
+/// [`ExecError::CheckpointStore`] on open/read/decode failure.
+pub fn load_latest_checkpoint(dir: &Path) -> Result<Option<CheckpointRecord>, ExecError> {
+    load_checkpoint_at_or_before(dir, u64::MAX)
 }
 
 struct StageCtx {
@@ -703,6 +872,16 @@ impl PipelineTrainer {
         }));
         let progress = Arc::new(AtomicU64::new(0));
         let deaths: DeathBoard = Arc::new(Mutex::new(Vec::new()));
+        // Open the run store before spawning anything: a bad path fails
+        // the launch with a typed error instead of a mid-round surprise.
+        let store = match &opts.store_path {
+            Some(dir) => Some(RunStore::open_or_create(dir).map_err(store_err)?),
+            None => None,
+        };
+        let next_ckpt_seq = store
+            .as_ref()
+            .and_then(|s| s.checkpoint_metas().last().map(|m| m.seq + 1))
+            .unwrap_or(0);
         let wiring = spawn_stages(segments, &k, &comm, &progress, &deaths, &opts.fault_plan);
 
         let mut trainer = Self {
@@ -716,10 +895,14 @@ impl PipelineTrainer {
             opts,
             factory,
             round: 0,
-            checkpoint: Checkpoint {
+            checkpoint: CheckpointRecord {
+                seq: 0,
                 round: 0,
-                stage_params: Vec::new(),
+                stage_lens: Vec::new(),
+                params: Vec::new(),
             },
+            next_ckpt_seq,
+            store,
             failure: None,
             replaying: false,
         };
@@ -756,6 +939,12 @@ impl PipelineTrainer {
     #[must_use]
     pub fn checkpoint_round(&self) -> u64 {
         self.checkpoint.round
+    }
+
+    /// The last parameter checkpoint, as a typed record.
+    #[must_use]
+    pub fn checkpoint(&self) -> &CheckpointRecord {
+        &self.checkpoint
     }
 
     /// The stored failure, if the trainer is poisoned.
@@ -828,10 +1017,23 @@ impl PipelineTrainer {
                 Err(e) => return Err(self.fail(e)),
             }
         }
-        self.checkpoint = Checkpoint {
+        let stage_lens: Vec<usize> = stage_params.iter().map(Vec::len).collect();
+        let params: Vec<f32> = stage_params.into_iter().flatten().collect();
+        self.checkpoint = CheckpointRecord {
+            seq: self.next_ckpt_seq,
             round: self.round,
-            stage_params,
+            stage_lens,
+            params,
         };
+        self.next_ckpt_seq += 1;
+        if let Some(store) = &mut self.store {
+            // Durability point: append_checkpoint seals the segment, so
+            // the snapshot survives a portal crash from here on.
+            let payload = self.checkpoint.encode();
+            if let Err(e) = store.append_checkpoint(self.checkpoint.seq, self.round, &payload) {
+                return Err(self.fail(store_err(e)));
+            }
+        }
         if let Some(tr) = &self.opts.tracer {
             tr.event(
                 Domain::Pipeline,
@@ -985,6 +1187,21 @@ impl PipelineTrainer {
         if self.factory.is_none() {
             return Err(ExecError::RecoveryUnsupported);
         }
+        // With a store configured, restore from its newest durable
+        // checkpoint (the same snapshot take_checkpoint persisted, so
+        // replay stays bit-identical to the in-memory path); this is
+        // what makes recovery survive portal restarts, not just stage
+        // deaths. Without one, use the in-memory snapshot.
+        if let Some(store) = &self.store {
+            match store.latest_checkpoint().map_err(store_err)? {
+                Some((_, payload)) => self.checkpoint = CheckpointRecord::decode(&payload)?,
+                None => {
+                    return Err(ExecError::CheckpointStore {
+                        detail: "store has no checkpoint to recover from".into(),
+                    })
+                }
+            }
+        }
         // Tear down: replace the data feeds (dropping the old senders so
         // a stage blocked in `recv` wakes), drop every control sender,
         // then join. Death-cascade disconnects unblock everything else.
@@ -1027,10 +1244,10 @@ impl PipelineTrainer {
         self.round = self.checkpoint.round;
         self.replaying = true;
         // Restore the checkpoint into the fresh stages.
-        for (s, params) in self.checkpoint.stage_params.iter().enumerate() {
+        for (s, params) in self.checkpoint.stage_params().into_iter().enumerate() {
             if self.stages[s]
                 .ctrl_tx
-                .send(Ctrl::SetParams(params.clone()))
+                .send(Ctrl::SetParams(params))
                 .is_err()
             {
                 let e = self.death_error(s, "checkpoint restore dispatch");

@@ -11,10 +11,25 @@
 use ecofl_compat::check::{forall, pair, quad, triple, usize_in, vec_in};
 use ecofl_obs::{EventKind, Tracer};
 use ecofl_pipeline::executor::ExecError;
-use ecofl_pipeline::runtime::{FaultPlan, PipelineTrainer, RuntimeOptions, SegmentFactory};
+use ecofl_pipeline::runtime::{
+    load_checkpoint_at_or_before, load_latest_checkpoint, stored_checkpoints, FaultPlan,
+    PipelineTrainer, RuntimeOptions, SegmentFactory,
+};
 use ecofl_tensor::{Layer, Linear, ReLU, Tensor};
 use ecofl_util::Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A unique per-test store directory under the system temp dir.
+fn temp_store(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ecofl-fault-store-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
 
 /// Layer widths for a 4-linear MLP: in → h1 → h2 → h3 → out.
 fn widths(seed: u64) -> [usize; 5] {
@@ -272,6 +287,7 @@ fn recovery_emits_the_full_event_timeline() {
         recv_timeout: Duration::from_secs(10),
         fault_plan: FaultPlan::kill_at(2, 1, 1),
         tracer: Some(tracer.clone()),
+        ..RuntimeOptions::default()
     };
     let mut trainer =
         PipelineTrainer::launch_supervised(factory(seed, &cuts), k, opts).expect("launch");
@@ -300,6 +316,119 @@ fn recovery_emits_the_full_event_timeline() {
         (replays[0].time - 1.0).abs() < 1e-12,
         "the replayed round is round 1"
     );
+}
+
+#[test]
+fn store_backed_recovery_is_bit_identical_to_in_memory() {
+    // The same crash scenario twice — once with checkpoints only in
+    // memory, once restored from the durable run store — must land on
+    // identical parameters (and both on the uninterrupted twin).
+    // `scripts/ci.sh` runs this suite at ECOFL_THREADS=1/2/8.
+    let seed = 67u64;
+    let cuts = [2usize, 4];
+    let k = vec![3usize, 2, 1];
+    let w = widths(seed);
+    let data = round_data(seed, 3, 4, 4, w[0], w[4]);
+    let lr = 0.1f32;
+    let expect = uninterrupted_params(seed, &cuts, &k, &data, lr);
+
+    let run = |store_path: Option<PathBuf>| -> Vec<f32> {
+        let opts = RuntimeOptions {
+            recv_timeout: Duration::from_secs(10),
+            fault_plan: FaultPlan::kill_at(1, 1, 2),
+            store_path,
+            ..RuntimeOptions::default()
+        };
+        let mut trainer = PipelineTrainer::launch_supervised(factory(seed, &cuts), k.clone(), opts)
+            .expect("launch");
+        let mut r = 0usize;
+        while r < data.len() {
+            match trainer.train_round(&data[r], lr) {
+                Ok(_) => r += 1,
+                Err(_) => r = trainer.recover().expect("recovery") as usize,
+            }
+        }
+        let params = trainer.params().expect("collect");
+        trainer.shutdown();
+        params
+    };
+
+    let dir = temp_store("bitident");
+    let in_memory = run(None);
+    let store_backed = run(Some(dir.clone()));
+    assert_eq!(
+        store_backed, in_memory,
+        "store-restored replay must be bit-identical to the in-memory path"
+    );
+    assert_eq!(store_backed, expect, "and to the uninterrupted twin");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stored_checkpoints_have_monotone_seqs_and_load_by_seq() {
+    let seed = 91u64;
+    let cuts = [3usize];
+    let k = vec![2usize, 1];
+    let w = widths(seed);
+    let data = round_data(seed, 3, 3, 4, w[0], w[4]);
+    let dir = temp_store("seqs");
+
+    let opts = RuntimeOptions {
+        store_path: Some(dir.clone()),
+        ..RuntimeOptions::default()
+    };
+    let mut trainer =
+        PipelineTrainer::launch_supervised(factory(seed, &cuts), k.clone(), opts).expect("launch");
+    let mut per_round_params = vec![trainer.checkpoint().params.clone()];
+    for batch in &data {
+        trainer.train_round(batch, 0.1).expect("round");
+        per_round_params.push(trainer.checkpoint().params.clone());
+    }
+    trainer.shutdown();
+
+    // One checkpoint at launch + one per round, seqs 0,1,2,...
+    let metas = stored_checkpoints(&dir).expect("list");
+    assert_eq!(metas.len(), 1 + data.len());
+    for (i, m) in metas.iter().enumerate() {
+        assert_eq!(m.seq, i as u64, "seqs must be dense and monotone");
+        assert_eq!(m.round, i as u64, "one checkpoint per completed round");
+    }
+
+    // Point-in-time: seq s restores the exact post-round-s snapshot;
+    // a probe between stored seqs resolves to the latest ≤ it.
+    for (s, want) in per_round_params.iter().enumerate() {
+        let rec = load_checkpoint_at_or_before(&dir, s as u64)
+            .expect("load")
+            .expect("present");
+        assert_eq!(rec.seq, s as u64);
+        assert_eq!(&rec.params, want, "seq {s} must restore its own snapshot");
+    }
+    let latest = load_latest_checkpoint(&dir)
+        .expect("load")
+        .expect("present");
+    assert_eq!(latest.seq, data.len() as u64);
+    assert_eq!(&latest.params, per_round_params.last().unwrap());
+    assert!(
+        load_checkpoint_at_or_before(&dir, u64::MAX)
+            .expect("load")
+            .expect("present")
+            .seq
+            == latest.seq
+    );
+
+    // A second run against the same store continues the numbering —
+    // the cross-run half of the versioned-checkpoint contract.
+    let opts = RuntimeOptions {
+        store_path: Some(dir.clone()),
+        ..RuntimeOptions::default()
+    };
+    let trainer =
+        PipelineTrainer::launch_supervised(factory(seed, &cuts), k, opts).expect("relaunch");
+    assert_eq!(trainer.checkpoint().seq, (1 + data.len()) as u64);
+    trainer.shutdown();
+    let metas = stored_checkpoints(&dir).expect("list");
+    assert_eq!(metas.len(), 2 + data.len());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

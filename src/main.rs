@@ -7,19 +7,20 @@
 //! ecofl spike   --model effnet-b4 --devices tx2q,nanoh,nanoh --load 0.6
 //! ecofl fl      --strategy ecofl --clients 60 --horizon 800
 //! ecofl trace   --model effnet-b0 --devices tx2q,nanoh,nanoh
+//! ecofl trace   --store target/ecofl-results/trace/pipeline --rounds 0..2
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: `--key value` pairs
 //! after a subcommand. Every failure path is a typed [`EcoFlError`];
 //! `main` prints its `Display` form, which carries the exact message.
 
-use ecofl::obs::{trace_dir, write_jsonl};
+use ecofl::obs::{trace_dir, Domain};
 use ecofl::prelude::*;
 use ecofl_pipeline::adaptive::{simulate_load_spike_traced, SchedulerConfig};
 use ecofl_pipeline::gantt::{legend, render_round};
 use ecofl_pipeline::orchestrator::k_bounds;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn parse_args(args: &[String]) -> HashMap<String, String> {
@@ -463,31 +464,129 @@ fn fl_setup(
     })
 }
 
-/// Writes `records` as `<name>.jsonl` under the shared trace directory
-/// (or to `--out` when given) and returns the path.
-fn write_trace(
+/// Persists `records` into a segmented run store — at `--store DIR`, or a
+/// per-scenario directory under the shared trace dir — chunked into blocks
+/// of `--block-records` records (default 512). `--out FILE` additionally
+/// exports the stored trace as legacy JSONL for external tooling. Returns
+/// the store directory plus its total record and block counts.
+fn persist_trace(
     args: &HashMap<String, String>,
     name: &str,
     records: &[TraceRecord],
-) -> Result<PathBuf, EcoFlError> {
-    let path = match args.get("out") {
-        Some(out) => PathBuf::from(out),
-        None => trace_dir().join(format!("{name}.jsonl")),
-    };
-    write_jsonl(&path, records)
-        .map_err(|e| EcoFlError::Io(format!("cannot write {}: {e}", path.display())))?;
-    Ok(path)
+) -> Result<(PathBuf, u64, usize), EcoFlError> {
+    let dir = args
+        .get("store")
+        .map_or_else(|| trace_dir().join(name), PathBuf::from);
+    let block_records = get(args, "block-records", 512usize)?;
+    if block_records == 0 {
+        return Err(EcoFlError::Config(
+            "--block-records must be positive".into(),
+        ));
+    }
+    let io_err = |e: std::io::Error| EcoFlError::Io(format!("run store {}: {e}", dir.display()));
+    let mut store = RunStore::open_or_create(dir.as_path())
+        .map_err(io_err)?
+        .with_block_records(block_records);
+    store.append(records).map_err(io_err)?;
+    store.flush().map_err(io_err)?;
+    if let Some(out) = args.get("out") {
+        store
+            .export_jsonl(Path::new(out))
+            .map_err(|e| EcoFlError::Io(format!("cannot write {out}: {e}")))?;
+    }
+    Ok((dir, store.record_count(), store.trace_blocks().len()))
 }
 
 fn cmd_trace(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
-    match args.get("scenario").map_or("pipeline", String::as_str) {
+    // `ecofl trace --store DIR` with no scenario and no model inspects an
+    // existing store instead of recording a new trace.
+    let scenario = match args.get("scenario") {
+        Some(s) => s.as_str(),
+        None if args.contains_key("store") && !args.contains_key("model") => "inspect",
+        None => "pipeline",
+    };
+    match scenario {
         "pipeline" => cmd_trace_pipeline(args),
         "spike" => cmd_trace_spike(args),
         "fl" => cmd_trace_fl(args),
+        "inspect" => cmd_trace_inspect(args),
         other => Err(EcoFlError::Parse(format!(
-            "unknown scenario '{other}' (pipeline, spike, fl)"
+            "unknown scenario '{other}' (pipeline, spike, fl, inspect)"
         ))),
     }
+}
+
+/// Parses a half-open round range `a..b`.
+fn parse_rounds(spec: &str) -> Result<std::ops::Range<u64>, EcoFlError> {
+    spec.split_once("..")
+        .and_then(|(a, b)| Some(a.trim().parse::<u64>().ok()?..b.trim().parse::<u64>().ok()?))
+        .ok_or_else(|| EcoFlError::Parse(format!("bad --rounds '{spec}' (expected a..b)")))
+}
+
+/// Opens a run store read-only and answers a summary-pruned query:
+/// per-segment rollups, how many blocks the query decoded versus
+/// skipped, the matching records, and the stored checkpoint ladder.
+fn cmd_trace_inspect(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let dir = PathBuf::from(require(args, "store")?);
+    let io_err = |e: std::io::Error| EcoFlError::Io(format!("run store {}: {e}", dir.display()));
+    let store = RunStore::open(dir.as_path()).map_err(io_err)?;
+    let mut query = TraceQuery::new();
+    if let Some(spec) = args.get("rounds") {
+        query = query.rounds(parse_rounds(spec)?);
+    }
+    if let Some(d) = args.get("domain") {
+        query = query.domain(d.parse::<Domain>().map_err(EcoFlError::Parse)?);
+    }
+    if let Some(k) = args.get("kind") {
+        query = query.kind(k.parse::<RecordKind>().map_err(EcoFlError::Parse)?);
+    }
+    if let Some(d) = args.get("min-duration") {
+        let d = d
+            .parse()
+            .map_err(|_| EcoFlError::Parse(format!("bad value for --min-duration: {d}")))?;
+        query = query.min_duration(d);
+    }
+    println!("store: {}", dir.display());
+    for seg in store.segments() {
+        println!(
+            "  {:<16} {:>4} block(s) {:>8} record(s)  {} on disk / {} raw",
+            seg.name,
+            seg.blocks,
+            seg.records,
+            ecofl_util::units::fmt_bytes(seg.compressed_bytes),
+            ecofl_util::units::fmt_bytes(seg.raw_bytes),
+        );
+    }
+    let result = store.query(&query).map_err(io_err)?;
+    println!(
+        "query decoded {} of {} block(s), {} matching record(s)",
+        result.blocks_decoded,
+        result.blocks_total,
+        result.records.len()
+    );
+    let limit = get(args, "limit", 10usize)?;
+    for record in result.records.iter().take(limit) {
+        println!("  {record:?}");
+    }
+    if result.records.len() > limit {
+        println!(
+            "  ... {} more (raise --limit)",
+            result.records.len() - limit
+        );
+    }
+    let metas = store.checkpoint_metas();
+    if !metas.is_empty() {
+        println!("checkpoints:");
+        for m in &metas {
+            println!(
+                "  seq {:>4}  round {:>4}  {}",
+                m.seq,
+                m.round,
+                ecofl_util::units::fmt_bytes(m.bytes)
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Traced pipeline run: per-round bubble fractions, total idle cross-check
@@ -511,15 +610,14 @@ fn cmd_trace_pipeline(args: &HashMap<String, String>) -> Result<(), EcoFlError> 
     let report = PipelineExecutor::new(&profile, policy).run_traced(m, rounds, &tracer)?;
     let view = tracer.view();
 
-    let path = write_trace(args, "pipeline", &tracer.records())?;
+    let (store_dir, stored, blocks) = persist_trace(args, "pipeline", &tracer.records())?;
     println!(
         "{} — {schedule} schedule, mbs {mbs}, M = {m}, {rounds} round(s)",
         model.name
     );
     println!(
-        "trace: {} ({} records)",
-        path.display(),
-        view.records().len()
+        "trace: {} ({stored} stored record(s), {blocks} block(s))",
+        store_dir.display()
     );
     for r in 0..view.pipeline_rounds() {
         let bubble = view.bubble_fraction(r).unwrap_or(0.0);
@@ -571,15 +669,14 @@ fn cmd_trace_spike(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
         &tracer,
     )?;
     let view = tracer.view();
-    let path = write_trace(args, "spike", &tracer.records())?;
+    let (store_dir, stored, blocks) = persist_trace(args, "spike", &tracer.records())?;
     println!(
         "{}: {load:.0}% load on device {device} at t = {at}s",
         model.name
     );
     println!(
-        "trace: {} ({} records)",
-        path.display(),
-        view.records().len()
+        "trace: {} ({stored} stored record(s), {blocks} block(s))",
+        store_dir.display()
     );
     println!(
         "  throughput: {:.2} -> {:.2} samples/s",
@@ -607,16 +704,20 @@ fn cmd_trace_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let tracer = Tracer::new();
     let r = run_strategy_traced(strategy, &setup, &tracer);
     let view = tracer.view();
-    let path = write_trace(args, "fl", &tracer.records())?;
-    let summary = summarize_view(&view, &r.strategy, &[0.3, 0.5, 0.7, 0.9]);
+    let (store_dir, stored, blocks) = persist_trace(args, "fl", &tracer.records())?;
+    // Recompute convergence metrics by reading the store back: the
+    // gauge-kind query prunes every block without accuracy samples.
+    let store = RunStore::open(store_dir.as_path())
+        .map_err(|e| EcoFlError::Io(format!("run store {}: {e}", store_dir.display())))?;
+    let summary = summarize_store(&store, &r.strategy, &[0.3, 0.5, 0.7, 0.9])
+        .map_err(|e| EcoFlError::Io(format!("run store {}: {e}", store_dir.display())))?;
     println!(
         "{} on {} ({clients} clients, horizon {horizon}s):",
         r.strategy, dataset.name
     );
     println!(
-        "trace: {} ({} records)",
-        path.display(),
-        view.records().len()
+        "trace: {} ({stored} stored record(s), {blocks} block(s))",
+        store_dir.display()
     );
     println!(
         "  updates {} | mean accuracy {:.1}% | best {:.1}% | max drawdown {:.1}%",
@@ -646,8 +747,14 @@ fn usage() -> &'static str {
        fl     [--strategy S]         run a federated-learning simulation\n\
               [--clients N] [--horizon T] [--dataset mnist|fashion|cifar]\n\
               [--comm-latency T] [--seed N]\n\
-       trace  --model M --devices D  record a virtual-time trace as JSONL\n\
-              [--scenario pipeline|spike|fl] [--rounds N] [--top N] [--out FILE]\n\
+       trace  --model M --devices D  record a virtual-time trace into a\n\
+              segmented run store (summary-pruned compressed blocks)\n\
+              [--scenario pipeline|spike|fl] [--rounds N] [--top N]\n\
+              [--store DIR] [--block-records N] [--out FILE (JSONL export)]\n\
+       trace  --store DIR            inspect an existing run store:\n\
+              [--rounds A..B] [--domain pipeline|scheduler|fl|grouping]\n\
+              [--kind span|event|counter|gauge] [--min-duration T]\n\
+              [--limit N]            segments, pruned query, checkpoints\n\
      models : effnet-b0..b6, mobilenet-w1..w3 (optionally model@resolution)\n\
      devices: comma list of nanol, nanoh, tx2q, tx2n"
 }
@@ -730,6 +837,15 @@ mod tests {
         assert_eq!(get(&map, "missing", 42usize).unwrap(), 42);
         map.insert("bad".to_owned(), "x".to_owned());
         assert!(get(&map, "bad", 1usize).is_err());
+    }
+
+    #[test]
+    fn parse_rounds_accepts_half_open_ranges() {
+        assert_eq!(parse_rounds("2..5").unwrap(), 2..5);
+        assert_eq!(parse_rounds(" 0 .. 10 ").unwrap(), 0..10);
+        assert!(parse_rounds("5").is_err());
+        assert!(parse_rounds("a..b").is_err());
+        assert!(parse_rounds("3..").is_err());
     }
 
     #[test]

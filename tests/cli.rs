@@ -77,6 +77,53 @@ fn fl_runs_a_tiny_federation() {
 }
 
 #[test]
+fn trace_records_into_a_store_and_inspect_reads_it_back() {
+    let dir = std::env::temp_dir().join(format!("ecofl-cli-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.to_str().expect("utf-8 temp path");
+
+    // Record a 3-round pipeline trace into a store with small blocks.
+    let (ok, stdout, stderr) = ecofl(&[
+        "trace",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--rounds",
+        "3",
+        "--store",
+        store,
+        "--block-records",
+        "32",
+    ]);
+    assert!(ok, "trace failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("stored record(s)"), "stdout:\n{stdout}");
+    assert!(dir.join("trace.seg").exists());
+    assert!(dir.join("checkpoints.seg").exists());
+
+    // `trace --store DIR` with no scenario inspects: a round-range
+    // query must prune blocks (decode fewer than the total).
+    let (ok, stdout, stderr) = ecofl(&["trace", "--store", store, "--rounds", "1..2"]);
+    assert!(ok, "inspect failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("trace.seg"), "stdout:\n{stdout}");
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("query decoded"))
+        .expect("decode summary line");
+    let nums: Vec<usize> = line
+        .split_whitespace()
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    let (decoded, total) = (nums[0], nums[1]);
+    assert!(
+        decoded < total,
+        "expected pruning, decoded {decoded} of {total}:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (ok, _, stderr) = ecofl(&["frobnicate"]);
     assert!(!ok);

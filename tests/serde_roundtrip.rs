@@ -187,6 +187,7 @@ fn trace_record_variants_round_trip() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the one-release write_jsonl/read_jsonl shims
 fn trace_jsonl_files_round_trip() {
     use ecofl::obs::{read_jsonl, trace_dir, write_jsonl, Domain, EventKind, SpanKind};
 

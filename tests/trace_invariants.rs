@@ -1,10 +1,12 @@
 //! Property-tested invariants of the obs layer against the pipeline
 //! executor: traced spans must serialize per device, the trace's idle
-//! accounting must agree with the executor's own, and on a uniform
+//! accounting must agree with the executor's own, on a uniform
 //! pipeline the measured bubble fraction must match the analytic Eq. 2
-//! synchronous static bubble exactly.
+//! synchronous static bubble exactly, and a round-range query over a
+//! stored trace must prune blocks while returning exactly what a full
+//! scan would.
 
-use ecofl::obs::{Domain, SpanKind, SpanRecord, Tracer};
+use ecofl::obs::{Domain, RunStore, SpanKind, SpanRecord, TraceQuery, Tracer};
 use ecofl_compat::check::{f64_in, forall, quad, triple, usize_in, vec_in};
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::p_bounds;
@@ -96,6 +98,68 @@ fn traced_spans_serialize_per_device_and_idle_matches_executor() {
                 "trace idle {} vs executor idle {report_idle}",
                 view.total_idle_time()
             );
+        },
+    );
+}
+
+#[test]
+fn stored_round_query_prunes_blocks_and_matches_full_scan() {
+    // A real multi-round executor trace in a store with small blocks:
+    // a single-round query must decode strictly fewer blocks than the
+    // segment holds (the decode counter proves pruning actually ran)
+    // and still return exactly the full-scan filter of every record.
+    let input = triple(
+        vec_in(f64_in(0.05, 1.0), 2, 4),
+        usize_in(2, 6),
+        usize_in(3, 6),
+    );
+    forall(
+        "stored_round_query_prunes_blocks_and_matches_full_scan",
+        8,
+        &input,
+        |(widths, m, rounds)| {
+            let s_count = widths.len();
+            let stages: Vec<StageProfile> = widths
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| stage(s, s_count, w / 3.0, 2.0 * w / 3.0, 0.02))
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 4);
+            let k = p_bounds(&profile);
+            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+            let tracer = Tracer::new();
+            exec.run_traced(*m, *rounds, &tracer).expect("ample memory");
+            let records = tracer.records();
+
+            let dir = std::env::temp_dir().join(format!(
+                "ecofl-trace-invariants-{}-{s_count}-{m}-{rounds}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let mut store = RunStore::create(&dir)
+                .expect("create store")
+                .with_block_records(16);
+            store.append(&records).expect("append");
+            store.flush().expect("flush");
+
+            let query = TraceQuery::new().rounds(0..1);
+            let result = store.query(&query).expect("query");
+            assert!(
+                result.blocks_decoded < result.blocks_total,
+                "round 0 of {rounds} decoded {} of {} blocks — no pruning happened",
+                result.blocks_decoded,
+                result.blocks_total
+            );
+            let expected: Vec<_> = records
+                .iter()
+                .filter(|r| query.matches(r))
+                .cloned()
+                .collect();
+            assert_eq!(
+                result.records, expected,
+                "pruned query diverged from full scan"
+            );
+            std::fs::remove_dir_all(&dir).ok();
         },
     );
 }
