@@ -71,6 +71,7 @@ fn main() {
                 let cfg = SchedulerConfig {
                     deviation_threshold: threshold,
                     restart_overhead: restart,
+                    ..SchedulerConfig::default()
                 };
                 let t = simulate_load_spike_with(
                     &model, &devices, &link, 8, 16, spike, horizon, true, cfg,

@@ -35,6 +35,7 @@ fn run_cluster(name: &str, specs: Vec<DeviceSpec>, rows: &mut Vec<Row>) {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     let k = k_bounds(&profile).expect("fits");
     let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .run(16, 3)
         .expect("runs");
     let power: Vec<_> = specs

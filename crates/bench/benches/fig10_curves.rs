@@ -57,6 +57,7 @@ fn epoch_times(
             global_batch: GLOBAL_BATCH,
             mbs_candidates: vec![16, 8, 4],
             eval_rounds: 2,
+            ..OrchestratorConfig::default()
         },
     )
     .expect("pipeline plan");

@@ -87,6 +87,7 @@ fn bench_workload(
             global_batch: GLOBAL_BATCH,
             mbs_candidates: vec![16, 8, 4],
             eval_rounds: 2,
+            ..OrchestratorConfig::default()
         },
     )
     .expect("pipeline plan");

@@ -30,6 +30,7 @@ fn run_case(model: &ModelProfile, partition: &Partition, mbs: usize, m: usize) -
     let profile = PipelineProfile::new(model, &partition.boundaries, &devices, &link, mbs);
     let k = k_bounds(&profile).expect("feasible residency");
     let r = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .run(m, 4)
         .expect("no OOM");
     (r.throughput, r.stage_gpu_utilization)

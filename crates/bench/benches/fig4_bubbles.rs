@@ -49,7 +49,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for k in [p.clone(), vec![4, 2, 1], vec![3, 2, 1], vec![2, 2, 1]] {
-        let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() });
+        let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .expect("valid schedule");
         let r = exec.run(m, 4).expect("no OOM");
         println!(
             "{:<14} {:>11.3} {:>12.2} {:>10.3} {:>26}",

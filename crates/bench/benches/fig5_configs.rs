@@ -48,6 +48,7 @@ fn run_config(
     let k = k_bounds(&profile)?;
     let m = global_batch / mbs;
     let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() })
+        .expect("valid schedule")
         .run(m, 4)
         .ok()?;
     Some(Row {

@@ -12,7 +12,8 @@
 //! alphabetically, so `fig*` precede `headline_summary`).
 //!
 //! Besides recomputing the claims, this target times the headline-scale
-//! workloads themselves (an end-to-end FL run and a 1F1B pipeline round)
+//! workloads themselves (an end-to-end FL run, a 1F1B pipeline round,
+//! and a Table-2-style schedule x device-mix matrix of `sched_*` cases)
 //! and writes a `BENCH_headline.json` snapshot — the wall-clock
 //! trajectory that complements `BENCH_micro.json`'s kernel view.
 
@@ -29,7 +30,8 @@ use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
-use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+use ecofl_pipeline::schedule::ScheduleKind;
+use ecofl_simnet::{nano_h, tx2_n, tx2_q, Device, DeviceSpec, Link};
 use std::hint::black_box;
 
 /// End-to-end runs are ~1000x a micro case; default to fewer measured
@@ -86,8 +88,70 @@ fn bench_pipeline_round() {
             black_box(&profile),
             SchedulePolicy::OneFOneBSync { k: k.clone() },
         )
+        .expect("valid schedule")
         .run(16, 1)
     });
+}
+
+/// Table-2-style matrix: every registered schedule on two heterogeneous
+/// device mixes. Each cell becomes a `sched_<kind>_<mix>` wall-clock
+/// case in `BENCH_headline.json`; the simulated throughput and analytic
+/// bubble are printed alongside, and zero-bubble must land strictly
+/// below 1F1B-Sync's Eq. 2 bubble on every mix.
+fn bench_schedule_matrix() {
+    let mixes: [(&str, Vec<DeviceSpec>, usize); 2] = [
+        ("b2_qhh_m16", vec![tx2_q(), nano_h(), nano_h()], 16),
+        ("b0_nh_m8", vec![tx2_n(), nano_h()], 8),
+    ];
+    let iters = bench_iters(DEFAULT_ITERS);
+    let warmup = bench_warmup(DEFAULT_WARMUP);
+    println!(
+        "{:<12} {:<12} {:>12} {:>10}",
+        "mix", "schedule", "samples/s", "bubble/rd"
+    );
+    for (mix, specs, m) in mixes {
+        let arch = if mix.starts_with("b2") { 2 } else { 0 };
+        let model = efficientnet_at(arch, 224);
+        let devices: Vec<Device> = specs.into_iter().map(Device::new).collect();
+        let link = Link::mbps_100();
+        let mbs = m.min(8);
+        let partition = partition_dp(&model, &devices, &link, mbs).expect("feasible");
+        let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
+        let bubble = |kind: ScheduleKind| -> f64 {
+            let policy = kind.policy_for(&profile).expect("residency");
+            let report = PipelineExecutor::new(&profile, policy.clone())
+                .expect("valid schedule")
+                .run(m, 1)
+                .expect("no OOM");
+            println!(
+                "{mix:<12} {:<12} {:>12.2} {:>10.4}",
+                kind.name(),
+                report.throughput,
+                report.ssb_per_round
+            );
+            time_case(
+                &format!("sched_{}_{mix}", kind.name()),
+                warmup,
+                iters,
+                || {
+                    PipelineExecutor::new(black_box(&profile), policy.clone())
+                        .expect("valid schedule")
+                        .run(m, 1)
+                },
+            );
+            report.ssb_per_round
+        };
+        let mut by_kind = std::collections::BTreeMap::new();
+        for kind in ScheduleKind::all() {
+            by_kind.insert(kind.name(), bubble(kind));
+        }
+        assert!(
+            by_kind["zb"] < by_kind["1f1b"],
+            "{mix}: zero-bubble must beat the Eq. 2 bubble ({} vs {})",
+            by_kind["zb"],
+            by_kind["1f1b"]
+        );
+    }
 }
 
 fn load(id: &str) -> Option<Value> {
@@ -100,6 +164,8 @@ fn main() {
     header("Headline workloads (wall-clock)");
     bench_fl_runs();
     bench_pipeline_round();
+    header("Schedule matrix (Table-2 style: schedule x device mix)");
+    bench_schedule_matrix();
     write_bench_snapshot("headline");
 
     header("Headline claims vs measured");

@@ -70,6 +70,7 @@ fn bench_executor() {
             black_box(&profile),
             SchedulePolicy::OneFOneBSync { k: k.clone() },
         )
+        .expect("valid schedule")
         .run(16, 1)
     });
 }

@@ -63,7 +63,9 @@ fn main() {
             let k = k_bounds(&profile).expect("1F1B residency");
             SchedulePolicy::OneFOneBSync { k }
         };
-        let result = PipelineExecutor::new(&profile, policy).run(m, 2);
+        let result = PipelineExecutor::new(&profile, policy)
+            .expect("valid schedule")
+            .run(m, 2);
         let row = match result {
             Ok(r) => {
                 println!(

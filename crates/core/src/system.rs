@@ -18,6 +18,7 @@ use ecofl_fl::FlConfig;
 use ecofl_models::{efficientnet, ModelArch, ModelProfile};
 use ecofl_obs::{RunStore, Tracer};
 use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
+use ecofl_pipeline::schedule::ScheduleKind;
 use ecofl_simnet::{Device, DeviceSpec, Link};
 use std::path::PathBuf;
 
@@ -79,6 +80,7 @@ impl Default for EcoFlSystemBuilder {
                 global_batch: 64,
                 mbs_candidates: vec![16, 8, 4],
                 eval_rounds: 1,
+                ..OrchestratorConfig::default()
             },
             strategy: Strategy::EcoFl {
                 dynamic_grouping: true,
@@ -167,6 +169,15 @@ impl EcoFlSystemBuilder {
     #[must_use]
     pub fn pipeline_model(mut self, model: ModelProfile) -> Self {
         self.pipeline_model = model;
+        self
+    }
+
+    /// Selects the pipeline schedule every home's plan is searched and
+    /// evaluated under (default: 1F1B-Sync). The schedule changes each
+    /// home's simulated throughput and therefore its FL response delay.
+    #[must_use]
+    pub fn pipeline_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.orchestrator.schedule = schedule;
         self
     }
 
@@ -407,6 +418,27 @@ mod tests {
     }
 
     #[test]
+    fn every_schedule_kind_plans_end_to_end() {
+        for kind in ScheduleKind::all() {
+            let system = EcoFlSystem::builder()
+                .homes(homes())
+                .replicate_homes(4)
+                .fl_config(quick_cfg())
+                .pipeline_schedule(kind)
+                .seed(3)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            for plan in system.plans() {
+                assert!(
+                    plan.report.throughput > 0.0,
+                    "{}: zero throughput",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn builder_errors_are_typed() {
         match EcoFlSystem::builder().build() {
             Err(EcoFlError::Config(msg)) => assert!(msg.contains("at least one smart home")),
@@ -425,6 +457,7 @@ mod tests {
                 global_batch: 64,
                 mbs_candidates: vec![16, 8],
                 eval_rounds: 1,
+                ..OrchestratorConfig::default()
             })
             .seed(11)
             .build()

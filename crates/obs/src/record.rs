@@ -28,6 +28,12 @@ pub enum SpanKind {
     Forward,
     /// Backward pass of one micro-batch on one stage.
     Backward,
+    /// Activation-gradient half of a split backward (zero-bubble
+    /// schedules): computes and sends the upstream gradient.
+    BackwardInput,
+    /// Weight-gradient half of a split backward (zero-bubble schedules):
+    /// local work deferred into bubble time.
+    BackwardWeight,
     /// Activation transfer to the next stage.
     CommForward,
     /// Gradient transfer to the previous stage.
@@ -176,11 +182,18 @@ impl SpanRecord {
         self.t1 - self.t0
     }
 
-    /// Whether this span is pipeline compute (forward or backward).
+    /// Whether this span is pipeline compute (forward or any backward
+    /// phase, including the split halves of zero-bubble schedules).
     #[must_use]
     pub fn is_compute(&self) -> bool {
         self.domain == Domain::Pipeline
-            && matches!(self.kind, SpanKind::Forward | SpanKind::Backward)
+            && matches!(
+                self.kind,
+                SpanKind::Forward
+                    | SpanKind::Backward
+                    | SpanKind::BackwardInput
+                    | SpanKind::BackwardWeight
+            )
     }
 }
 

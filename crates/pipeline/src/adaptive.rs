@@ -12,10 +12,10 @@
 //! chosen time, and the run proceeds either with or without the adaptive
 //! scheduler, producing per-device utilization and throughput series.
 
-use crate::executor::{PipelineExecutor, SchedulePolicy};
-use crate::orchestrator::k_bounds;
+use crate::executor::PipelineExecutor;
 use crate::partition::{partition_dp, Partition};
 use crate::profiler::PipelineProfile;
+use crate::schedule::ScheduleKind;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_obs::{Domain, EventKind, Tracer};
@@ -190,10 +190,11 @@ fn steady_state(
     link: &Link,
     mbs: usize,
     micro_batches: usize,
+    schedule: ScheduleKind,
 ) -> Option<SteadyState> {
     let profile = PipelineProfile::new(model, &partition.boundaries, devices, link, mbs);
-    let k = k_bounds(&profile)?;
-    let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+    let policy = schedule.policy_for(&profile)?;
+    let exec = PipelineExecutor::new(&profile, policy).ok()?;
     let report = exec.run(micro_batches, 1).ok()?;
     Some(SteadyState {
         round_time: report.round_time,
@@ -214,6 +215,8 @@ pub struct SchedulerConfig {
     pub deviation_threshold: f64,
     /// Fixed restart overhead per migration, seconds.
     pub restart_overhead: f64,
+    /// Pipeline schedule the rescheduled pipeline runs.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for SchedulerConfig {
@@ -221,6 +224,7 @@ impl Default for SchedulerConfig {
         Self {
             deviation_threshold: 0.25,
             restart_overhead: 2.0,
+            schedule: ScheduleKind::OneFOneBSync,
         }
     }
 }
@@ -340,8 +344,17 @@ fn simulate_load_spike_inner(
     let mut devices: Vec<Device> = devices.to_vec();
     let mut partition =
         partition_dp(model, &devices, link, mbs).ok_or(SpikeError::InfeasibleInitialPartition)?;
-    let mut steady = steady_state(model, &partition, &devices, link, mbs, micro_batches)
-        .ok_or(SpikeError::InitialPipelineStalled)?;
+    let schedule = scheduler_cfg.schedule;
+    let mut steady = steady_state(
+        model,
+        &partition,
+        &devices,
+        link,
+        mbs,
+        micro_batches,
+        schedule,
+    )
+    .ok_or(SpikeError::InitialPipelineStalled)?;
 
     let mut scheduler = AdaptiveScheduler::new(
         devices.len(),
@@ -363,8 +376,16 @@ fn simulate_load_spike_inner(
         // Apply the spike at its time (quantized to round starts).
         if !spiked && t >= spike.at {
             devices[spike.device].set_external_load(spike.load);
-            steady = steady_state(model, &partition, &devices, link, mbs, micro_batches)
-                .ok_or(SpikeError::SpikedPipelineStalled)?;
+            steady = steady_state(
+                model,
+                &partition,
+                &devices,
+                link,
+                mbs,
+                micro_batches,
+                schedule,
+            )
+            .ok_or(SpikeError::SpikedPipelineStalled)?;
             spiked = true;
         }
         // One sync-round at the current configuration.
@@ -403,7 +424,8 @@ fn simulate_load_spike_inner(
                 let candidate = partition_dp(model, &devices, link, mbs)
                     .filter(|p| *p != partition)
                     .and_then(|p| {
-                        steady_state(model, &p, &devices, link, mbs, micro_batches).map(|s| (p, s))
+                        steady_state(model, &p, &devices, link, mbs, micro_batches, schedule)
+                            .map(|s| (p, s))
                     });
                 if let Some((new_partition, new_steady)) = candidate {
                     let moved = migration_bytes(model, &partition, &new_partition);

@@ -1,6 +1,12 @@
 //! Discrete-event execution of pipeline-training schedules.
 //!
-//! One executor runs both schedule policies the paper compares:
+//! The executor is schedule-agnostic: it instantiates the
+//! [`PipelineSchedule`] trait object behind a [`SchedulePolicy`] and asks
+//! it admission questions — residency bounds `K_s`, backward gating,
+//! forward/backward preference, weight-version stashing, flush-freedom,
+//! backward splitting — never matching on the policy itself. All five
+//! registered schedules (1F1B-Sync, BAF-Sync, 1F1B-Async, interleaved
+//! 1F1B, zero-bubble) run through the same event loop:
 //!
 //! - **1F1B-Sync** (Eco-FL, §4.1): every stage prefers the earliest ready
 //!   backward task (the *early backward schedule* that releases activation
@@ -8,7 +14,15 @@
 //!   `K_s` micro-batches are resident;
 //! - **BAF-Sync** (Gpipe): forwards for the whole sync-round run first,
 //!   backwards only begin after the last stage has forwarded every
-//!   micro-batch, so all `M` activations stay resident.
+//!   micro-batch, so all `M` activations stay resident;
+//! - **1F1B-Async** (PipeDream): flush-free streaming with `K_s` stashed
+//!   weight versions per stage;
+//! - **interleaved 1F1B**: each device hosts `v` virtual stages of the
+//!   [interleaved profile](crate::schedule::interleave_profile); a device
+//!   runs one compute task at a time across its chunks, backwards first;
+//! - **zero-bubble**: the backward splits into an activation-gradient
+//!   task (sends the upstream gradient at `t_b/2`) and a weight-gradient
+//!   task deferred into bubble time.
 //!
 //! Memory is *accounted, not assumed*: each forward allocates the stage's
 //! per-micro-batch activation bytes on the simulated device and each
@@ -22,67 +36,23 @@
 //! makespan) improve with micro-batch size the way Table 2 reports.
 
 use crate::profiler::PipelineProfile;
+use crate::schedule::{interleave_profile, PipelineSchedule};
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_obs::{Domain, SpanKind, TraceView, Tracer};
 use ecofl_simnet::{BusyTracker, Device, EventQueue, ThroughputTracker};
 use std::collections::VecDeque;
 
+pub use crate::schedule::SchedulePolicy;
+
 /// Default per-compute-task dispatch overhead in seconds (kernel launch,
 /// synchronization, scheduler hop).
 pub const DEFAULT_TASK_OVERHEAD: f64 = 0.002;
 
-/// Which pipeline schedule to run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum SchedulePolicy {
-    /// Eco-FL's memory-efficient synchronous 1F1B with per-stage
-    /// residency limits `K_s`.
-    OneFOneBSync {
-        /// Max forwards resident per stage (`K_s = min(P_s, Q_s)`).
-        k: Vec<usize>,
-    },
-    /// Gpipe's backward-after-forward synchronous schedule: all `M`
-    /// forwards precede any backward.
-    BafSync,
-    /// PipeDream's asynchronous 1F1B: same per-stage ordering as
-    /// 1F1B-Sync but no pipeline flush — micro-batches stream across
-    /// sync-round boundaries, which removes the SSB but requires each
-    /// stage to stash one weight version per in-flight micro-batch
-    /// (`K_s` copies of its parameters). That weight-stashing memory is
-    /// the reason §2 rules PipeDream out for memory-limited IoT devices.
-    OneFOneBAsync {
-        /// Max forwards resident per stage.
-        k: Vec<usize>,
-    },
-}
-
-impl SchedulePolicy {
-    /// Per-stage residency limit, if the policy bounds one.
-    fn residency(&self, stage: usize) -> Option<usize> {
-        match self {
-            SchedulePolicy::OneFOneBSync { k } | SchedulePolicy::OneFOneBAsync { k } => {
-                Some(k[stage])
-            }
-            SchedulePolicy::BafSync => None,
-        }
-    }
-
-    /// Weight versions stashed per stage (1 unless weight-stashing async).
-    fn weight_versions(&self, stage: usize) -> u64 {
-        match self {
-            SchedulePolicy::OneFOneBAsync { k } => k[stage] as u64,
-            _ => 1,
-        }
-    }
-
-    /// Whether micro-batches stream across round boundaries (no flush).
-    fn flush_free(&self) -> bool {
-        matches!(self, SchedulePolicy::OneFOneBAsync { .. })
-    }
-}
-
 /// Why a run aborted.
 ///
-/// The simulated executor only produces [`ExecError::Oom`]; the real
+/// The simulated executor produces [`ExecError::Oom`] and the
+/// configuration errors ([`ExecError::ResidencyLen`],
+/// [`ExecError::ResidencyZero`], [`ExecError::Schedule`]); the real
 /// threaded runtime ([`crate::runtime`]) produces the remaining
 /// variants, which together form its never-panic contract: every
 /// runtime disturbance (stage death, shape mismatch, unrecoverable
@@ -95,6 +65,26 @@ pub enum ExecError {
         stage: usize,
         /// Micro-batch whose forward allocation failed.
         micro: usize,
+    },
+    /// A schedule's residency vector does not have one entry per
+    /// (virtual) stage.
+    ResidencyLen {
+        /// Stages the profile (after interleaving) actually has.
+        expected: usize,
+        /// Length of the supplied `k` vector.
+        got: usize,
+    },
+    /// A residency entry is zero — no stage can run with no admitted
+    /// micro-batches.
+    ResidencyZero {
+        /// Stage whose `K_s` is zero.
+        stage: usize,
+    },
+    /// The schedule configuration itself is invalid (e.g. an
+    /// interleaving depth of zero).
+    Schedule {
+        /// What was wrong.
+        detail: String,
     },
     /// A stage thread of the real runtime died (panic, injected fault,
     /// or channel disconnect cascade). `stage` is the *first* stage to
@@ -142,6 +132,18 @@ impl std::fmt::Display for ExecError {
             ExecError::Oom { stage, micro } => {
                 write!(f, "OOM on stage {stage} at micro-batch {micro}")
             }
+            ExecError::ResidencyLen { expected, got } => {
+                write!(
+                    f,
+                    "residency vector length {got} does not match the stage count {expected}"
+                )
+            }
+            ExecError::ResidencyZero { stage } => {
+                write!(f, "residency K must be ≥ 1, but stage {stage} has K = 0")
+            }
+            ExecError::Schedule { detail } => {
+                write!(f, "invalid schedule configuration: {detail}")
+            }
             ExecError::StageDied { stage, during } => {
                 write!(f, "stage {stage} died during {during}")
             }
@@ -176,18 +178,33 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// What phase of a micro-batch a task span executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskPhase {
+    /// Forward pass.
+    Forward,
+    /// Full (unsplit) backward pass.
+    Backward,
+    /// Activation-gradient half of a split backward.
+    BackwardInput,
+    /// Weight-gradient half of a split backward.
+    BackwardWeight,
+}
+
 /// One executed compute task, for schedule visualization and bubble
 /// forensics (the Fig. 3 Gantt of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskSpan {
-    /// Stage that executed the task.
+    /// Stage that executed the task (virtual stage for interleaved).
     pub stage: usize,
     /// Micro-batch index within its sync-round.
     pub micro: usize,
     /// Sync-round index.
     pub round: usize,
-    /// True for a forward pass, false for a backward pass.
+    /// True for a forward pass, false for any backward phase.
     pub forward: bool,
+    /// Which compute phase ran.
+    pub phase: TaskPhase,
     /// Start time, seconds.
     pub start: f64,
     /// End time, seconds (includes dispatch overhead).
@@ -212,7 +229,8 @@ pub struct ExecutionReport {
     pub stage_peak_memory: Vec<u64>,
     /// Idle time per stage within the makespan, seconds.
     pub stage_idle_time: Vec<f64>,
-    /// Analytic synchronous static bubble per sync-round (Eq. 2), seconds.
+    /// Analytic bubble per sync-round for the executed schedule (Eq. 2
+    /// for the synchronous schedules), seconds.
     pub ssb_per_round: f64,
     /// Measured data-dependency bubble per stage per sync-round (idle
     /// beyond the analytic SSB), seconds.
@@ -231,10 +249,11 @@ impl TaskSpan {
     pub fn to_record(&self) -> ecofl_obs::SpanRecord {
         ecofl_obs::SpanRecord {
             domain: Domain::Pipeline,
-            kind: if self.forward {
-                SpanKind::Forward
-            } else {
-                SpanKind::Backward
+            kind: match self.phase {
+                TaskPhase::Forward => SpanKind::Forward,
+                TaskPhase::Backward => SpanKind::Backward,
+                TaskPhase::BackwardInput => SpanKind::BackwardInput,
+                TaskPhase::BackwardWeight => SpanKind::BackwardWeight,
             },
             entity: self.stage,
             round: self.round,
@@ -304,6 +323,10 @@ impl ExecutionReport {
 enum Task {
     Fp(usize),
     Bp(usize),
+    /// Activation-gradient half of a split backward.
+    BpIn(usize),
+    /// Weight-gradient half of a split backward.
+    BpW(usize),
 }
 
 #[derive(Debug)]
@@ -314,20 +337,21 @@ enum Event {
 }
 
 struct StageState {
-    device: Device,
     /// Next micro-batch index to forward.
     fp_next: usize,
     /// Forwards completed this round.
     fp_done: usize,
     /// Activations arrived from upstream, in arrival order.
     fp_inbox: VecDeque<usize>,
-    /// Backward tasks ready to run.
+    /// Backward tasks ready to run (full backward, or the
+    /// activation-gradient half under a split schedule).
     bp_ready: VecDeque<usize>,
+    /// Deferred weight-gradient tasks (split schedules only).
+    bpw_ready: VecDeque<usize>,
     /// Backwards completed this round.
     bp_done: usize,
     /// Micro-batches resident (FP issued, BP not finished).
     in_flight: usize,
-    busy: bool,
     peak_mem: u64,
     useful_time: f64,
     /// Serialization horizon for the outgoing forward link.
@@ -339,7 +363,10 @@ struct StageState {
 /// Event-driven pipeline executor.
 pub struct PipelineExecutor<'a> {
     profile: &'a PipelineProfile,
-    policy: SchedulePolicy,
+    /// The chunked profile actually executed under an interleaved
+    /// schedule (`None` for single-chunk schedules).
+    virtual_profile: Option<PipelineProfile>,
+    schedule: Box<dyn PipelineSchedule>,
     /// Per-compute-task dispatch overhead, seconds.
     pub task_overhead: f64,
 }
@@ -347,24 +374,63 @@ pub struct PipelineExecutor<'a> {
 impl<'a> PipelineExecutor<'a> {
     /// Creates an executor for `profile` under `policy`.
     ///
-    /// # Panics
-    /// Panics if a `OneFOneBSync` residency vector has the wrong length or
-    /// a zero entry.
-    #[must_use]
-    pub fn new(profile: &'a PipelineProfile, policy: SchedulePolicy) -> Self {
-        if let SchedulePolicy::OneFOneBSync { k } | SchedulePolicy::OneFOneBAsync { k } = &policy {
-            assert_eq!(
-                k.len(),
-                profile.num_stages(),
-                "executor: K vector length mismatch"
-            );
-            assert!(k.iter().all(|&x| x > 0), "executor: K entries must be ≥ 1");
+    /// # Errors
+    /// [`ExecError::ResidencyLen`] when a residency vector does not have
+    /// one entry per (virtual) stage, [`ExecError::ResidencyZero`] when an
+    /// entry is zero, [`ExecError::Schedule`] when the schedule
+    /// configuration itself is invalid (e.g. interleave depth 0).
+    pub fn new(profile: &'a PipelineProfile, policy: SchedulePolicy) -> Result<Self, ExecError> {
+        let (k, expected) = match &policy {
+            SchedulePolicy::OneFOneBSync { k }
+            | SchedulePolicy::OneFOneBAsync { k }
+            | SchedulePolicy::ZeroBubble { k } => (Some(k), profile.num_stages()),
+            SchedulePolicy::Interleaved { k, v } => {
+                if *v == 0 {
+                    return Err(ExecError::Schedule {
+                        detail: "interleave depth v must be ≥ 1".into(),
+                    });
+                }
+                (Some(k), profile.num_stages() * v)
+            }
+            SchedulePolicy::BafSync => (None, profile.num_stages()),
+        };
+        if let Some(k) = k {
+            if k.len() != expected {
+                return Err(ExecError::ResidencyLen {
+                    expected,
+                    got: k.len(),
+                });
+            }
+            if let Some(stage) = k.iter().position(|&x| x == 0) {
+                return Err(ExecError::ResidencyZero { stage });
+            }
         }
-        Self {
+        let virtual_profile = match &policy {
+            SchedulePolicy::Interleaved { v, .. } if *v > 1 => {
+                Some(interleave_profile(profile, *v))
+            }
+            _ => None,
+        };
+        Ok(Self {
             profile,
-            policy,
+            virtual_profile,
+            schedule: policy.instantiate(),
             task_overhead: DEFAULT_TASK_OVERHEAD,
-        }
+        })
+    }
+
+    /// The profile the event loop actually executes: the interleaved
+    /// virtual-stage profile when one exists, the physical profile
+    /// otherwise.
+    #[must_use]
+    pub fn exec_profile(&self) -> &PipelineProfile {
+        self.virtual_profile.as_ref().unwrap_or(self.profile)
+    }
+
+    /// The schedule this executor runs.
+    #[must_use]
+    pub fn schedule(&self) -> &dyn PipelineSchedule {
+        self.schedule.as_ref()
     }
 
     /// Overrides the per-task dispatch overhead.
@@ -407,144 +473,117 @@ impl<'a> PipelineExecutor<'a> {
         tracer: Option<&Tracer>,
     ) -> Result<ExecutionReport, ExecError> {
         assert!(micro_batches > 0 && rounds > 0);
-        let s_count = self.profile.num_stages();
-        let stages = self.profile.stages();
+        let profile = self.exec_profile();
+        let s_count = profile.num_stages();
+        let stages = profile.stages();
 
-        let mut oom_setup: Option<usize> = None;
-        let mut state: Vec<StageState> = stages
-            .iter()
-            .map(|sp| {
-                let mut device = Device::new(sp.clone_device_spec());
-                // Static footprint: params + grads + optimizer state,
-                // multiplied by stashed weight versions for async 1F1B.
-                let static_total = sp.static_bytes() * self.policy.weight_versions(sp.device);
-                let ok = device.try_allocate(static_total);
-                // Weight stashing can itself overflow the device.
-                if !ok {
-                    oom_setup = Some(sp.device);
-                }
-                let peak_mem = device.allocated_bytes();
-                StageState {
-                    device,
-                    fp_next: 0,
-                    fp_done: 0,
-                    fp_inbox: VecDeque::new(),
-                    bp_ready: VecDeque::new(),
-                    bp_done: 0,
-                    in_flight: 0,
-                    busy: false,
-                    peak_mem,
-                    useful_time: 0.0,
-                    fwd_link_free: 0.0,
-                    bwd_link_free: 0.0,
-                }
+        // One simulated device per physical device; under interleaving
+        // several virtual stages share one.
+        let dev_count = stages.iter().map(|sp| sp.device).max().unwrap_or(0) + 1;
+        let mut devices: Vec<Device> = (0..dev_count)
+            .map(|d| {
+                let sp = stages
+                    .iter()
+                    .find(|sp| sp.device == d)
+                    .expect("contiguous device indices");
+                Device::new(sp.clone_device_spec())
             })
             .collect();
-
+        let mut dev_stages: Vec<Vec<usize>> = vec![Vec::new(); dev_count];
+        let mut oom_setup: Option<usize> = None;
+        for (i, sp) in stages.iter().enumerate() {
+            dev_stages[sp.device].push(i);
+            // Static footprint: params + grads + optimizer state,
+            // multiplied by stashed weight versions for async 1F1B.
+            let static_total = sp.static_bytes() * self.schedule.weight_versions(i);
+            // Weight stashing can itself overflow the device.
+            if !devices[sp.device].try_allocate(static_total) && oom_setup.is_none() {
+                oom_setup = Some(i);
+            }
+        }
         if let Some(stage) = oom_setup {
             return Err(ExecError::Oom { stage, micro: 0 });
         }
+        let state: Vec<StageState> = stages
+            .iter()
+            .map(|sp| StageState {
+                fp_next: 0,
+                fp_done: 0,
+                fp_inbox: VecDeque::new(),
+                bp_ready: VecDeque::new(),
+                bpw_ready: VecDeque::new(),
+                bp_done: 0,
+                in_flight: 0,
+                peak_mem: devices[sp.device].allocated_bytes(),
+                useful_time: 0.0,
+                fwd_link_free: 0.0,
+                bwd_link_free: 0.0,
+            })
+            .collect();
+
         let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut busy_trackers = vec![BusyTracker::new(); s_count];
-        let mut completions = ThroughputTracker::new();
+        let mut engine = Engine {
+            profile,
+            schedule: self.schedule.as_ref(),
+            task_overhead: self.task_overhead,
+            state,
+            devices,
+            device_busy: vec![false; dev_count],
+            dev_stages,
+            busy_trackers: vec![BusyTracker::new(); s_count],
+            completions: ThroughputTracker::new(),
+            task_spans: Vec::new(),
+        };
         let mut round_ends = Vec::with_capacity(rounds);
-        let mut task_spans: Vec<TaskSpan> = Vec::new();
-        #[allow(unused_assignments)]
-        let mut current_round = 0usize;
 
         // Flush-free schedules stream every micro-batch through one
         // continuous 1F1B window; synchronous schedules flush per round.
-        let (outer_rounds, batch_per_round) = if self.policy.flush_free() {
+        let (outer_rounds, batch_per_round) = if self.schedule.flush_free() {
             (1, micro_batches * rounds)
         } else {
             (rounds, micro_batches)
         };
         for round in 0..outer_rounds {
-            current_round = round;
             let micro_batches = batch_per_round;
             // Reset per-round counters (weights update at the flush; its
             // cost is negligible next to FP/BP and omitted, as in §4.3's
             // ideal model).
-            for st in state.iter_mut() {
+            for st in engine.state.iter_mut() {
                 st.fp_next = 0;
                 st.fp_done = 0;
                 st.bp_done = 0;
                 debug_assert!(st.fp_inbox.is_empty());
                 debug_assert!(st.bp_ready.is_empty());
+                debug_assert!(st.bpw_ready.is_empty());
                 debug_assert_eq!(st.in_flight, 0);
             }
             let round_start = queue.now();
-            // Kick stage 0 (and any stage that can self-start — only 0).
-            self.try_dispatch(
-                0,
-                &mut state,
-                &mut queue,
-                micro_batches,
-                &mut busy_trackers,
-                &mut task_spans,
-                current_round,
-                tracer,
-            )?;
+            // Kick stage 0's device (only stage 0 can self-start).
+            let dev0 = profile.stages()[0].device;
+            engine.dispatch_device(dev0, &mut queue, micro_batches, round, tracer)?;
 
             while let Some((now, ev)) = queue.pop() {
                 match ev {
                     Event::ComputeDone { stage, task } => {
-                        let done = self.on_compute_done(
-                            stage,
-                            task,
-                            now,
-                            &mut state,
-                            &mut queue,
-                            micro_batches,
-                            &mut completions,
-                            current_round,
-                            tracer,
-                        );
-                        if done {
-                            // Last backward of the round at stage 0.
-                        }
-                        self.try_dispatch(
-                            stage,
-                            &mut state,
-                            &mut queue,
-                            micro_batches,
-                            &mut busy_trackers,
-                            &mut task_spans,
-                            current_round,
-                            tracer,
-                        )?;
+                        engine.on_compute_done(stage, task, now, &mut queue, round, tracer);
                     }
                     Event::FwdArrive { stage, micro } => {
-                        state[stage].fp_inbox.push_back(micro);
-                        self.try_dispatch(
-                            stage,
-                            &mut state,
-                            &mut queue,
-                            micro_batches,
-                            &mut busy_trackers,
-                            &mut task_spans,
-                            current_round,
-                            tracer,
-                        )?;
+                        engine.state[stage].fp_inbox.push_back(micro);
                     }
                     Event::BwdArrive { stage, micro } => {
-                        state[stage].bp_ready.push_back(micro);
-                        self.try_dispatch(
-                            stage,
-                            &mut state,
-                            &mut queue,
-                            micro_batches,
-                            &mut busy_trackers,
-                            &mut task_spans,
-                            current_round,
-                            tracer,
-                        )?;
+                        engine.state[stage].bp_ready.push_back(micro);
                     }
                 }
+                let dev = match ev {
+                    Event::ComputeDone { stage, .. }
+                    | Event::FwdArrive { stage, .. }
+                    | Event::BwdArrive { stage, .. } => profile.stages()[stage].device,
+                };
+                engine.dispatch_device(dev, &mut queue, micro_batches, round, tracer)?;
             }
             let round_end = queue.now();
             debug_assert!(
-                state.iter().all(|st| st.bp_done == micro_batches),
+                engine.state.iter().all(|st| st.bp_done == micro_batches),
                 "round ended with incomplete backwards"
             );
             debug_assert!(round_end > round_start);
@@ -552,17 +591,14 @@ impl<'a> PipelineExecutor<'a> {
         }
 
         let makespan = queue.now();
-        let samples = (rounds * micro_batches * self.profile.micro_batch()) as f64;
-        let ssb = stages[..s_count.saturating_sub(1)]
-            .iter()
-            .map(|sp| sp.full_width())
-            .sum::<f64>();
+        let samples = (rounds * micro_batches * profile.micro_batch()) as f64;
+        let ssb = self.schedule.bubble_per_round(profile);
         let mut stage_busy = Vec::with_capacity(s_count);
         let mut stage_gpu = Vec::with_capacity(s_count);
         let mut stage_idle = Vec::with_capacity(s_count);
         let mut ddb = Vec::with_capacity(s_count);
-        for (i, st) in state.iter().enumerate() {
-            let busy = busy_trackers[i].busy_time(0.0, makespan);
+        for (i, st) in engine.state.iter().enumerate() {
+            let busy = engine.busy_trackers[i].busy_time(0.0, makespan);
             stage_busy.push(busy / makespan);
             stage_gpu.push(st.useful_time / makespan);
             let idle = makespan - busy;
@@ -576,42 +612,67 @@ impl<'a> PipelineExecutor<'a> {
             throughput: samples / makespan,
             stage_busy_utilization: stage_busy,
             stage_gpu_utilization: stage_gpu,
-            stage_peak_memory: state.iter().map(|st| st.peak_mem).collect(),
+            stage_peak_memory: engine.state.iter().map(|st| st.peak_mem).collect(),
             stage_idle_time: stage_idle,
             ssb_per_round: ssb,
             ddb_per_round: ddb,
             rounds,
             micro_batches,
-            task_spans,
+            task_spans: engine.task_spans,
         })
     }
+}
 
-    /// Handles a finished compute task; returns true when the round's last
-    /// backward at stage 0 completed.
-    #[allow(clippy::too_many_arguments)]
+/// Which task class a dispatch pass scans for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    /// Ready backwards (full, or the activation-gradient half).
+    Backward,
+    /// Admissible forwards.
+    Forward,
+    /// Deferred weight-gradient halves (split schedules).
+    Weight,
+}
+
+/// Mutable per-run execution state, split from [`PipelineExecutor`] so
+/// the event handlers can borrow it wholesale.
+struct Engine<'e> {
+    profile: &'e PipelineProfile,
+    schedule: &'e dyn PipelineSchedule,
+    task_overhead: f64,
+    state: Vec<StageState>,
+    devices: Vec<Device>,
+    device_busy: Vec<bool>,
+    /// Stage indices hosted by each device, ascending.
+    dev_stages: Vec<Vec<usize>>,
+    busy_trackers: Vec<BusyTracker>,
+    completions: ThroughputTracker,
+    task_spans: Vec<TaskSpan>,
+}
+
+impl Engine<'_> {
+    /// Handles a finished compute task: frees the device, routes the
+    /// produced activation/gradient, then re-dispatches the device.
     fn on_compute_done(
-        &self,
+        &mut self,
         stage: usize,
         task: Task,
         now: f64,
-        state: &mut [StageState],
         queue: &mut EventQueue<Event>,
-        micro_batches: usize,
-        completions: &mut ThroughputTracker,
         round: usize,
         tracer: Option<&Tracer>,
-    ) -> bool {
-        let s_count = state.len();
+    ) {
+        let s_count = self.state.len();
         let sp = &self.profile.stages()[stage];
-        state[stage].busy = false;
+        self.device_busy[sp.device] = false;
         match task {
             Task::Fp(m) => {
-                state[stage].fp_done += 1;
+                self.state[stage].fp_done += 1;
                 if stage + 1 < s_count {
                     // Serialize on the forward link.
-                    let start = now.max(state[stage].fwd_link_free);
+                    let start = now.max(self.state[stage].fwd_link_free);
                     let done = start + sp.c_fwd;
-                    state[stage].fwd_link_free = done;
+                    self.state[stage].fwd_link_free = done;
                     if let Some(tr) = tracer {
                         tr.span(
                             Domain::Pipeline,
@@ -633,160 +694,229 @@ impl<'a> PipelineExecutor<'a> {
                 } else {
                     // Last stage: its own backward becomes ready (possibly
                     // gated for BAF).
-                    state[stage].bp_ready.push_back(m);
+                    self.state[stage].bp_ready.push_back(m);
                 }
             }
             Task::Bp(m) => {
-                state[stage].bp_done += 1;
-                state[stage].in_flight -= 1;
-                state[stage].device.free(sp.activation_bytes_per_mb);
-                if stage > 0 {
-                    let up = &self.profile.stages()[stage - 1];
-                    let start = now.max(state[stage].bwd_link_free);
-                    let done = start + up.c_bwd;
-                    state[stage].bwd_link_free = done;
-                    if let Some(tr) = tracer {
-                        tr.span(
-                            Domain::Pipeline,
-                            SpanKind::CommBackward,
-                            stage,
-                            round,
-                            m,
-                            start,
-                            done,
-                        );
-                    }
-                    queue.schedule(
-                        done,
-                        Event::BwdArrive {
-                            stage: stage - 1,
-                            micro: m,
-                        },
-                    );
-                } else {
-                    completions.record(now, self.profile.micro_batch() as u64);
-                    if state[0].bp_done == micro_batches {
-                        return true;
-                    }
-                }
+                self.finish_backward(stage, m, sp.activation_bytes_per_mb, now);
+                self.send_upstream_grad(stage, m, now, queue, round, tracer);
+            }
+            Task::BpIn(m) => {
+                // Upstream gradient leaves now; the weight half is
+                // deferred into bubble time.
+                self.state[stage].bpw_ready.push_back(m);
+                self.send_upstream_grad(stage, m, now, queue, round, tracer);
+            }
+            Task::BpW(m) => {
+                self.finish_backward(stage, m, sp.activation_bytes_per_mb, now);
             }
         }
-        false
     }
 
-    /// Dispatches the next task on `stage` if the device is idle and the
-    /// policy admits one.
-    #[allow(clippy::too_many_arguments)]
-    fn try_dispatch(
-        &self,
+    /// Books the completion of micro-batch `m`'s backward at `stage`:
+    /// counter, residency, activation memory, throughput.
+    fn finish_backward(&mut self, stage: usize, _m: usize, activation_bytes: u64, now: f64) {
+        let dev = self.profile.stages()[stage].device;
+        self.state[stage].bp_done += 1;
+        self.state[stage].in_flight -= 1;
+        self.devices[dev].free(activation_bytes);
+        if stage == 0 {
+            self.completions
+                .record(now, self.profile.micro_batch() as u64);
+        }
+    }
+
+    /// Serializes micro-batch `m`'s gradient onto the backward link out of
+    /// `stage` (no-op at stage 0).
+    fn send_upstream_grad(
+        &mut self,
         stage: usize,
-        state: &mut [StageState],
+        m: usize,
+        now: f64,
+        queue: &mut EventQueue<Event>,
+        round: usize,
+        tracer: Option<&Tracer>,
+    ) {
+        if stage == 0 {
+            return;
+        }
+        let up = &self.profile.stages()[stage - 1];
+        let start = now.max(self.state[stage].bwd_link_free);
+        let done = start + up.c_bwd;
+        self.state[stage].bwd_link_free = done;
+        if let Some(tr) = tracer {
+            tr.span(
+                Domain::Pipeline,
+                SpanKind::CommBackward,
+                stage,
+                round,
+                m,
+                start,
+                done,
+            );
+        }
+        queue.schedule(
+            done,
+            Event::BwdArrive {
+                stage: stage - 1,
+                micro: m,
+            },
+        );
+    }
+
+    /// Dispatches the next admissible task on `dev` if it is idle: scans
+    /// the device's stages in pass order (backwards before forwards for
+    /// early-backward schedules, forwards first for BAF-Sync, deferred
+    /// weight gradients last) and starts at most one task.
+    fn dispatch_device(
+        &mut self,
+        dev: usize,
         queue: &mut EventQueue<Event>,
         micro_batches: usize,
-        busy_trackers: &mut [BusyTracker],
-        task_spans: &mut Vec<TaskSpan>,
         round: usize,
         tracer: Option<&Tracer>,
     ) -> Result<(), ExecError> {
-        {
-            if state[stage].busy {
-                return Ok(());
-            }
-            let sp = &self.profile.stages()[stage];
-            let s_count = state.len();
-            let now = queue.now();
-
-            let bp_allowed = match &self.policy {
-                SchedulePolicy::OneFOneBSync { .. } | SchedulePolicy::OneFOneBAsync { .. } => true,
-                SchedulePolicy::BafSync => {
-                    // Gpipe: the last stage flips to backwards only after
-                    // forwarding everything; upstream stages receive
-                    // gradients late enough that this gate only matters at
-                    // the last stage.
-                    stage != s_count - 1 || state[stage].fp_done == micro_batches
+        if self.device_busy[dev] {
+            return Ok(());
+        }
+        let passes: &[Pass] = if self.schedule.prefer_backward() {
+            &[Pass::Backward, Pass::Forward, Pass::Weight]
+        } else {
+            &[Pass::Forward, Pass::Backward]
+        };
+        for &pass in passes {
+            for i in 0..self.dev_stages[dev].len() {
+                let stage = self.dev_stages[dev][i];
+                if let Some(task) = self.select_task(stage, pass, micro_batches)? {
+                    self.start_task(stage, task, queue, round, tracer);
+                    return Ok(());
                 }
-            };
-            let fp_allowed = self
-                .policy
-                .residency(stage)
-                .is_none_or(|k| state[stage].in_flight < k);
-            let fp_available = state[stage].fp_next < micro_batches
-                && (stage == 0 || {
-                    // In-order arrival: the inbox head must be the next
-                    // micro-batch.
-                    state[stage].fp_inbox.front() == Some(&state[stage].fp_next)
-                });
+            }
+        }
+        Ok(())
+    }
 
-            // 1F1B prefers backward (early backward schedule); BAF prefers
-            // forward.
-            let prefer_bp = !matches!(self.policy, SchedulePolicy::BafSync);
-            let run_bp = bp_allowed && !state[stage].bp_ready.is_empty();
-            let run_fp = fp_allowed && fp_available;
-
-            let task = if run_bp && (prefer_bp || !run_fp) {
-                let m = state[stage].bp_ready.pop_front().expect("nonempty");
-                Task::Bp(m)
-            } else if run_fp {
-                let m = state[stage].fp_next;
-                if !state[stage].device.try_allocate(sp.activation_bytes_per_mb) {
+    /// Pops the next `pass`-class task on `stage` if the schedule admits
+    /// one, performing the forward's activation allocation.
+    fn select_task(
+        &mut self,
+        stage: usize,
+        pass: Pass,
+        micro_batches: usize,
+    ) -> Result<Option<Task>, ExecError> {
+        let s_count = self.state.len();
+        let sp = &self.profile.stages()[stage];
+        match pass {
+            Pass::Backward => {
+                let allowed = self.schedule.backward_allowed(
+                    stage,
+                    s_count,
+                    self.state[stage].fp_done,
+                    micro_batches,
+                );
+                if allowed && !self.state[stage].bp_ready.is_empty() {
+                    let m = self.state[stage].bp_ready.pop_front().expect("nonempty");
+                    Ok(Some(if self.schedule.split_backward() {
+                        Task::BpIn(m)
+                    } else {
+                        Task::Bp(m)
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
+            Pass::Weight => Ok(self.state[stage].bpw_ready.pop_front().map(Task::BpW)),
+            Pass::Forward => {
+                let fp_allowed = self
+                    .schedule
+                    .residency(stage)
+                    .is_none_or(|k| self.state[stage].in_flight < k);
+                let fp_available = self.state[stage].fp_next < micro_batches
+                    && (stage == 0 || {
+                        // In-order arrival: the inbox head must be the next
+                        // micro-batch.
+                        self.state[stage].fp_inbox.front() == Some(&self.state[stage].fp_next)
+                    });
+                if !(fp_allowed && fp_available) {
+                    return Ok(None);
+                }
+                let m = self.state[stage].fp_next;
+                let dev = sp.device;
+                if !self.devices[dev].try_allocate(sp.activation_bytes_per_mb) {
                     return Err(ExecError::Oom { stage, micro: m });
                 }
-                state[stage].in_flight += 1;
-                state[stage].peak_mem = state[stage]
+                self.state[stage].in_flight += 1;
+                self.state[stage].peak_mem = self.state[stage]
                     .peak_mem
-                    .max(state[stage].device.allocated_bytes());
-                state[stage].fp_next += 1;
+                    .max(self.devices[dev].allocated_bytes());
+                self.state[stage].fp_next += 1;
                 if stage > 0 {
-                    let head = state[stage].fp_inbox.pop_front();
+                    let head = self.state[stage].fp_inbox.pop_front();
                     debug_assert_eq!(head, Some(m));
                 }
-                Task::Fp(m)
-            } else {
-                return Ok(());
-            };
-
-            // Wall-clock duration is the profiled (efficiency-corrected)
-            // stage time plus dispatch overhead; only the fraction of it
-            // doing peak-rate arithmetic counts as "GPU-useful".
-            let wall = match task {
-                Task::Fp(_) => sp.t_fwd,
-                Task::Bp(_) => sp.t_bwd,
-            };
-            let duration = wall + self.task_overhead;
-            state[stage].busy = true;
-            state[stage].useful_time += wall * sp.efficiency;
-            busy_trackers[stage].record(now, now + duration);
-            let (micro, forward) = match task {
-                Task::Fp(m) => (m, true),
-                Task::Bp(m) => (m, false),
-            };
-            task_spans.push(TaskSpan {
-                stage,
-                micro,
-                round,
-                forward,
-                start: now,
-                end: now + duration,
-            });
-            if let Some(tr) = tracer {
-                let kind = if forward {
-                    SpanKind::Forward
-                } else {
-                    SpanKind::Backward
-                };
-                tr.span(
-                    Domain::Pipeline,
-                    kind,
-                    stage,
-                    round,
-                    micro,
-                    now,
-                    now + duration,
-                );
+                Ok(Some(Task::Fp(m)))
             }
-            queue.schedule(now + duration, Event::ComputeDone { stage, task });
-            Ok(())
         }
+    }
+
+    /// Starts `task` on `stage`'s device, recording the span and
+    /// scheduling its completion.
+    fn start_task(
+        &mut self,
+        stage: usize,
+        task: Task,
+        queue: &mut EventQueue<Event>,
+        round: usize,
+        tracer: Option<&Tracer>,
+    ) {
+        let sp = &self.profile.stages()[stage];
+        let now = queue.now();
+        // Wall-clock duration is the profiled (efficiency-corrected)
+        // stage time plus dispatch overhead; only the fraction of it
+        // doing peak-rate arithmetic counts as "GPU-useful". A split
+        // backward spends t_bwd/2 per half.
+        let wall = match task {
+            Task::Fp(_) => sp.t_fwd,
+            Task::Bp(_) => sp.t_bwd,
+            Task::BpIn(_) | Task::BpW(_) => sp.t_bwd * 0.5,
+        };
+        let duration = wall + self.task_overhead;
+        self.device_busy[sp.device] = true;
+        self.state[stage].useful_time += wall * sp.efficiency;
+        self.busy_trackers[stage].record(now, now + duration);
+        let (micro, phase) = match task {
+            Task::Fp(m) => (m, TaskPhase::Forward),
+            Task::Bp(m) => (m, TaskPhase::Backward),
+            Task::BpIn(m) => (m, TaskPhase::BackwardInput),
+            Task::BpW(m) => (m, TaskPhase::BackwardWeight),
+        };
+        self.task_spans.push(TaskSpan {
+            stage,
+            micro,
+            round,
+            forward: phase == TaskPhase::Forward,
+            phase,
+            start: now,
+            end: now + duration,
+        });
+        if let Some(tr) = tracer {
+            let kind = match phase {
+                TaskPhase::Forward => SpanKind::Forward,
+                TaskPhase::Backward => SpanKind::Backward,
+                TaskPhase::BackwardInput => SpanKind::BackwardInput,
+                TaskPhase::BackwardWeight => SpanKind::BackwardWeight,
+            };
+            tr.span(
+                Domain::Pipeline,
+                kind,
+                stage,
+                round,
+                micro,
+                now,
+                now + duration,
+            );
+        }
+        queue.schedule(now + duration, Event::ComputeDone { stage, task });
     }
 }
 
@@ -809,6 +939,7 @@ mod tests {
     use super::*;
     use crate::orchestrator::p_bounds;
     use crate::profiler::PipelineProfile;
+    use crate::schedule::DEFAULT_INTERLEAVE;
     use ecofl_models::efficientnet;
     use ecofl_simnet::{nano_h, tx2_n, Device, Link};
 
@@ -823,7 +954,7 @@ mod tests {
     fn one_f_one_b_completes_all_micro_batches() {
         let p = profile(4);
         let k = p_bounds(&p);
-        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k });
+        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k }).unwrap();
         let r = exec.run(8, 2).expect("no OOM");
         assert_eq!(r.rounds, 2);
         assert!(r.throughput > 0.0);
@@ -832,10 +963,50 @@ mod tests {
     }
 
     #[test]
+    fn wrong_residency_length_is_a_typed_error() {
+        let p = profile(4);
+        let err = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: vec![2] })
+            .err()
+            .expect("must reject");
+        assert_eq!(
+            err,
+            ExecError::ResidencyLen {
+                expected: 2,
+                got: 1
+            }
+        );
+        let err = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: vec![2, 0] })
+            .err()
+            .expect("must reject");
+        assert_eq!(err, ExecError::ResidencyZero { stage: 1 });
+        // Interleaved expects one entry per *virtual* stage.
+        let err = PipelineExecutor::new(
+            &p,
+            SchedulePolicy::Interleaved {
+                k: vec![2, 2],
+                v: 2,
+            },
+        )
+        .err()
+        .expect("must reject");
+        assert_eq!(
+            err,
+            ExecError::ResidencyLen {
+                expected: 4,
+                got: 2
+            }
+        );
+        assert!(matches!(
+            PipelineExecutor::new(&p, SchedulePolicy::Interleaved { k: vec![], v: 0 }),
+            Err(ExecError::Schedule { .. })
+        ));
+    }
+
+    #[test]
     fn traced_run_matches_untraced_and_accounts_idle() {
         let p = profile(4);
         let k = p_bounds(&p);
-        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k });
+        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k }).unwrap();
         let tracer = Tracer::new();
         let traced = exec.run_traced(8, 2, &tracer).expect("no OOM");
         let plain = exec.run(8, 2).expect("no OOM");
@@ -872,7 +1043,7 @@ mod tests {
         // More micro-batches per round amortize the SSB.
         let p = profile(4);
         let k = p_bounds(&p);
-        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k });
+        let exec = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k }).unwrap();
         let t4 = exec.run(4, 2).unwrap().throughput;
         let t16 = exec.run(16, 2).unwrap().throughput;
         assert!(t16 > t4, "throughput {t16} should exceed {t4}");
@@ -884,9 +1055,11 @@ mod tests {
         let k = p_bounds(&p);
         let m = 8;
         let ours = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .unwrap()
             .run(m, 1)
             .unwrap();
         let gpipe = PipelineExecutor::new(&p, SchedulePolicy::BafSync)
+            .unwrap()
             .run(m, 1)
             .unwrap();
         assert!(
@@ -902,9 +1075,11 @@ mod tests {
         let p = profile(8);
         let k = p_bounds(&p);
         let e1 = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .unwrap()
             .run(8, 3)
             .unwrap();
         let e2 = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .unwrap()
             .run(8, 3)
             .unwrap();
         assert_eq!(e1.makespan, e2.makespan);
@@ -916,6 +1091,7 @@ mod tests {
         let p = profile(8);
         let k = p_bounds(&p);
         let r = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .unwrap()
             .run(8, 2)
             .unwrap();
         for (&b, &g) in r
@@ -934,6 +1110,7 @@ mod tests {
         let p = profile(4);
         let k = p_bounds(&p);
         let r = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .unwrap()
             .run(8, 1)
             .unwrap();
         let power = vec![PowerProfile::new(2.0, 10.0); 2];
@@ -953,9 +1130,11 @@ mod tests {
         let p = profile(4);
         let k = p_bounds(&p);
         let sync = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .unwrap()
             .run(8, 4)
             .unwrap();
         let asynchronous = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBAsync { k })
+            .unwrap()
             .run(8, 4)
             .unwrap();
         assert!(
@@ -977,10 +1156,12 @@ mod tests {
         let p = profile(4);
         let k = p_bounds(&p);
         let sync = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: k.clone() })
+            .unwrap()
             .run(4, 1)
             .unwrap();
         let asynchronous =
             PipelineExecutor::new(&p, SchedulePolicy::OneFOneBAsync { k: k.clone() })
+                .unwrap()
                 .run(4, 1)
                 .unwrap();
         assert!(
@@ -1004,11 +1185,14 @@ mod tests {
         let tight = PipelineProfile::from_stages(stages, p.micro_batch());
         assert!(
             PipelineExecutor::new(&tight, SchedulePolicy::OneFOneBSync { k: k.clone() })
+                .unwrap()
                 .run(4, 1)
                 .is_ok()
         );
         assert!(matches!(
-            PipelineExecutor::new(&tight, SchedulePolicy::OneFOneBAsync { k }).run(4, 1),
+            PipelineExecutor::new(&tight, SchedulePolicy::OneFOneBAsync { k })
+                .unwrap()
+                .run(4, 1),
             Err(ExecError::Oom { stage: 0, .. })
         ));
     }
@@ -1021,9 +1205,11 @@ mod tests {
         let proper = p_bounds(&p);
         let starved = vec![1; p.num_stages()];
         let good = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: proper })
+            .unwrap()
             .run(12, 1)
             .unwrap();
         let bad = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k: starved })
+            .unwrap()
             .run(12, 1)
             .unwrap();
         assert!(
@@ -1032,5 +1218,69 @@ mod tests {
             bad.makespan,
             good.makespan
         );
+    }
+
+    #[test]
+    fn zero_bubble_completes_and_splits_backward() {
+        let p = profile(4);
+        let k = p_bounds(&p);
+        let m = 8;
+        let zb = PipelineExecutor::new(&p, SchedulePolicy::ZeroBubble { k: k.clone() })
+            .unwrap()
+            .run(m, 2)
+            .unwrap();
+        // Per round and stage: m forwards + m input halves + m weight halves.
+        assert_eq!(zb.task_spans.len(), 2 * 3 * m * p.num_stages());
+        let inputs = zb
+            .task_spans
+            .iter()
+            .filter(|s| s.phase == TaskPhase::BackwardInput)
+            .count();
+        let weights = zb
+            .task_spans
+            .iter()
+            .filter(|s| s.phase == TaskPhase::BackwardWeight)
+            .count();
+        assert_eq!(inputs, 2 * m * p.num_stages());
+        assert_eq!(weights, 2 * m * p.num_stages());
+        // The analytic bubble must undercut Eq. 2.
+        let sync = PipelineExecutor::new(&p, SchedulePolicy::OneFOneBSync { k })
+            .unwrap()
+            .run(m, 2)
+            .unwrap();
+        assert!(zb.ssb_per_round < sync.ssb_per_round);
+    }
+
+    #[test]
+    fn interleaved_runs_virtual_stages_per_device() {
+        use crate::orchestrator::k_bounds;
+        let p = profile(4);
+        let vp = crate::schedule::interleave_profile(&p, DEFAULT_INTERLEAVE);
+        let k = k_bounds(&vp).expect("virtual stages fit");
+        let exec = PipelineExecutor::new(
+            &p,
+            SchedulePolicy::Interleaved {
+                k,
+                v: DEFAULT_INTERLEAVE,
+            },
+        )
+        .unwrap();
+        let m = 8;
+        let r = exec.run(m, 1).unwrap();
+        // Report is per *virtual* stage.
+        assert_eq!(r.stage_peak_memory.len(), 2 * DEFAULT_INTERLEAVE);
+        assert_eq!(r.task_spans.len(), 2 * m * 2 * DEFAULT_INTERLEAVE);
+        // One compute at a time per device: spans of virtual stages sharing
+        // a device never overlap.
+        for (i, a) in r.task_spans.iter().enumerate() {
+            for b in &r.task_spans[i + 1..] {
+                if vp.stages()[a.stage].device == vp.stages()[b.stage].device {
+                    assert!(
+                        a.end <= b.start + 1e-12 || b.end <= a.start + 1e-12,
+                        "device-sharing spans overlap: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
     }
 }

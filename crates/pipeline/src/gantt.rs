@@ -17,9 +17,10 @@ use ecofl_obs::{SpanKind, TraceView};
 /// Renders one sync-round of a pipeline trace as an ASCII Gantt chart.
 ///
 /// `width` is the number of character columns the round's duration maps
-/// onto. Forward tasks paint `F<digit>`-style cells using the micro-batch
-/// index (mod 10); backward tasks paint the index in `()`-less lowercase
-/// via `b`-prefixed cells; idle time is `·`.
+/// onto. Forward tasks paint the micro-batch digit (mod 10); full
+/// backwards and the activation-gradient halves of split backwards paint
+/// lowercase `a–j`; the deferred weight-gradient halves paint uppercase
+/// `A–J`; idle time is `·`.
 ///
 /// Returns one line per stage, prefixed with the stage index.
 ///
@@ -27,7 +28,26 @@ use ecofl_obs::{SpanKind, TraceView};
 /// Panics if `width < 10`.
 #[must_use]
 pub fn render_view(view: &TraceView, round: usize, width: usize) -> Vec<String> {
+    render_view_virtual(view, round, width, 1)
+}
+
+/// [`render_view`] for interleaved schedules: `virtual_per_device` > 1
+/// labels each row with its physical device and chunk (`dev d.c`) so the
+/// `v` virtual stages a device hosts are visually grouped. With
+/// `virtual_per_device == 1` rows keep the plain `stage s` labels.
+///
+/// # Panics
+/// Panics if `width < 10`, or if the stage count is not divisible by
+/// `virtual_per_device`.
+#[must_use]
+pub fn render_view_virtual(
+    view: &TraceView,
+    round: usize,
+    width: usize,
+    virtual_per_device: usize,
+) -> Vec<String> {
     assert!(width >= 10, "render_view: width too small");
+    assert!(virtual_per_device >= 1);
     let Some((t0, t1)) = view.round_window(round) else {
         return Vec::new();
     };
@@ -43,21 +63,35 @@ pub fn render_view(view: &TraceView, round: usize, width: usize) -> Vec<String> 
     for span in view.compute_spans(round) {
         let a = (((span.t0 - t0) * scale) as usize).min(width - 1);
         let b = (((span.t1 - t0) * scale).ceil() as usize).clamp(a + 1, width);
-        let digit = char::from_digit((span.micro % 10) as u32, 10).expect("digit");
-        let cell = if span.kind == SpanKind::Forward {
-            digit
-        } else {
-            // Backward cells render as letters a–j so the two phases are
-            // visually distinct in plain ASCII.
-            (b'a' + (span.micro % 10) as u8) as char
+        let n = (span.micro % 10) as u8;
+        let cell = match span.kind {
+            SpanKind::Forward => char::from(b'0' + n),
+            // Weight-gradient halves render uppercase so the two split
+            // phases stay distinct; full backwards and activation-gradient
+            // halves render as the familiar lowercase band.
+            SpanKind::BackwardWeight => char::from(b'A' + n),
+            _ => char::from(b'a' + n),
         };
         for c in rows[span.entity].iter_mut().take(b).skip(a) {
             *c = cell;
         }
     }
+    assert!(
+        stages.is_multiple_of(virtual_per_device) || virtual_per_device == 1,
+        "stage count {stages} not divisible by v={virtual_per_device}"
+    );
+    let phys = stages / virtual_per_device;
     rows.into_iter()
         .enumerate()
-        .map(|(s, row)| format!("stage {s} |{}|", row.into_iter().collect::<String>()))
+        .map(|(s, row)| {
+            let bar: String = row.into_iter().collect();
+            if virtual_per_device > 1 {
+                // Chunk-major virtual stage j = chunk * phys + device.
+                format!("dev {}.{} |{bar}|", s % phys, s / phys)
+            } else {
+                format!("stage {s} |{bar}|")
+            }
+        })
         .collect()
 }
 
@@ -71,11 +105,29 @@ pub fn render_round(spans: &[TaskSpan], round: usize, width: usize) -> Vec<Strin
     render_view(&spans_to_view(spans), round, width)
 }
 
+/// [`render_round`] with virtual-stage labels — see
+/// [`render_view_virtual`].
+///
+/// # Panics
+/// Panics if `width < 10` or the stage count is not divisible by
+/// `virtual_per_device`.
+#[must_use]
+pub fn render_round_virtual(
+    spans: &[TaskSpan],
+    round: usize,
+    width: usize,
+    virtual_per_device: usize,
+) -> Vec<String> {
+    render_view_virtual(&spans_to_view(spans), round, width, virtual_per_device)
+}
+
 /// Renders a compact legend for [`render_round`] output.
 #[must_use]
 pub fn legend() -> &'static str {
-    "digits = forward pass of micro-batch n, letters a–j = backward pass of \
-     micro-batch n, · = idle"
+    "digits = forward pass of micro-batch n, letters a–j = backward pass \
+     (or its activation-gradient half) of micro-batch n, letters A–J = \
+     deferred weight-gradient half, · = idle; interleaved rows are \
+     labeled dev d.chunk"
 }
 
 #[cfg(test)]
@@ -101,6 +153,7 @@ mod tests {
         let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
         let k = p_bounds(&profile);
         PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .expect("valid")
             .run(6, 2)
             .expect("runs")
     }
@@ -127,7 +180,8 @@ mod tests {
         let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
         let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
         let k = p_bounds(&profile);
-        let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+        let exec =
+            PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k }).expect("valid");
         let tracer = Tracer::new();
         let report = exec.run_traced(6, 1, &tracer).expect("runs");
         assert_eq!(
@@ -195,6 +249,70 @@ mod tests {
                 assert!(bp.start >= fp.end - 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn interleaved_round_matches_golden() {
+        // One interleaved (v = 2) round on the 2-device mix, pinned to
+        // the exact rendering: rows are labeled dev d.chunk and grouped
+        // chunk-major, forwards paint digits, backwards the lowercase
+        // band. A diff here means either the executor's dispatch order
+        // or the renderer's layout changed — both are contract surface.
+        use crate::schedule::{interleave_profile, SchedulePolicy};
+        use ecofl_models::efficientnet;
+        use ecofl_simnet::tx2_n;
+
+        let model = efficientnet(0);
+        let l = model.num_layers();
+        let devices = vec![Device::new(tx2_n()), Device::new(nano_h())];
+        let profile = PipelineProfile::new(&model, &[0, l / 2, l], &devices, &Link::mbps_100(), 4);
+        let vp = interleave_profile(&profile, 2);
+        let k = p_bounds(&vp);
+        let report = PipelineExecutor::new(&profile, SchedulePolicy::Interleaved { k, v: 2 })
+            .expect("valid")
+            .run(4, 1)
+            .expect("runs");
+        let rows = render_round_virtual(&report.task_spans, 0, 72, 2);
+        // '.' stands in for the idle dot U+00B7.
+        let golden = [
+            "dev 0.0 |1233.................................aaa.....bbb...............ccc....dd|",
+            "dev 1.0 |...000111223333...............aaaaaa.bbbbbb............cccccc.dddddd....|",
+            "dev 0.1 |.........0.11.22.........a33....bbb...............ccc.....dd............|",
+            "dev 1.1 |..............000aaaaa11bbbbbbb....222....cccccc33dddddd................|",
+        ];
+        for (row, want) in rows.iter().zip(&golden) {
+            let want: String = want
+                .char_indices()
+                .map(|(i, c)| if c == '.' && i > 8 { '\u{b7}' } else { c })
+                .collect();
+            assert_eq!(row, &want);
+        }
+        assert_eq!(rows.len(), golden.len());
+    }
+
+    #[test]
+    fn split_backward_halves_render_distinctly() {
+        use crate::schedule::SchedulePolicy;
+        let model = efficientnet_at(0, 224);
+        let devices = vec![Device::new(tx2_q()), Device::new(nano_h())];
+        let link = Link::mbps_100();
+        let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
+        let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
+        let k = p_bounds(&profile);
+        let report = PipelineExecutor::new(&profile, SchedulePolicy::ZeroBubble { k })
+            .expect("valid")
+            .run(4, 1)
+            .expect("runs");
+        let rows = render_round(&report.task_spans, 0, 80);
+        let flat: String = rows.concat();
+        assert!(
+            flat.chars().any(|c| c.is_ascii_uppercase()),
+            "weight-gradient halves must paint A-J"
+        );
+        assert!(
+            flat.chars().any(|c| ('a'..='j').contains(&c)),
+            "activation-gradient halves must paint a-j"
+        );
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //! - [`orchestrator`] — bubble analysis (SSB of Eq. 2, DDB), the in-flight
 //!   forward bounds `P_s` of Eq. 3, memory bounds `Q_s`, `K_s = min(P_s,
 //!   Q_s)`, and the device-order / micro-batch-size search of §4.3,
-//! - [`executor`] — a discrete-event executor that runs a schedule policy
-//!   (1F1B-Sync or Gpipe's BAF-Sync) over simulated devices and links,
-//!   with per-stage memory accounting (OOM detection), busy traces and
-//!   bubble measurement,
+//! - [`schedule`] — the pluggable [`schedule::PipelineSchedule`] trait and
+//!   its five implementations (1F1B-Sync, BAF-Sync, 1F1B-Async,
+//!   interleaved 1F1B, zero-bubble), each emitting a deterministic
+//!   per-stage task stream with residency bounds `K_s`,
+//! - [`executor`] — a discrete-event executor that runs any registered
+//!   schedule over simulated devices and links, with per-stage memory
+//!   accounting (OOM detection), busy traces and bubble measurement,
 //! - [`baselines`] — data-parallel and single-device training cost models
 //!   (the Fig. 10/11 comparison points),
 //! - [`adaptive`] — the §4.4 runtime: periodic stage-time reports, lagger
@@ -40,6 +43,7 @@ pub mod orchestrator;
 pub mod partition;
 pub mod profiler;
 pub mod runtime;
+pub mod schedule;
 pub mod validate;
 
 pub use adaptive::{AdaptiveScheduler, RescheduleEvent, SpikeError};
@@ -53,5 +57,8 @@ pub use profiler::{PipelineProfile, StageProfile};
 pub use runtime::{
     load_checkpoint_at_or_before, load_latest_checkpoint, stored_checkpoints, CheckpointRecord,
     FaultPlan, KillPoint, PipelineTrainer, RuntimeOptions,
+};
+pub use schedule::{
+    interleave_profile, PipelineSchedule, RtStep, ScheduleKind, StageTask, DEFAULT_INTERLEAVE,
 };
 pub use validate::{validate_plan, PlanViolation};

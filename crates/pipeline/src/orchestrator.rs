@@ -9,9 +9,10 @@
 //!   every stage, shrink the micro-batch until one does, and pick the
 //!   order with the best simulated throughput (Fig. 5's Config A vs B/C).
 
-use crate::executor::{ExecutionReport, PipelineExecutor, SchedulePolicy};
+use crate::executor::{ExecutionReport, PipelineExecutor};
 use crate::partition::{partition_dp, Partition};
 use crate::profiler::PipelineProfile;
+use crate::schedule::ScheduleKind;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_models::ModelProfile;
 use ecofl_simnet::{Device, Link};
@@ -101,6 +102,10 @@ pub struct OrchestratorConfig {
     pub mbs_candidates: Vec<usize>,
     /// Sync-rounds simulated when scoring a candidate.
     pub eval_rounds: usize,
+    /// Pipeline schedule evaluated for every candidate; the cost model
+    /// queries the schedule for its bubble/memory profile rather than
+    /// assuming Eq. 2.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for OrchestratorConfig {
@@ -109,6 +114,7 @@ impl Default for OrchestratorConfig {
             global_batch: 128,
             mbs_candidates: vec![32, 16, 8, 4, 2, 1],
             eval_rounds: 2,
+            schedule: ScheduleKind::OneFOneBSync,
         }
     }
 }
@@ -198,8 +204,12 @@ pub fn search_configuration(
                 continue;
             };
             let ddb_free = k == p && m >= *p.iter().max().unwrap_or(&1);
-            let exec =
-                PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() });
+            let Some(policy) = config.schedule.policy_for(&profile) else {
+                continue;
+            };
+            let Ok(exec) = PipelineExecutor::new(&profile, policy) else {
+                continue;
+            };
             let Ok(report) = exec.run(m, config.eval_rounds) else {
                 continue;
             };
@@ -238,6 +248,7 @@ pub fn search_configuration(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::SchedulePolicy;
     use ecofl_models::efficientnet;
     use ecofl_simnet::{nano_h, tx2_q, Device};
 
@@ -318,6 +329,7 @@ mod tests {
             global_batch: 64,
             mbs_candidates: vec![16, 8, 4],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         };
         let plan = search_configuration(&model, &devices, &Link::mbps_100(), &cfg).expect("plan");
         assert_eq!(plan.order.len(), 3);
@@ -339,6 +351,7 @@ mod tests {
             global_batch: 64,
             mbs_candidates: vec![16, 8],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         };
         let plan = search_configuration(&model, &devices, &Link::mbps_100(), &cfg).expect("plan");
         // Whatever the order, throughput must beat the worst order.
@@ -359,6 +372,7 @@ mod tests {
         let worst_k = k_bounds(&worst_profile).unwrap();
         let worst =
             PipelineExecutor::new(&worst_profile, SchedulePolicy::OneFOneBSync { k: worst_k })
+                .expect("valid")
                 .run(plan.micro_batches, 1)
                 .unwrap();
         assert!(plan.report.throughput >= worst.throughput * 0.999);
@@ -378,6 +392,7 @@ mod tests {
             let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
             let p = p_bounds(&profile);
             let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p })
+                .expect("valid")
                 .with_task_overhead(0.0)
                 .run(m, 1)
                 .expect("runs");

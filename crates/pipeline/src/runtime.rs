@@ -83,6 +83,7 @@
 //! [`recv_timeout`]: ecofl_compat::sync::channel::Receiver::recv_timeout
 
 use crate::executor::ExecError;
+use crate::schedule::{RtStep, ScheduleKind};
 use ecofl_compat::bytes::{Bytes, BytesMut};
 use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, Sender};
 use ecofl_compat::sync::Mutex;
@@ -226,6 +227,12 @@ pub struct RuntimeOptions {
     /// store continues its sequence numbering, enabling cross-run
     /// point-in-time recovery and diffing.
     pub store_path: Option<PathBuf>,
+    /// Pipeline schedule the stage threads interpret per round. The
+    /// runtime is round-synchronous, so every schedule collapses to its
+    /// round-synchronous step program (see
+    /// [`ScheduleKind::runtime_stream`]); which gradients accumulate is
+    /// unchanged, so round results are bit-identical across schedules.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for RuntimeOptions {
@@ -235,6 +242,7 @@ impl Default for RuntimeOptions {
             fault_plan: FaultPlan::none(),
             tracer: None,
             store_path: None,
+            schedule: ScheduleKind::OneFOneBSync,
         }
     }
 }
@@ -245,13 +253,14 @@ impl Default for RuntimeOptions {
 pub type SegmentFactory = Box<dyn Fn() -> Vec<Vec<Box<dyn Layer>>>>;
 
 enum Ctrl {
-    /// Run one sync-round of `m` micro-batches with warmup residency `k`.
-    /// `round` is the trainer-lifetime round index (drives fault
-    /// injection).
+    /// Run one sync-round of `m` micro-batches with warmup residency `k`
+    /// under schedule `sched`. `round` is the trainer-lifetime round
+    /// index (drives fault injection).
     Round {
         m: usize,
         k: usize,
         round: u64,
+        sched: ScheduleKind,
     },
     /// Apply accumulated gradients: SGD with `lr`, gradients scaled by
     /// `scale`, then zero gradients.
@@ -606,35 +615,30 @@ fn stage_loop(ctx: &mut StageCtx) -> Result<(), StageFail> {
 
     loop {
         match ctx.ctrl_rx.recv() {
-            Ok(Ctrl::Round { m, k, round }) => {
+            Ok(Ctrl::Round { m, k, round, sched }) => {
                 let mut losses = Vec::new();
-                // 1F1B-Sync: warmup with K forwards, then alternate BP/FP,
-                // drain remaining backwards.
-                let warmup = k.min(m);
+                // Interpret the schedule's step program (for 1F1B: warmup
+                // with K forwards, then alternate BP/FP, drain remaining
+                // backwards). Ordering within the round is ultimately
+                // enforced by channel data availability; the program fixes
+                // the verb sequence and the fault-injection points, which
+                // fire before each forward.
                 let mut fp_done = 0usize;
-                let mut bp_done = 0usize;
-                for _ in 0..warmup {
-                    if ctx.kill_due(round, fp_done) {
-                        return Err(StageFail::Killed {
-                            round,
-                            micro: fp_done,
-                        });
-                    }
-                    do_fwd(ctx, &mut pending_logits)?;
-                    fp_done += 1;
-                }
-                while bp_done < m {
-                    do_bwd(ctx, &mut head, &mut pending_logits, &mut losses)?;
-                    bp_done += 1;
-                    if fp_done < m {
-                        if ctx.kill_due(round, fp_done) {
-                            return Err(StageFail::Killed {
-                                round,
-                                micro: fp_done,
-                            });
+                for step in sched.runtime_stream(m, k) {
+                    match step {
+                        RtStep::Fwd => {
+                            if ctx.kill_due(round, fp_done) {
+                                return Err(StageFail::Killed {
+                                    round,
+                                    micro: fp_done,
+                                });
+                            }
+                            do_fwd(ctx, &mut pending_logits)?;
+                            fp_done += 1;
                         }
-                        do_fwd(ctx, &mut pending_logits)?;
-                        fp_done += 1;
+                        RtStep::Bwd => {
+                            do_bwd(ctx, &mut head, &mut pending_logits, &mut losses)?;
+                        }
                     }
                 }
                 ctx.reply_tx
@@ -1078,6 +1082,7 @@ impl PipelineTrainer {
                     m,
                     k: self.k[s],
                     round,
+                    sched: self.opts.schedule,
                 })
                 .is_err()
             {

@@ -133,6 +133,7 @@ mod tests {
                 global_batch: 32,
                 mbs_candidates: vec![8, 4],
                 eval_rounds: 1,
+                ..OrchestratorConfig::default()
             },
         )
         .expect("plan");

@@ -25,6 +25,7 @@ fn throughput_with_link(link: Link, mbs: usize) -> f64 {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
     let k = k_bounds(&profile).expect("fits");
     PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .run(16, 3)
         .expect("runs")
         .throughput

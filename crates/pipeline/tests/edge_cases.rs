@@ -20,6 +20,7 @@ fn single_stage_pipeline_has_no_bubbles() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     assert_eq!(p_bounds(&profile), vec![1]);
     let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: vec![1] })
+        .expect("valid schedule")
         .run(8, 2)
         .expect("runs");
     assert_eq!(
@@ -38,9 +39,11 @@ fn gpipe_single_stage_equals_1f1b() {
     let partition = partition_dp(&model, &devices, &link, 8).expect("feasible");
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: vec![1] })
+        .expect("valid schedule")
         .run(6, 1)
         .unwrap();
     let gpipe = PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+        .expect("valid schedule")
         .run(6, 1)
         .unwrap();
     // With one stage both schedules serialize identically.
@@ -56,6 +59,7 @@ fn one_micro_batch_round_works() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 4);
     let k = k_bounds(&profile).unwrap();
     let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .run(1, 3)
         .expect("runs");
     assert_eq!(report.micro_batches, 1);
@@ -80,6 +84,7 @@ fn orchestrator_falls_back_when_no_ddb_free_plan_exists() {
             global_batch: 32,
             mbs_candidates: vec![8, 4],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         },
     );
     if let Some(plan) = plan {
@@ -105,6 +110,7 @@ fn search_handles_single_device_home() {
             global_batch: 32,
             mbs_candidates: vec![8, 4],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         },
     )
     .expect("single-device plan");
@@ -173,10 +179,12 @@ fn task_overhead_slows_but_never_blocks() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     let k = k_bounds(&profile).unwrap();
     let cheap = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() })
+        .expect("valid schedule")
         .with_task_overhead(0.0)
         .run(8, 1)
         .unwrap();
     let costly = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .with_task_overhead(0.1)
         .run(8, 1)
         .unwrap();

@@ -193,7 +193,8 @@ fn executor_completes_for_any_valid_k() {
             };
             let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, mbs);
             let exec =
-                PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: seed_k.clone() });
+                PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: seed_k.clone() })
+                    .expect("valid schedule");
             let r = exec.run(m, 1).expect("memory is ample here");
             // Liveness: every micro-batch completed, makespan finite and at
             // least the serial lower bound of the slowest stage.
@@ -246,9 +247,11 @@ fn gpipe_vs_ours_same_total_work() {
             let profile = PipelineProfile::new(&model, &part.boundaries, &devices, &link, 4);
             let k = k_bounds(&profile).expect("fits");
             let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .expect("valid schedule")
                 .run(m, 1)
                 .expect("runs");
             let gpipe = PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+                .expect("valid schedule")
                 .run(m, 1)
                 .expect("runs");
             let ours_samples = ours.throughput * ours.makespan;

@@ -1,7 +1,9 @@
 //! Renders the pipeline schedules of the paper's Figs. 3–4 as ASCII
 //! Gantt charts: Eco-FL's 1F1B-Sync at the Eq. 3 residency bounds, a
 //! starved variant showing data-dependency bubbles, Gpipe's BAF-Sync,
-//! and PipeDream's flush-free 1F1B-Async.
+//! PipeDream's flush-free 1F1B-Async, and the two extension schedules —
+//! interleaved 1F1B (one row per *virtual* stage) and zero-bubble 1F1B
+//! (the two backward halves rendered distinctly).
 //!
 //! ```text
 //! cargo run --release --example schedule_gallery
@@ -9,14 +11,14 @@
 
 use ecofl::prelude::*;
 use ecofl_pipeline::executor::ExecError;
-use ecofl_pipeline::gantt::{legend, render_round};
+use ecofl_pipeline::gantt::{legend, render_round_virtual};
 use ecofl_pipeline::orchestrator::p_bounds;
 
-fn show(title: &str, result: Result<ExecutionReport, ExecError>) {
+fn show(title: &str, v: usize, result: Result<ExecutionReport, ExecError>) {
     println!("\n=== {title} ===");
     match result {
         Ok(report) => {
-            for line in render_round(&report.task_spans, 0, 100) {
+            for line in render_round_virtual(&report.task_spans, 0, 100, v) {
                 println!("{line}");
             }
             println!(
@@ -53,19 +55,47 @@ fn main() {
 
     show(
         "1F1B-Sync, K = P (Eco-FL, Fig. 3)",
-        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p.clone() }).run(m, 1),
+        1,
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p.clone() })
+            .expect("valid schedule")
+            .run(m, 1),
     );
     show(
         "1F1B-Sync, starved K = [2,2,1] (Fig. 4 DDB)",
+        1,
         PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: vec![2, 2, 1] })
+            .expect("valid schedule")
             .run(m, 1),
     );
     show(
         "Gpipe BAF-Sync (all forwards, then all backwards)",
-        PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(m, 1),
+        1,
+        PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+            .expect("valid schedule")
+            .run(m, 1),
     );
     show(
         "PipeDream 1F1B-Async (no flush, weight stashing)",
-        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBAsync { k: p }).run(m, 1),
+        1,
+        PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBAsync { k: p.clone() })
+            .expect("valid schedule")
+            .run(m, 1),
+    );
+    let interleaved = ScheduleKind::Interleaved1F1B
+        .policy_for(&profile)
+        .expect("fits");
+    show(
+        "Interleaved 1F1B, v = 2 (rows are virtual stages: dev d.chunk)",
+        2,
+        PipelineExecutor::new(&profile, interleaved)
+            .expect("valid schedule")
+            .run(m, 1),
+    );
+    show(
+        "Zero-bubble 1F1B (a = activation-grad half, A = weight-grad half)",
+        1,
+        PipelineExecutor::new(&profile, SchedulePolicy::ZeroBubble { k: p })
+            .expect("valid schedule")
+            .run(m, 1),
     );
 }

@@ -39,11 +39,15 @@ fn main() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
     let k = k_bounds(&profile).expect("memory admits K >= 1");
     let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: k.clone() })
+        .expect("valid schedule")
         .run(micro_batches, 4)
         .expect("no OOM");
     println!("\n=== 1F1B-Sync (K = {k:?}) ===");
     print_report(&ours);
-    match PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(micro_batches, 4) {
+    match PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+        .expect("valid schedule")
+        .run(micro_batches, 4)
+    {
         Ok(gpipe) => {
             println!("\n=== Gpipe BAF-Sync ===");
             print_report(&gpipe);

@@ -63,4 +63,13 @@ echo "==> validate_bench"
 cargo build --release --offline -q -p ecofl-bench --bin validate_bench
 ./target/release/validate_bench "$out_dir/BENCH_micro.json" "$out_dir/BENCH_headline.json"
 
+# The headline snapshot must carry the Table-2-style schedule matrix:
+# one sched_<kind>_* case per registered schedule.
+for kind in 1f1b gpipe async interleaved zb; do
+    if ! grep -q "\"sched_${kind}_" "$out_dir/BENCH_headline.json"; then
+        echo "ERROR: BENCH_headline.json is missing the sched_${kind}_* schedule-matrix cases" >&2
+        exit 1
+    fi
+done
+
 echo "==> bench snapshots written to $out_dir"

@@ -86,6 +86,27 @@ for threads in 1 2 8; do
     }
 done
 
+# Schedule-conformance gate: every registered pipeline schedule must
+# recover from injected stage kills with a bit-identical replay and run
+# deterministically in the virtual-time executor. Swept across pool
+# widths like the fault gate (a schedule whose step program deadlocks
+# the round-synchronous runtime would hang, hence the watchdog), plus
+# one pass of the randomized legality property suite.
+echo "==> schedule-conformance gate: ecofl-pipeline --test schedule_conformance at ECOFL_THREADS=1/2/8 (watchdog 300s)"
+for threads in 1 2 8; do
+    echo "    ECOFL_THREADS=$threads"
+    ECOFL_THREADS=$threads timeout 300 \
+        cargo test -q --release --offline -p ecofl-pipeline --test schedule_conformance || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: schedule-conformance suite hit the watchdog — a step program deadlocked the runtime." >&2
+        fi
+        exit "$status"
+    }
+done
+echo "    schedule-legality property suite"
+cargo test -q --release --offline --test schedule_legality
+
 # Kernel-equivalence gate: the blocked tensor kernels must match the
 # retained naive references — bit-identically where the contract says so,
 # within the documented tolerance elsewhere (DESIGN.md, "Kernel tiling and

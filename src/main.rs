@@ -17,8 +17,8 @@
 use ecofl::obs::{trace_dir, Domain};
 use ecofl::prelude::*;
 use ecofl_pipeline::adaptive::{simulate_load_spike_traced, SchedulerConfig};
-use ecofl_pipeline::gantt::{legend, render_round};
-use ecofl_pipeline::orchestrator::k_bounds;
+use ecofl_pipeline::gantt::{legend, render_round_virtual};
+use ecofl_pipeline::schedule::ScheduleKind;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -100,15 +100,18 @@ fn parse_strategy(name: &str) -> Result<Strategy, EcoFlError> {
     }
 }
 
-fn parse_schedule(name: &str, k: Vec<usize>) -> Result<SchedulePolicy, EcoFlError> {
-    match name {
-        "1f1b" => Ok(SchedulePolicy::OneFOneBSync { k }),
-        "gpipe" => Ok(SchedulePolicy::BafSync),
-        "async" => Ok(SchedulePolicy::OneFOneBAsync { k }),
-        other => Err(EcoFlError::Parse(format!(
-            "unknown schedule '{other}' (1f1b, gpipe, async)"
-        ))),
-    }
+fn parse_schedule(name: &str) -> Result<ScheduleKind, EcoFlError> {
+    name.parse::<ScheduleKind>().map_err(EcoFlError::Parse)
+}
+
+/// Instantiates `kind` for `profile` with Eq. 3 residency bounds, mapping
+/// an infeasible profile (no residency fits memory) to a plan error.
+fn schedule_policy(
+    kind: ScheduleKind,
+    profile: &PipelineProfile,
+) -> Result<SchedulePolicy, EcoFlError> {
+    kind.policy_for(profile)
+        .ok_or_else(|| EcoFlError::Plan("memory admits no residency".into()))
 }
 
 fn get<T: std::str::FromStr>(
@@ -150,6 +153,7 @@ fn cmd_plan(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
             global_batch: batch,
             mbs_candidates: vec![32, 16, 8, 4],
             eval_rounds: 2,
+            ..OrchestratorConfig::default()
         },
     )
     .ok_or_else(|| EcoFlError::Plan("no feasible pipeline configuration".into()))?;
@@ -202,14 +206,17 @@ fn cmd_gantt(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let partition = partition_dp(&model, &devices, &link, mbs)
         .ok_or_else(|| EcoFlError::Plan("no feasible partition".into()))?;
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
-    let k =
-        k_bounds(&profile).ok_or_else(|| EcoFlError::Plan("memory admits no residency".into()))?;
     let schedule = args.get("schedule").map_or("1f1b", String::as_str);
-    let policy = parse_schedule(schedule, k)?;
-    let report = PipelineExecutor::new(&profile, policy).run(m, 1)?;
+    let kind = parse_schedule(schedule)?;
+    let policy = schedule_policy(kind, &profile)?;
+    let v = match &policy {
+        SchedulePolicy::Interleaved { v, .. } => *v,
+        _ => 1,
+    };
+    let report = PipelineExecutor::new(&profile, policy)?.run(m, 1)?;
     println!("{} — {schedule} schedule, mbs {mbs}, M = {m}", model.name);
     println!("{}", legend());
-    for line in render_round(&report.task_spans, 0, width) {
+    for line in render_round_virtual(&report.task_spans, 0, width, v) {
         println!("{line}");
     }
     println!(
@@ -602,12 +609,11 @@ fn cmd_trace_pipeline(args: &HashMap<String, String>) -> Result<(), EcoFlError> 
     let partition = partition_dp(&model, &devices, &link, mbs)
         .ok_or_else(|| EcoFlError::Plan("no feasible partition".into()))?;
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
-    let k =
-        k_bounds(&profile).ok_or_else(|| EcoFlError::Plan("memory admits no residency".into()))?;
     let schedule = args.get("schedule").map_or("1f1b", String::as_str);
-    let policy = parse_schedule(schedule, k)?;
+    let kind = parse_schedule(schedule)?;
+    let policy = schedule_policy(kind, &profile)?;
     let tracer = Tracer::new();
-    let report = PipelineExecutor::new(&profile, policy).run_traced(m, rounds, &tracer)?;
+    let report = PipelineExecutor::new(&profile, policy)?.run_traced(m, rounds, &tracer)?;
     let view = tracer.view();
 
     let (store_dir, stored, blocks) = persist_trace(args, "pipeline", &tracer.records())?;
@@ -738,7 +744,8 @@ fn usage() -> &'static str {
        devices                       print the Table 1 device catalog\n\
        plan   --model M --devices D  partition + orchestrate a pipeline\n\
        gantt  --model M --devices D  render a schedule Gantt chart\n\
-              [--schedule 1f1b|gpipe|async] [--mbs N] [--micro-batches N]\n\
+              [--schedule 1f1b|gpipe|async|interleaved|zb]\n\
+              [--mbs N] [--micro-batches N]\n\
        spike  --model M --devices D  run the Fig. 13 load-spike scenario\n\
               [--load F] [--at T] [--device I] [--horizon T]\n\
               [--kill-stage I]       instead: kill a real runtime stage,\n\
@@ -872,10 +879,12 @@ mod tests {
         }
         assert!(matches!(parse_model("resnet"), Err(EcoFlError::Parse(_))));
         assert!(matches!(parse_strategy("sgd"), Err(EcoFlError::Parse(_))));
-        assert!(matches!(
-            parse_schedule("rr", vec![1]),
-            Err(EcoFlError::Parse(_))
-        ));
+        assert!(matches!(parse_schedule("rr"), Err(EcoFlError::Parse(_))));
+        assert_eq!(parse_schedule("zb").unwrap(), ScheduleKind::ZeroBubble);
+        assert_eq!(
+            parse_schedule("interleaved").unwrap(),
+            ScheduleKind::Interleaved1F1B
+        );
         assert!(matches!(parse_dataset("svhn"), Err(EcoFlError::Parse(_))));
     }
 }

@@ -59,6 +59,62 @@ fn gantt_renders_rows() {
 }
 
 #[test]
+fn gantt_renders_interleaved_virtual_stage_rows() {
+    let (ok, stdout, stderr) = ecofl(&[
+        "gantt",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--micro-batches",
+        "4",
+        "--schedule",
+        "interleaved",
+    ]);
+    assert!(ok, "gantt failed:\n{stdout}\n{stderr}");
+    // Two devices at v = 2 produce four virtual-stage rows, chunk-major.
+    for row in ["dev 0.0 |", "dev 1.0 |", "dev 0.1 |", "dev 1.1 |"] {
+        assert!(stdout.contains(row), "missing {row} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn gantt_renders_zero_bubble_weight_halves() {
+    let (ok, stdout, stderr) = ecofl(&[
+        "gantt",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--micro-batches",
+        "4",
+        "--schedule",
+        "zb",
+    ]);
+    assert!(ok, "gantt failed:\n{stdout}\n{stderr}");
+    let bars: String = stdout.lines().filter(|l| l.starts_with("stage ")).collect();
+    assert!(
+        bars.chars().any(|c| c.is_ascii_uppercase()),
+        "weight-gradient halves must paint A-J:\n{stdout}"
+    );
+}
+
+#[test]
+fn unknown_schedule_fails_cleanly() {
+    let (ok, _, stderr) = ecofl(&[
+        "gantt",
+        "--model",
+        "effnet-b0",
+        "--devices",
+        "tx2q,nanoh",
+        "--schedule",
+        "rr",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown schedule"), "stderr:\n{stderr}");
+}
+
+#[test]
 fn fl_runs_a_tiny_federation() {
     let (ok, stdout, _) = ecofl(&[
         "fl",

@@ -63,6 +63,7 @@ fn pipeline_beats_single_device_end_to_end() {
             global_batch: 64,
             mbs_candidates: vec![16, 8, 4],
             eval_rounds: 2,
+            ..OrchestratorConfig::default()
         },
     )
     .expect("plan");

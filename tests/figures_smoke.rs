@@ -27,6 +27,7 @@ fn fig4_shape_starvation_costs_throughput() {
     let p = p_bounds(&profile);
     let run_k = |k: Vec<usize>| {
         PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .expect("valid schedule")
             .run(8, 2)
             .unwrap()
             .throughput
@@ -63,11 +64,14 @@ fn table2_shape_gpipe_memory_dominates() {
     let k = k_bounds(&profile).unwrap();
     assert!(
         PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .expect("valid schedule")
             .run(8, 1)
             .is_ok()
     );
     assert!(matches!(
-        PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(8, 1),
+        PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+            .expect("valid schedule")
+            .run(8, 1),
         Err(ExecError::Oom { .. })
     ));
 }
@@ -88,6 +92,7 @@ fn fig11_shape_dp_loses_on_wide_mobilenet() {
             global_batch: 64,
             mbs_candidates: vec![16, 8],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         },
     )
     .unwrap();

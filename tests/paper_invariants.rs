@@ -59,6 +59,7 @@ fn eq3_bounds_are_throughput_optimal_residencies() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 8);
     let p = p_bounds(&profile);
     let reference = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: p.clone() })
+        .expect("valid schedule")
         .run(12, 2)
         .expect("runs");
     for s in 0..p.len() {
@@ -68,6 +69,7 @@ fn eq3_bounds_are_throughput_optimal_residencies() {
         let mut starved = p.clone();
         starved[s] -= 1;
         let r = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: starved })
+            .expect("valid schedule")
             .run(12, 2)
             .expect("runs");
         assert!(
@@ -80,6 +82,7 @@ fn eq3_bounds_are_throughput_optimal_residencies() {
     let mut extra = p.clone();
     extra[0] += 2;
     let r = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k: extra })
+        .expect("valid schedule")
         .run(12, 2)
         .expect("runs");
     assert!(
@@ -104,9 +107,13 @@ fn gpipe_memory_dominates_1f1b() {
         let k = k_bounds(&profile).expect("fits");
         let m = 2 * k.iter().max().copied().unwrap_or(1) + 2;
         let ours = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .expect("valid schedule")
             .run(m, 1)
             .expect("ours runs");
-        match PipelineExecutor::new(&profile, SchedulePolicy::BafSync).run(m, 1) {
+        match PipelineExecutor::new(&profile, SchedulePolicy::BafSync)
+            .expect("valid schedule")
+            .run(m, 1)
+        {
             Ok(gpipe) => {
                 assert!(
                     gpipe.stage_peak_memory[0] > ours.stage_peak_memory[0],
@@ -166,6 +173,7 @@ fn larger_micro_batches_help_when_memory_allows() {
         let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, mbs);
         let k = k_bounds(&profile).expect("fits");
         PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+            .expect("valid schedule")
             .run(m, 2)
             .expect("runs")
             .throughput

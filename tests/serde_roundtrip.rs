@@ -82,6 +82,7 @@ fn partition_and_plan_round_trip() {
             global_batch: 32,
             mbs_candidates: vec![8, 4],
             eval_rounds: 1,
+            ..OrchestratorConfig::default()
         },
     )
     .expect("plan");
@@ -101,6 +102,7 @@ fn execution_report_round_trips_with_spans() {
     let profile = PipelineProfile::new(&model, &partition.boundaries, &devices, &link, 4);
     let k = k_bounds(&profile).expect("fits");
     let report = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+        .expect("valid schedule")
         .run(4, 1)
         .expect("runs");
     let back: ExecutionReport = round_trip(&report);
@@ -116,9 +118,32 @@ fn schedule_policy_round_trips() {
         SchedulePolicy::OneFOneBSync { k: vec![3, 2, 1] },
         SchedulePolicy::BafSync,
         SchedulePolicy::OneFOneBAsync { k: vec![2, 1] },
+        SchedulePolicy::Interleaved {
+            k: vec![4, 3, 2, 1],
+            v: 2,
+        },
+        SchedulePolicy::ZeroBubble { k: vec![3, 2, 1] },
     ] {
         assert_eq!(round_trip(&policy), policy);
     }
+}
+
+#[test]
+fn schedule_kind_round_trips_and_configs_carry_it() {
+    for kind in ScheduleKind::all() {
+        assert_eq!(round_trip(&kind), kind);
+    }
+    // The selector travels inside both search configs.
+    let ocfg = OrchestratorConfig {
+        schedule: ScheduleKind::ZeroBubble,
+        ..OrchestratorConfig::default()
+    };
+    assert_eq!(round_trip(&ocfg).schedule, ScheduleKind::ZeroBubble);
+    let scfg = SchedulerConfig {
+        schedule: ScheduleKind::Interleaved1F1B,
+        ..SchedulerConfig::default()
+    };
+    assert_eq!(round_trip(&scfg), scfg);
 }
 
 #[test]
@@ -126,6 +151,7 @@ fn scheduler_config_and_spike_round_trip() {
     let cfg = SchedulerConfig {
         deviation_threshold: 0.33,
         restart_overhead: 1.25,
+        ..SchedulerConfig::default()
     };
     assert_eq!(round_trip(&cfg), cfg);
     let spike = LoadSpike {

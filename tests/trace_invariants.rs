@@ -67,7 +67,8 @@ fn traced_spans_serialize_per_device_and_idle_matches_executor() {
                 .collect();
             let profile = PipelineProfile::from_stages(stages, 4);
             let k = p_bounds(&profile);
-            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .expect("valid schedule");
             let tracer = Tracer::new();
             let report = exec.run_traced(*m, *rounds, &tracer).expect("ample memory");
             let view = tracer.view();
@@ -126,7 +127,8 @@ fn stored_round_query_prunes_blocks_and_matches_full_scan() {
                 .collect();
             let profile = PipelineProfile::from_stages(stages, 4);
             let k = p_bounds(&profile);
-            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k });
+            let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .expect("valid schedule");
             let tracer = Tracer::new();
             exec.run_traced(*m, *rounds, &tracer).expect("ample memory");
             let records = tracer.records();
@@ -186,6 +188,7 @@ fn uniform_pipeline_bubble_fraction_matches_eq2_ssb() {
             let profile = PipelineProfile::from_stages(stages, 4);
             let k = p_bounds(&profile);
             let exec = PipelineExecutor::new(&profile, SchedulePolicy::OneFOneBSync { k })
+                .expect("valid schedule")
                 .with_task_overhead(0.0);
             let tracer = Tracer::new();
             let report = exec.run_traced(*m, 2, &tracer).expect("ample memory");
