@@ -91,6 +91,19 @@ fn bench_pipeline_round() {
         .expect("valid schedule")
         .run(16, 1)
     });
+    // The same round with a MetricsHub attached: the pair is the
+    // committed record of hub overhead on the 1F1B hot path, CI-gated
+    // by tests/metrics_overhead.rs.
+    let hub = ecofl_obs::MetricsHub::new();
+    time_case("pipeline_1f1b_round_b2_m16_metered", warmup, iters, || {
+        PipelineExecutor::new(
+            black_box(&profile),
+            SchedulePolicy::OneFOneBSync { k: k.clone() },
+        )
+        .expect("valid schedule")
+        .with_metrics(&hub)
+        .run(16, 1)
+    });
 }
 
 /// Table-2-style matrix: every registered schedule on two heterogeneous

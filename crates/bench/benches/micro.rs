@@ -221,6 +221,52 @@ fn bench_store() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_metrics() {
+    use ecofl_obs::MetricsHub;
+
+    // Batches of 1024 ops per sample: a single atomic add / sketch
+    // insert is below timer resolution, so the committed number is the
+    // per-1024 cost of the hot instrument paths.
+    let hub = MetricsHub::new();
+    let counter = hub.counter("bench_counter");
+    time_case("metrics_hub_counter_inc_1024", warmup(), iters(), || {
+        for _ in 0..1024 {
+            black_box(&counter).inc(1);
+        }
+        counter.get()
+    });
+
+    let histogram = hub.histogram("bench_histogram");
+    let mut rng = Rng::new(23);
+    let values: Vec<f64> = (0..1024).map(|_| rng.range_f64(1e-6, 1e6)).collect();
+    time_case(
+        "metrics_hub_histogram_record_1024",
+        warmup(),
+        iters(),
+        || {
+            for &v in &values {
+                black_box(&histogram).record(v);
+            }
+        },
+    );
+
+    // Snapshot cost over a realistically-sized registry: the live CLI
+    // dashboard takes one of these per refresh tick.
+    let populated = MetricsHub::new();
+    let mut r = Rng::new(29);
+    for i in 0..16 {
+        populated.counter(&format!("c{i}")).inc(i + 1);
+        populated.gauge(&format!("g{i}")).set(i as f64);
+        let h = populated.histogram(&format!("h{i}"));
+        for _ in 0..256 {
+            h.record(r.range_f64(1e-3, 1e3));
+        }
+    }
+    time_case("metrics_hub_snapshot_48_series", warmup(), iters(), || {
+        black_box(&populated).snapshot(0)
+    });
+}
+
 fn bench_sgd() {
     let mut rng = Rng::new(19);
     let mut params: Vec<f32> = (0..4938).map(|_| rng.next_f32()).collect();
@@ -244,5 +290,6 @@ fn main() {
     bench_conv();
     bench_sgd();
     bench_store();
+    bench_metrics();
     write_bench_snapshot("micro");
 }

@@ -193,23 +193,40 @@ pub mod channel {
         /// with all senders dropped, [`RecvTimeoutError::Timeout`] if
         /// the deadline elapsed first.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = std::time::Instant::now() + timeout;
+            self.recv_timeout_timed(timeout).0
+        }
+
+        /// [`Receiver::recv_timeout`] plus a wall-clock measurement of
+        /// how long the call actually blocked — the timing hook the
+        /// runtime's channel-wait profiling is built on. The returned
+        /// duration covers the whole call (queue lock to outcome), so
+        /// an immediate pop reports a near-zero wait and a timeout
+        /// reports approximately `timeout`.
+        ///
+        /// # Errors
+        /// Exactly as [`Receiver::recv_timeout`].
+        pub fn recv_timeout_timed(
+            &self,
+            timeout: std::time::Duration,
+        ) -> (Result<T, RecvTimeoutError>, std::time::Duration) {
+            let start = std::time::Instant::now();
+            let deadline = start + timeout;
             let mut queue = self.shared.lock();
-            loop {
+            let outcome = loop {
                 if let Some(value) = queue.pop_front() {
                     drop(queue);
                     self.shared.not_full.notify_one();
-                    return Ok(value);
+                    break Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
+                    break Err(RecvTimeoutError::Disconnected);
                 }
                 let now = std::time::Instant::now();
                 let Some(remaining) = deadline
                     .checked_duration_since(now)
                     .filter(|d| !d.is_zero())
                 else {
-                    return Err(RecvTimeoutError::Timeout);
+                    break Err(RecvTimeoutError::Timeout);
                 };
                 let (guard, _timed_out) = self
                     .shared
@@ -217,7 +234,8 @@ pub mod channel {
                     .wait_timeout(queue, remaining)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 queue = guard;
-            }
+            };
+            (outcome, start.elapsed())
         }
 
         /// Receives without blocking; `None` when currently empty.
@@ -401,6 +419,35 @@ mod tests {
             tx.send(9).unwrap();
         });
         assert_eq!(rx.recv_timeout(Duration::from_secs(60)), Ok(9));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_timed_measures_the_blocked_wait() {
+        // Immediate pop: near-zero wait.
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        let (got, waited) = rx.recv_timeout_timed(Duration::from_secs(60));
+        assert_eq!(got, Ok(7));
+        assert!(waited < Duration::from_secs(1), "no blocking to report");
+
+        // Full timeout: the measurement covers the deadline.
+        let (_tx2, rx2) = unbounded::<u32>();
+        let (got, waited) = rx2.recv_timeout_timed(Duration::from_millis(30));
+        assert_eq!(got, Err(RecvTimeoutError::Timeout));
+        assert!(waited >= Duration::from_millis(25), "waited {waited:?}");
+
+        // Late send: the measurement covers the actual block, not the
+        // full timeout.
+        let (tx3, rx3) = unbounded::<u32>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx3.send(9).unwrap();
+        });
+        let (got, waited) = rx3.recv_timeout_timed(Duration::from_secs(60));
+        assert_eq!(got, Ok(9));
+        assert!(waited >= Duration::from_millis(10), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(30), "waited {waited:?}");
         sender.join().unwrap();
     }
 

@@ -14,7 +14,8 @@ pub use crate::system::{EcoFlReport, EcoFlSystem, EcoFlSystemBuilder, SmartHome}
 pub use ecofl_data::federated::PartitionScheme;
 pub use ecofl_data::{Dataset, FederatedDataset, SyntheticSpec};
 pub use ecofl_fl::engine::{
-    run as run_strategy, run_traced as run_strategy_traced, FlSetup, RunResult, Strategy,
+    run as run_strategy, run_metered as run_strategy_metered, run_traced as run_strategy_traced,
+    FlSetup, RunResult, Strategy,
 };
 pub use ecofl_fl::{
     strategy_object, summarize_store, summarize_view, AggregationStrategy, ConvergenceSummary,
@@ -24,7 +25,9 @@ pub use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy};
 pub use ecofl_models::{
     efficientnet, efficientnet_at, mobilenet_v2, mobilenet_v2_at, ModelArch, ModelProfile,
 };
-pub use ecofl_obs::{RecordKind, RunStore, TraceQuery, TraceRecord, TraceView, Tracer};
+pub use ecofl_obs::{
+    MetricsHub, MetricsSnapshot, RecordKind, RunStore, TraceQuery, TraceRecord, TraceView, Tracer,
+};
 pub use ecofl_pipeline::adaptive::{simulate_load_spike, LoadSpike, SpikeError};
 pub use ecofl_pipeline::orchestrator::{search_configuration, OrchestratorConfig, PipelinePlan};
 pub use ecofl_pipeline::partition::{partition_dp, partition_even, Partition};

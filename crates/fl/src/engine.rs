@@ -27,7 +27,7 @@ use crate::strategies::strategy_object;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_data::FederatedDataset;
 use ecofl_models::ModelArch;
-use ecofl_obs::Tracer;
+use ecofl_obs::{MetricsHub, Tracer};
 use ecofl_util::TimeSeries;
 
 /// Which FL algorithm to run.
@@ -120,7 +120,7 @@ pub struct RunResult {
 /// Panics on inconsistent setup (e.g. zero clients).
 #[must_use]
 pub fn run(strategy: Strategy, setup: &FlSetup) -> RunResult {
-    run_inner(strategy, setup, None)
+    run_inner(strategy, setup, None, None)
 }
 
 /// [`run`] with every round, local-train window, aggregation, staleness
@@ -131,12 +131,33 @@ pub fn run(strategy: Strategy, setup: &FlSetup) -> RunResult {
 /// untraced run at equal setup.
 #[must_use]
 pub fn run_traced(strategy: Strategy, setup: &FlSetup, tracer: &Tracer) -> RunResult {
-    run_inner(strategy, setup, Some(tracer))
+    run_inner(strategy, setup, Some(tracer), None)
 }
 
-fn run_inner(strategy: Strategy, setup: &FlSetup, tracer: Option<&Tracer>) -> RunResult {
+/// [`run`] with streaming metrics (and optionally tracing): the
+/// scheduler feeds the hub's `fl_*` counters, round-latency histogram
+/// and staleness/accuracy gauges as the run progresses, so a live
+/// dashboard can snapshot `hub` from another thread mid-run. Training
+/// outcomes are bit-identical to [`run`]/[`run_traced`] at equal setup
+/// — the hub only observes.
+#[must_use]
+pub fn run_metered(
+    strategy: Strategy,
+    setup: &FlSetup,
+    tracer: Option<&Tracer>,
+    hub: &MetricsHub,
+) -> RunResult {
+    run_inner(strategy, setup, tracer, Some(hub))
+}
+
+fn run_inner(
+    strategy: Strategy,
+    setup: &FlSetup,
+    tracer: Option<&Tracer>,
+    hub: Option<&MetricsHub>,
+) -> RunResult {
     let mut object = strategy_object(strategy);
-    Scheduler::drive(setup, tracer, object.as_mut())
+    Scheduler::drive_metered(setup, tracer, hub, object.as_mut())
 }
 
 #[cfg(test)]

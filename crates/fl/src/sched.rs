@@ -20,7 +20,7 @@ use crate::config::FlConfig;
 use crate::engine::{FlSetup, RunResult};
 use crate::latency::LatencyModel;
 use ecofl_compat::par::par_map;
-use ecofl_obs::{Domain, EventKind, SpanKind, Tracer};
+use ecofl_obs::{Domain, EventKind, MetricsHub, SpanKind, Tracer};
 use ecofl_simnet::EventQueue;
 use ecofl_tensor::{Network, Tensor};
 use ecofl_util::{Rng, TimeSeries};
@@ -94,11 +94,38 @@ pub trait AggregationStrategy {
     }
 }
 
+/// The scheduler's metric handles, resolved once at `drive_metered`
+/// time so the per-cohort path records lock-cheap.
+struct SchedMetrics {
+    cohorts_dispatched: ecofl_obs::Counter,
+    clients_dispatched: ecofl_obs::Counter,
+    clients_dropped: ecofl_obs::Counter,
+    global_updates: ecofl_obs::Counter,
+    round_latency: ecofl_obs::Histogram,
+    staleness: ecofl_obs::Gauge,
+    accuracy: ecofl_obs::Gauge,
+}
+
+impl SchedMetrics {
+    fn new(hub: &MetricsHub) -> SchedMetrics {
+        SchedMetrics {
+            cohorts_dispatched: hub.counter("fl_cohorts_dispatched"),
+            clients_dispatched: hub.counter("fl_clients_dispatched"),
+            clients_dropped: hub.counter("fl_clients_dropped"),
+            global_updates: hub.counter("fl_global_updates"),
+            round_latency: hub.histogram("fl_round_latency_s"),
+            staleness: hub.gauge("fl_staleness"),
+            accuracy: hub.gauge("fl_accuracy"),
+        }
+    }
+}
+
 /// The event-driven round scheduler: one virtual clock, one global
 /// model, one dropout model and one tracer feed for every strategy.
 pub struct Scheduler<'a> {
     setup: &'a FlSetup,
     tracer: Option<&'a Tracer>,
+    metrics: Option<SchedMetrics>,
     rng: Rng,
     latency: LatencyModel,
     evaluator: Evaluator,
@@ -117,12 +144,29 @@ impl<'a> Scheduler<'a> {
         tracer: Option<&'a Tracer>,
         strategy: &mut dyn AggregationStrategy,
     ) -> RunResult {
+        Self::drive_metered(setup, tracer, None, strategy)
+    }
+
+    /// [`Scheduler::drive`] with streaming metrics: when `metrics` is
+    /// set, the scheduler feeds its `fl_*` counters (cohorts/clients
+    /// dispatched, clients dropped, global updates), the per-cohort
+    /// `fl_round_latency_s` histogram, and the `fl_staleness` /
+    /// `fl_accuracy` gauges. Metric recording is observation only —
+    /// results and traces are bit-identical with or without a hub
+    /// (enforced by `tests/metrics_perturbation.rs`).
+    pub fn drive_metered(
+        setup: &'a FlSetup,
+        tracer: Option<&'a Tracer>,
+        metrics: Option<&MetricsHub>,
+        strategy: &mut dyn AggregationStrategy,
+    ) -> RunResult {
         let cfg = &setup.config;
         let mut rng = Rng::new(cfg.seed ^ strategy.seed_salt());
         let latency = make_latency(cfg, &mut rng);
         let mut sched = Scheduler {
             setup,
             tracer,
+            metrics: metrics.map(SchedMetrics::new),
             rng,
             latency,
             evaluator: Evaluator::new(setup),
@@ -137,11 +181,21 @@ impl<'a> Scheduler<'a> {
         if let Some(tr) = sched.tracer {
             tr.gauge("accuracy", 0.0, acc0);
         }
+        if let Some(m) = &sched.metrics {
+            m.accuracy.set(acc0);
+        }
         strategy.begin(&mut sched);
         let discard_late = strategy.horizon_policy() == HorizonPolicy::DiscardLate;
         while let Some((t, cohort)) = sched.queue.pop() {
             if discard_late && t >= cfg.horizon {
                 break;
+            }
+            if let Some(m) = &sched.metrics {
+                // Latency and staleness must be read before the
+                // strategy consumes the cohort (and bumps `updates`).
+                m.round_latency.record(t - cohort.started);
+                m.staleness
+                    .set(sched.updates.saturating_sub(cohort.version) as f64);
             }
             strategy.on_cohort(&mut sched, t, cohort);
         }
@@ -234,13 +288,21 @@ impl<'a> Scheduler<'a> {
 
     /// Schedules `cohort` to complete `delay` virtual seconds from now.
     pub fn dispatch_after(&mut self, delay: f64, cohort: Cohort) {
+        if let Some(m) = &self.metrics {
+            m.cohorts_dispatched.inc(1);
+            m.clients_dispatched.inc(cohort.members.len() as u64);
+        }
         self.queue.schedule_after(delay, cohort);
     }
 
     /// Applies the failure model: the members that actually deliver
     /// their update this round.
     pub fn surviving(&mut self, members: &[usize]) -> Vec<usize> {
-        surviving(members, self.setup.config.failure_prob, &mut self.rng)
+        let alive = surviving(members, self.setup.config.failure_prob, &mut self.rng);
+        if let Some(m) = &self.metrics {
+            m.clients_dropped.inc((members.len() - alive.len()) as u64);
+        }
+        alive
     }
 
     /// Trains `members` in parallel from `start` parameters, sharded
@@ -282,6 +344,9 @@ impl<'a> Scheduler<'a> {
         if let Some(tr) = self.tracer {
             tr.counter("global_updates", t, 1.0);
         }
+        if let Some(m) = &self.metrics {
+            m.global_updates.inc(1);
+        }
     }
 
     /// Evaluates the global model if the cadence interval elapsed.
@@ -291,6 +356,9 @@ impl<'a> Scheduler<'a> {
             self.accuracy.push(t, acc);
             if let Some(tr) = self.tracer {
                 tr.gauge("accuracy", t, acc);
+            }
+            if let Some(m) = &self.metrics {
+                m.accuracy.set(acc);
             }
             self.last_eval = t;
         }

@@ -23,12 +23,23 @@
 //! - **Std-only.** No async runtime, no external deps; JSON encoding via
 //!   `ecofl-compat`'s serde layer.
 //!
+//! ## Streaming metrics
+//!
+//! The trace substrate is exact and replayable but O(events) in
+//! memory. Its streaming complement is [`metrics`]: a [`MetricsHub`]
+//! of bounded-memory aggregators (counters, gauges, quantile
+//! sketches) that *is* allowed to observe wall-clock time — it feeds
+//! live dashboards and per-round [`MetricsSnapshot`] rollups, and by
+//! construction never influences virtual-time results (see the
+//! perturbation gate in `tests/metrics_perturbation.rs`).
+//!
 //! ## Non-goals
 //!
-//! No wall-clock timestamps, no sampling/overflow dropping (traces are
-//! complete or the run aborts), no cross-process collection, and no
-//! async/streaming subscribers — consumers read a finished
-//! [`TraceView`] or the JSONL file a run exported.
+//! For the *trace* layer: no wall-clock timestamps, no
+//! sampling/overflow dropping (traces are complete or the run
+//! aborts), and no cross-process collection — consumers read a
+//! finished [`TraceView`] or the JSONL file a run exported. Live
+//! observation belongs to the metrics layer, not the tracer.
 //!
 //! ```
 //! use ecofl_obs::{Domain, SpanKind, Tracer};
@@ -40,18 +51,20 @@
 //! assert!(view.makespan() >= 4.0);
 //! ```
 
+pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod store;
 pub mod tracer;
 pub mod view;
 
+pub use metrics::{
+    Counter, Gauge, Histogram, LogHistogram, MetricsHub, MetricsSnapshot, METRICS_SNAPSHOT_VERSION,
+};
 pub use record::{
     CounterRecord, Domain, EventKind, EventRecord, GaugeRecord, SpanKind, SpanRecord, TraceRecord,
 };
 pub use sink::trace_dir;
-#[allow(deprecated)] // re-exported for one release; see the sink module docs
-pub use sink::{read_jsonl, write_jsonl};
 pub use store::{CheckpointMeta, QueryResult, RecordKind, RunStore, SegmentInfo, TraceQuery};
 pub use tracer::Tracer;
 pub use view::TraceView;

@@ -1,16 +1,13 @@
-//! Legacy flat-JSONL trace persistence — now thin compat shims.
+//! Trace output locations.
 //!
-//! The segmented [`RunStore`](crate::store::RunStore) replaced flat
-//! JSONL files as the storage API in PR 7; [`write_jsonl`] and
-//! [`read_jsonl`] remain for one release as deprecated wrappers over
-//! the store's line codec, so existing callers keep producing and
-//! parsing byte-identical files while they migrate. New code should
-//! open a `RunStore` (and `export_jsonl` when a flat file is really
-//! wanted).
+//! Flat-JSONL persistence lived here until PR 7 replaced it with the
+//! segmented [`RunStore`](crate::store::RunStore); the deprecated
+//! `write_jsonl`/`read_jsonl` wrappers have now been removed after
+//! their one-release compatibility window. Use
+//! `RunStore::append` + `export_jsonl` to produce a flat file and
+//! `RunStore::records` (or a `TraceQuery`) to read one back.
 
-use crate::record::TraceRecord;
-use crate::store::{jsonl_to_records, records_to_jsonl};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// Directory where traces are written.
 ///
@@ -32,36 +29,9 @@ pub fn trace_dir() -> PathBuf {
     dir
 }
 
-/// Writes `records` as JSONL to `path` (parent directories must exist).
-///
-/// # Errors
-/// Returns any I/O error from creating or writing the file.
-#[deprecated(
-    since = "0.1.0",
-    note = "use obs::store::RunStore::append + export_jsonl; flat JSONL is a compat path"
-)]
-pub fn write_jsonl(path: &Path, records: &[TraceRecord]) -> std::io::Result<()> {
-    std::fs::write(path, records_to_jsonl(records)?)
-}
-
-/// Reads a JSONL trace back into records.
-///
-/// # Errors
-/// Returns an I/O error for unreadable files or unparseable lines.
-#[deprecated(
-    since = "0.1.0",
-    note = "use obs::store::RunStore::records or a TraceQuery; flat JSONL is a compat path"
-)]
-pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<TraceRecord>> {
-    jsonl_to_records(&std::fs::read(path)?)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims themselves are what these tests cover
 mod tests {
     use super::*;
-    use crate::record::{Domain, SpanKind};
-    use crate::tracer::Tracer;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -70,37 +40,6 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ecofl-sink-{tag}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         dir
-    }
-
-    #[test]
-    fn jsonl_round_trips() {
-        let t = Tracer::new();
-        t.span(Domain::Pipeline, SpanKind::Forward, 0, 0, 0, 0.0, 1.0);
-        t.event(
-            Domain::Scheduler,
-            crate::record::EventKind::Migration,
-            0,
-            2.0,
-            1024.0,
-        );
-        t.gauge("accuracy", 3.0, 0.75);
-        let records = t.records();
-
-        let dir = temp_dir("roundtrip");
-        let path = dir.join("roundtrip.jsonl");
-        write_jsonl(&path, &records).expect("write");
-        let back = read_jsonl(&path).expect("read");
-        assert_eq!(back, records);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn blank_lines_are_skipped() {
-        let dir = temp_dir("blank");
-        let path = dir.join("blank.jsonl");
-        std::fs::write(&path, "\n\n").expect("write");
-        assert!(read_jsonl(&path).expect("read").is_empty());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

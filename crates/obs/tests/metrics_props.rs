@@ -1,0 +1,292 @@
+//! Property tests for the streaming metrics layer.
+//!
+//! The contracts under test:
+//!
+//! 1. the log-bucketed histogram answers every quantile within its
+//!    advertised relative-error bound α, on arbitrary positive data,
+//! 2. merging sketches is equivalent to recording the union,
+//! 3. memory stays bounded by the bucket cap no matter the data,
+//! 4. snapshots round-trip losslessly through JSON, the Prometheus
+//!    text codec, and a [`RunStore`] metrics segment,
+//! 5. stores written before the metrics layer existed still open.
+
+use ecofl_compat::check;
+use ecofl_compat::json;
+use ecofl_obs::metrics::{HistogramBucket, HistogramSnapshot};
+use ecofl_obs::{LogHistogram, MetricsHub, MetricsSnapshot, RunStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ecofl-metrics-props-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The exact sample quantile the sketch estimates: rank
+/// `max(1, ceil(q·n))` of the sorted observations.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[test]
+fn prop_histogram_quantiles_within_alpha() {
+    // Positive values spanning six orders of magnitude, three α
+    // settings, quantiles across the whole range — the estimate must
+    // always be within α relative error of the exact sample quantile.
+    let gen = check::pair(
+        check::vec_in(check::f64_in(-3.0, 3.0), 1, 400),
+        check::u32_in(0, 2),
+    );
+    check::forall(
+        "histogram quantile relative error",
+        30,
+        &gen,
+        |(exps, a)| {
+            let alpha = [0.01, 0.02, 0.05][*a as usize];
+            let values: Vec<f64> = exps.iter().map(|e| 10f64.powf(*e)).collect();
+            let mut h = LogHistogram::new(alpha, LogHistogram::DEFAULT_MAX_BUCKETS);
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            assert_eq!(h.count(), values.len() as u64);
+            assert_eq!(h.min(), sorted[0]);
+            assert_eq!(h.max(), sorted[sorted.len() - 1]);
+            for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let exact = exact_quantile(&sorted, q);
+                let est = h.quantile(q).expect("nonempty");
+                let rel = (est - exact).abs() / exact;
+                assert!(
+                    rel <= alpha + 1e-9,
+                    "alpha={alpha} q={q}: estimate {est} vs exact {exact} (rel {rel})"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn prop_histogram_merge_equals_union() {
+    let gen = check::pair(
+        check::vec_in(check::f64_in(0.001, 1000.0), 0, 200),
+        check::vec_in(check::f64_in(0.001, 1000.0), 0, 200),
+    );
+    check::forall("histogram merge == union", 30, &gen, |(xs, ys)| {
+        let mut a = LogHistogram::new(0.01, LogHistogram::DEFAULT_MAX_BUCKETS);
+        let mut b = LogHistogram::new(0.01, LogHistogram::DEFAULT_MAX_BUCKETS);
+        let mut union = LogHistogram::new(0.01, LogHistogram::DEFAULT_MAX_BUCKETS);
+        for &x in xs {
+            a.record(x);
+            union.record(x);
+        }
+        for &y in ys {
+            b.record(y);
+            union.record(y);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.min(), union.min());
+        assert_eq!(a.max(), union.max());
+        assert_eq!(
+            a.to_snapshot("m").buckets,
+            union.to_snapshot("m").buckets,
+            "merged bucket layout diverged from the union's"
+        );
+    });
+}
+
+#[test]
+fn prop_histogram_memory_stays_bounded() {
+    // Wildly mixed magnitudes against a tiny bucket cap: the sketch
+    // must never hold more than the cap, must keep exact counts, and
+    // collapse must preserve the upper quantiles' accuracy.
+    let gen = check::vec_in(check::f64_in(-6.0, 6.0), 1, 500);
+    check::forall("histogram bucket cap", 25, &gen, |exps| {
+        let cap = 32;
+        let mut h = LogHistogram::new(0.01, cap);
+        let values: Vec<f64> = exps.iter().map(|e| 10f64.powf(*e)).collect();
+        for &v in &values {
+            h.record(v);
+            assert!(h.bucket_count() <= cap, "cap {cap} exceeded");
+        }
+        assert_eq!(h.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact_max = sorted[sorted.len() - 1];
+        let est = h.quantile(1.0).expect("nonempty");
+        assert!(
+            (est - exact_max).abs() / exact_max <= 0.01 + 1e-9,
+            "collapse corrupted the top quantile: {est} vs {exact_max}"
+        );
+    });
+}
+
+/// A hub exercising every aggregator type, including empties.
+fn populated_hub() -> MetricsHub {
+    let hub = MetricsHub::new();
+    hub.counter("fl_clients_dispatched").inc(123);
+    hub.counter("rt_stage_deaths").inc(0);
+    let g = hub.gauge("fl_accuracy");
+    g.set(0.25);
+    g.set(0.625);
+    let _ = hub.gauge("never_set");
+    let h = hub.histogram("fl_round_latency_s");
+    for i in 1..=200 {
+        h.record(f64::from(i) * 0.37);
+    }
+    hub.histogram("with_zeros").record(0.0);
+    let _ = hub.histogram("empty_hist");
+    hub
+}
+
+#[test]
+fn prop_snapshot_round_trips_all_codecs() {
+    // Snapshots built from generated observations must round-trip
+    // bit-identically through JSON and the Prometheus text format.
+    let gen = check::vec_in(check::f64_in(-2.0, 4.0), 0, 150);
+    check::forall("snapshot codec roundtrips", 25, &gen, |exps| {
+        let hub = MetricsHub::new();
+        let h = hub.histogram("lat");
+        let g = hub.gauge("load");
+        let c = hub.counter("ops");
+        for (i, e) in exps.iter().enumerate() {
+            h.record(10f64.powf(*e));
+            g.set(*e);
+            c.inc(i as u64 % 3);
+        }
+        let snap = hub.snapshot(exps.len() as u64);
+        let json_back: MetricsSnapshot = json::from_str(&json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(json_back, snap, "JSON round-trip diverged");
+        let text = snap.to_prometheus();
+        let prom_back = MetricsSnapshot::from_prometheus(&text).expect("parse");
+        assert_eq!(prom_back, snap, "Prometheus round-trip diverged");
+        assert_eq!(prom_back.to_prometheus(), text, "re-export diverged");
+    });
+}
+
+#[test]
+fn snapshots_round_trip_through_run_store() {
+    let dir = temp_dir("roundtrip");
+    let hub = populated_hub();
+    let mut store = RunStore::create(&dir).unwrap();
+    let mut written = Vec::new();
+    for round in 0..5 {
+        hub.counter("fl_clients_dispatched").inc(round);
+        hub.gauge("fl_accuracy").set(0.5 + round as f64 * 0.05);
+        let snap = hub.snapshot(round);
+        store.append_snapshot(&snap).unwrap();
+        written.push(snap);
+    }
+    // append_snapshot seals per append: a fresh open sees everything
+    // without an explicit flush, like a live dashboard would.
+    let reopened = RunStore::open(&dir).unwrap();
+    assert_eq!(reopened.snapshot_count(), written.len());
+    assert_eq!(reopened.snapshots().unwrap(), written);
+    assert_eq!(reopened.latest_snapshot().unwrap().as_ref(), written.last());
+    assert_eq!(
+        reopened.snapshot_at_round(2).unwrap().as_ref(),
+        Some(&written[2])
+    );
+    assert_eq!(reopened.snapshot_at_round(99).unwrap(), None);
+    // A rebuilt sketch answers the same quantiles as the original.
+    let stored = &reopened.snapshots().unwrap()[4];
+    let hist = stored.histogram("fl_round_latency_s").expect("present");
+    let rebuilt = LogHistogram::from_snapshot(hist);
+    let live = hub.histogram("fl_round_latency_s");
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(rebuilt.quantile(q), live.quantile(q));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_metrics_stores_still_open() {
+    // A store laid out by the PR 7/8 code had no metrics.seg; opening
+    // one must succeed, report zero snapshots, and accept new ones.
+    let dir = temp_dir("compat");
+    {
+        let mut store = RunStore::create(&dir).unwrap();
+        store.append_checkpoint(1, 0, b"ckpt").unwrap();
+        store.flush().unwrap();
+    }
+    std::fs::remove_file(dir.join("metrics.seg")).expect("simulate old layout");
+    let mut store = RunStore::open(&dir).expect("old stores must open");
+    assert_eq!(store.snapshot_count(), 0);
+    assert_eq!(store.latest_snapshot().unwrap(), None);
+    store.append_snapshot(&populated_hub().snapshot(0)).unwrap();
+    assert_eq!(store.snapshot_count(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_metrics_count_writes_and_prune_ratio() {
+    use ecofl_obs::{Domain, SpanKind, SpanRecord, TraceQuery, TraceRecord};
+    let dir = temp_dir("selfmetrics");
+    let hub = MetricsHub::new();
+    let mut store = RunStore::create(&dir).unwrap().with_block_records(8);
+    store.attach_metrics(&hub);
+    let spans: Vec<TraceRecord> = (0..64)
+        .map(|i| {
+            TraceRecord::Span(SpanRecord {
+                domain: Domain::Pipeline,
+                kind: SpanKind::Forward,
+                entity: 0,
+                round: i / 16,
+                micro: 0,
+                t0: i as f64,
+                t1: i as f64 + 0.5,
+            })
+        })
+        .collect();
+    store.append(&spans).unwrap();
+    store.flush().unwrap();
+    assert_eq!(hub.counter("store_blocks_written").get(), 8);
+    assert!(hub.counter("store_bytes_written").get() > 0);
+
+    let result = store.query(&TraceQuery::new().rounds(0..1)).unwrap();
+    assert!(result.blocks_decoded < result.blocks_total);
+    assert_eq!(
+        hub.counter("store_query_blocks_total").get(),
+        result.blocks_total as u64
+    );
+    assert_eq!(
+        hub.counter("store_query_blocks_decoded").get(),
+        result.blocks_decoded as u64
+    );
+    let expected_ratio = 1.0 - result.blocks_decoded as f64 / result.blocks_total as f64;
+    assert!((hub.gauge("store_query_prune_ratio").last() - expected_ratio).abs() < 1e-12);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_version_gate_rejects_future_versions() {
+    // Hand-build a snapshot whose summary advertises a future version:
+    // the reader must refuse rather than misdecode.
+    let snap = MetricsSnapshot {
+        round: 0,
+        counters: vec![],
+        gauges: vec![],
+        histograms: vec![HistogramSnapshot {
+            name: "h".into(),
+            alpha: 0.01,
+            zero: 0,
+            buckets: vec![HistogramBucket { index: 3, count: 1 }],
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+        }],
+    };
+    let text = snap
+        .to_prometheus()
+        .replace("ecofl-metrics v1", "ecofl-metrics v2");
+    assert!(MetricsSnapshot::from_prometheus(&text).is_err());
+}

@@ -177,6 +177,117 @@ fn prop_block_summaries_are_sound() {
     });
 }
 
+/// Like [`gen_record`] but roughly a third of the spans have *zero*
+/// duration (`t1 == t0`) — the boundary `min_duration` pruning has to
+/// get right at the block-summary level.
+fn gen_record_with_zero_spans() -> check::Gen<TraceRecord> {
+    check::pair(gen_record(), check::u32_in(0, 2)).map(|(record, flatten)| {
+        match (record, flatten) {
+            (TraceRecord::Span(mut s), 0) => {
+                s.t1 = s.t0;
+                TraceRecord::Span(s)
+            }
+            (r, _) => r,
+        }
+    })
+}
+
+#[test]
+fn prop_min_duration_zero_admits_soundly() {
+    // Satellite of ISSUE 9: with `min_duration(0.0)` set, `admits`
+    // must stay a sound relaxation of `matches` even when blocks hold
+    // zero-duration spans — a rejected block may contain no matching
+    // record, and the pruned query must still equal the full scan.
+    let gen = check::vec_in(gen_record_with_zero_spans(), 1, 120);
+    check::forall("min_duration(0) admits soundly", 20, &gen, |records| {
+        let dir = temp_dir("mindur0");
+        let mut store = RunStore::create(&dir).unwrap().with_block_records(9);
+        store.append(records).unwrap();
+        store.flush().unwrap();
+        for query in [
+            TraceQuery::new().min_duration(0.0),
+            TraceQuery::new().min_duration(0.0).rounds(0..20),
+            TraceQuery::new().min_duration(0.1),
+        ] {
+            for (i, entry) in store.trace_blocks().iter().enumerate() {
+                if query.admits(&entry.summary) {
+                    continue;
+                }
+                let inside = store.read_block_records(i).unwrap();
+                assert!(
+                    inside.iter().all(|r| !query.matches(r)),
+                    "query {query:?} excluded block {i} which contains a match"
+                );
+            }
+            let result = store.query(&query).unwrap();
+            let expected: Vec<TraceRecord> = records
+                .iter()
+                .filter(|r| query.matches(r))
+                .cloned()
+                .collect();
+            assert_eq!(
+                result.records, expected,
+                "query {query:?} diverged from the full scan"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn min_duration_zero_boundary_regression() {
+    // Regression for the exact boundary value: a block holding *only*
+    // zero-duration spans (duration column = [0.0, 0.0]) must be
+    // admitted and returned by `min_duration(0.0)` — every span is at
+    // least 0.0 long — while `min_duration(f64::MIN_POSITIVE)` must
+    // prune it without decoding. Guards against rewriting the column
+    // test as `col.max <= d` or treating [0, 0] as an empty range.
+    let dir = temp_dir("mindur0-regression");
+    let mut store = RunStore::create(&dir).unwrap().with_block_records(4);
+    let zero_spans: Vec<TraceRecord> = (0..4)
+        .map(|i| {
+            TraceRecord::Span(SpanRecord {
+                domain: Domain::Pipeline,
+                kind: SpanKind::Forward,
+                entity: i,
+                round: 0,
+                micro: 0,
+                t0: i as f64,
+                t1: i as f64,
+            })
+        })
+        .collect();
+    store.append(&zero_spans).unwrap();
+    store.flush().unwrap();
+    assert_eq!(store.trace_blocks().len(), 1, "one block of zero spans");
+
+    let at_zero = store.query(&TraceQuery::new().min_duration(0.0)).unwrap();
+    assert_eq!(at_zero.blocks_decoded, 1, "boundary block must be admitted");
+    assert_eq!(at_zero.records, zero_spans, "zero-duration spans match 0.0");
+
+    let above_zero = store
+        .query(&TraceQuery::new().min_duration(f64::MIN_POSITIVE))
+        .unwrap();
+    assert_eq!(above_zero.blocks_decoded, 0, "positive threshold prunes");
+    assert!(above_zero.records.is_empty());
+
+    // Span-free blocks never admit a min_duration clause, even at 0.0.
+    let dir2 = temp_dir("mindur0-spanfree");
+    let mut store2 = RunStore::create(&dir2).unwrap();
+    store2
+        .append(&[TraceRecord::Counter(CounterRecord {
+            name: "c".into(),
+            time: 1.0,
+            delta: 1.0,
+        })])
+        .unwrap();
+    store2.flush().unwrap();
+    let spanfree = store2.query(&TraceQuery::new().min_duration(0.0)).unwrap();
+    assert_eq!(spanfree.blocks_decoded, 0, "no spans, nothing to decode");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
 #[test]
 fn prop_checkpoints_restore_latest_at_or_before() {
     // (seq gap ≥ 1, round, payload bytes) per checkpoint.

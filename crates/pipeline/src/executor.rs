@@ -38,7 +38,7 @@
 use crate::profiler::PipelineProfile;
 use crate::schedule::{interleave_profile, PipelineSchedule};
 use ecofl_compat::serde::{Deserialize, Serialize};
-use ecofl_obs::{Domain, SpanKind, TraceView, Tracer};
+use ecofl_obs::{Counter, Domain, Histogram, MetricsHub, SpanKind, TraceView, Tracer};
 use ecofl_simnet::{BusyTracker, Device, EventQueue, ThroughputTracker};
 use std::collections::VecDeque;
 
@@ -360,6 +360,19 @@ struct StageState {
     bwd_link_free: f64,
 }
 
+/// `exec_*` metric handles, resolved once in
+/// [`PipelineExecutor::with_metrics`] so the event loop's hot path
+/// never touches the hub's registry maps.
+#[derive(Clone)]
+struct ExecMetrics {
+    /// Compute tasks dispatched (forwards, backwards and split halves).
+    tasks: Counter,
+    /// Virtual duration of each dispatched compute task, seconds.
+    task_s: Histogram,
+    /// Virtual duration of each sync-round, seconds.
+    round_s: Histogram,
+}
+
 /// Event-driven pipeline executor.
 pub struct PipelineExecutor<'a> {
     profile: &'a PipelineProfile,
@@ -369,6 +382,7 @@ pub struct PipelineExecutor<'a> {
     schedule: Box<dyn PipelineSchedule>,
     /// Per-compute-task dispatch overhead, seconds.
     pub task_overhead: f64,
+    metrics: Option<ExecMetrics>,
 }
 
 impl<'a> PipelineExecutor<'a> {
@@ -416,6 +430,7 @@ impl<'a> PipelineExecutor<'a> {
             virtual_profile,
             schedule: policy.instantiate(),
             task_overhead: DEFAULT_TASK_OVERHEAD,
+            metrics: None,
         })
     }
 
@@ -438,6 +453,22 @@ impl<'a> PipelineExecutor<'a> {
     pub fn with_task_overhead(mut self, overhead: f64) -> Self {
         assert!(overhead >= 0.0);
         self.task_overhead = overhead;
+        self
+    }
+
+    /// Attaches a streaming metrics hub: every run then records
+    /// `exec_tasks` (compute tasks dispatched), `exec_task_s` (virtual
+    /// task durations) and `exec_round_s` (virtual round durations).
+    /// The hub only *observes* — reports, traces and virtual timestamps
+    /// are bit-identical with or without it (asserted by
+    /// `tests/metrics_perturbation.rs`).
+    #[must_use]
+    pub fn with_metrics(mut self, hub: &MetricsHub) -> Self {
+        self.metrics = Some(ExecMetrics {
+            tasks: hub.counter("exec_tasks"),
+            task_s: hub.histogram("exec_task_s"),
+            round_s: hub.histogram("exec_round_s"),
+        });
         self
     }
 
@@ -533,6 +564,7 @@ impl<'a> PipelineExecutor<'a> {
             busy_trackers: vec![BusyTracker::new(); s_count],
             completions: ThroughputTracker::new(),
             task_spans: Vec::new(),
+            metrics: self.metrics.as_ref(),
         };
         let mut round_ends = Vec::with_capacity(rounds);
 
@@ -587,6 +619,9 @@ impl<'a> PipelineExecutor<'a> {
                 "round ended with incomplete backwards"
             );
             debug_assert!(round_end > round_start);
+            if let Some(m) = &self.metrics {
+                m.round_s.record(round_end - round_start);
+            }
             round_ends.push(round_end);
         }
 
@@ -648,6 +683,7 @@ struct Engine<'e> {
     busy_trackers: Vec<BusyTracker>,
     completions: ThroughputTracker,
     task_spans: Vec<TaskSpan>,
+    metrics: Option<&'e ExecMetrics>,
 }
 
 impl Engine<'_> {
@@ -899,6 +935,10 @@ impl Engine<'_> {
             start: now,
             end: now + duration,
         });
+        if let Some(m) = self.metrics {
+            m.tasks.inc(1);
+            m.task_s.record(duration);
+        }
         if let Some(tr) = tracer {
             let kind = match phase {
                 TaskPhase::Forward => SpanKind::Forward,

@@ -85,10 +85,10 @@
 use crate::executor::ExecError;
 use crate::schedule::{RtStep, ScheduleKind};
 use ecofl_compat::bytes::{Bytes, BytesMut};
-use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, Sender};
+use ecofl_compat::sync::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ecofl_compat::sync::Mutex;
 use ecofl_obs::store::CheckpointMeta;
-use ecofl_obs::{Domain, EventKind, RunStore, Tracer};
+use ecofl_obs::{Counter, Domain, EventKind, Histogram, MetricsHub, RunStore, Tracer};
 use ecofl_tensor::{Layer, SoftmaxCrossEntropy, Tensor};
 use ecofl_util::Rng;
 use std::collections::VecDeque;
@@ -97,7 +97,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serializes a tensor (shape + payload) into wire bytes.
 #[must_use]
@@ -233,6 +233,15 @@ pub struct RuntimeOptions {
     /// [`ScheduleKind::runtime_stream`]); which gradients accumulate is
     /// unchanged, so round results are bit-identical across schedules.
     pub schedule: ScheduleKind,
+    /// Streaming metrics hub. When set, the runtime records *real
+    /// wall-clock* observations into `rt_*` metrics: per-stage
+    /// forward/backward compute nanoseconds, portal reply-wait
+    /// nanoseconds (via the timed `recv_timeout` hook), checkpoint /
+    /// restore latency, and counters for stage deaths, checkpoints,
+    /// restores and reply-wait timeouts. The hub only *observes* — the
+    /// parameter stream and the trace are bit-identical with or
+    /// without it (asserted by `tests/metrics_perturbation.rs`).
+    pub metrics: Option<MetricsHub>,
 }
 
 impl Default for RuntimeOptions {
@@ -243,6 +252,51 @@ impl Default for RuntimeOptions {
             tracer: None,
             store_path: None,
             schedule: ScheduleKind::OneFOneBSync,
+            metrics: None,
+        }
+    }
+}
+
+/// Portal-side `rt_*` metric handles, resolved once at launch so the
+/// hot paths never touch the hub's registry maps.
+struct RtMetrics {
+    recv_wait_ns: Histogram,
+    recv_timeouts: Counter,
+    stage_deaths: Counter,
+    checkpoints: Counter,
+    checkpoint_ns: Histogram,
+    restores: Counter,
+    restore_ns: Histogram,
+    round_ns: Histogram,
+}
+
+impl RtMetrics {
+    fn new(hub: &MetricsHub) -> Self {
+        Self {
+            recv_wait_ns: hub.histogram("rt_recv_wait_ns"),
+            recv_timeouts: hub.counter("rt_recv_timeouts"),
+            stage_deaths: hub.counter("rt_stage_deaths"),
+            checkpoints: hub.counter("rt_checkpoints"),
+            checkpoint_ns: hub.histogram("rt_checkpoint_ns"),
+            restores: hub.counter("rt_restores"),
+            restore_ns: hub.histogram("rt_restore_ns"),
+            round_ns: hub.histogram("rt_round_ns"),
+        }
+    }
+}
+
+/// Stage-side metric handles (cloned into every stage thread).
+#[derive(Clone)]
+struct StageMetrics {
+    fwd_compute_ns: Histogram,
+    bwd_compute_ns: Histogram,
+}
+
+impl StageMetrics {
+    fn new(hub: &MetricsHub) -> Self {
+        Self {
+            fwd_compute_ns: hub.histogram("rt_fwd_compute_ns"),
+            bwd_compute_ns: hub.histogram("rt_bwd_compute_ns"),
         }
     }
 }
@@ -350,6 +404,8 @@ pub struct PipelineTrainer {
     store: Option<RunStore>,
     failure: Option<ExecError>,
     replaying: bool,
+    metrics: Option<RtMetrics>,
+    stage_metrics: Option<StageMetrics>,
 }
 
 /// Wire-format version of [`CheckpointRecord::encode`].
@@ -520,6 +576,7 @@ struct StageCtx {
     /// `(round, micro)` kill points for this stage.
     kills: Vec<(u64, usize)>,
     deaths: DeathBoard,
+    metrics: Option<StageMetrics>,
 }
 
 impl StageCtx {
@@ -533,9 +590,15 @@ fn do_fwd(ctx: &mut StageCtx, pending_logits: &mut VecDeque<Tensor>) -> Result<(
         during: "activation receive",
     })?;
     let x = decode_tensor(bytes);
+    // Compute-only window: the blocking receive above is channel-wait,
+    // not compute, and is excluded from the histogram.
+    let t0 = ctx.metrics.as_ref().map(|_| Instant::now());
     let mut out = x;
     for layer in &mut ctx.layers {
         out = layer.forward(&out);
+    }
+    if let (Some(m), Some(t0)) = (&ctx.metrics, t0) {
+        m.fwd_compute_ns.record(t0.elapsed().as_nanos() as f64);
     }
     if ctx.is_last {
         pending_logits.push_back(out);
@@ -584,8 +647,12 @@ fn do_bwd(
             })?;
         decode_tensor(bytes)
     };
+    let t0 = ctx.metrics.as_ref().map(|_| Instant::now());
     for layer in ctx.layers.iter_mut().rev() {
         grad = layer.backward(&grad);
+    }
+    if let (Some(m), Some(t0)) = (&ctx.metrics, t0) {
+        m.bwd_compute_ns.record(t0.elapsed().as_nanos() as f64);
     }
     if let Some(tx) = &ctx.upstream_grad_tx {
         let encoded = encode_tensor(&grad);
@@ -758,6 +825,7 @@ fn spawn_stages(
     progress: &Arc<AtomicU64>,
     deaths: &DeathBoard,
     fault_plan: &FaultPlan,
+    metrics: Option<&StageMetrics>,
 ) -> Wiring {
     let s_count = segments.len();
     let (input_tx, first_rx) = unbounded::<Bytes>();
@@ -799,6 +867,7 @@ fn spawn_stages(
             stage_idx: s,
             kills: fault_plan.for_stage(s),
             deaths: Arc::clone(deaths),
+            metrics: metrics.cloned(),
         };
         act_rx = next_rx;
         let handle = std::thread::Builder::new()
@@ -886,7 +955,17 @@ impl PipelineTrainer {
             .as_ref()
             .and_then(|s| s.checkpoint_metas().last().map(|m| m.seq + 1))
             .unwrap_or(0);
-        let wiring = spawn_stages(segments, &k, &comm, &progress, &deaths, &opts.fault_plan);
+        let metrics = opts.metrics.as_ref().map(RtMetrics::new);
+        let stage_metrics = opts.metrics.as_ref().map(StageMetrics::new);
+        let wiring = spawn_stages(
+            segments,
+            &k,
+            &comm,
+            &progress,
+            &deaths,
+            &opts.fault_plan,
+            stage_metrics.as_ref(),
+        );
 
         let mut trainer = Self {
             stages: wiring.stages,
@@ -909,6 +988,8 @@ impl PipelineTrainer {
             store,
             failure: None,
             replaying: false,
+            metrics,
+            stage_metrics,
         };
         // Checkpoint 0: the pristine launch parameters, so a crash in the
         // very first round is recoverable too.
@@ -976,16 +1057,28 @@ impl PipelineTrainer {
         }
     }
 
-    /// Bounded, disconnect-aware wait for a reply from stage `s`.
+    /// Bounded, disconnect-aware wait for a reply from stage `s`. With
+    /// a hub attached, the wall-clock time spent blocked is recorded
+    /// into `rt_recv_wait_ns` (and `rt_recv_timeouts` counts waits that
+    /// exhausted [`RuntimeOptions::recv_timeout`]).
     fn recv_reply(&self, s: usize, during: &str) -> Result<Reply, ExecError> {
-        self.stages[s]
+        let (res, waited) = self.stages[s]
             .reply_rx
-            .recv_timeout(self.opts.recv_timeout)
-            .map_err(|_| self.death_error(s, during))
+            .recv_timeout_timed(self.opts.recv_timeout);
+        if let Some(m) = &self.metrics {
+            m.recv_wait_ns.record(waited.as_nanos() as f64);
+            if matches!(res, Err(RecvTimeoutError::Timeout)) {
+                m.recv_timeouts.inc(1);
+            }
+        }
+        res.map_err(|_| self.death_error(s, during))
     }
 
     /// Poisons the trainer and reports the failure to the tracer.
     fn fail(&mut self, err: ExecError) -> ExecError {
+        if let (Some(m), ExecError::StageDied { .. }) = (&self.metrics, &err) {
+            m.stage_deaths.inc(1);
+        }
         if let (Some(tr), ExecError::StageDied { stage, .. }) = (&self.opts.tracer, &err) {
             tr.event(
                 Domain::Pipeline,
@@ -1001,6 +1094,7 @@ impl PipelineTrainer {
 
     /// Collects all stage parameters into a fresh checkpoint.
     fn take_checkpoint(&mut self) -> Result<(), ExecError> {
+        let t0 = Instant::now();
         for (s, stage) in self.stages.iter().enumerate() {
             if stage.ctrl_tx.send(Ctrl::Collect).is_err() {
                 let e = self.death_error(s, "checkpoint collect dispatch");
@@ -1047,6 +1141,10 @@ impl PipelineTrainer {
                 self.round as f64,
             );
         }
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc(1);
+            m.checkpoint_ns.record(t0.elapsed().as_nanos() as f64);
+        }
         Ok(())
     }
 
@@ -1074,6 +1172,7 @@ impl PipelineTrainer {
         }
         let m = micro_batches.len();
         assert!(m > 0, "train_round: need at least one micro-batch");
+        let t0 = Instant::now();
         let round = self.round;
         for (s, stage) in self.stages.iter().enumerate() {
             if stage
@@ -1153,6 +1252,9 @@ impl PipelineTrainer {
         }
         self.round += 1;
         self.take_checkpoint()?;
+        if let Some(mx) = &self.metrics {
+            mx.round_ns.record(t0.elapsed().as_nanos() as f64);
+        }
         if self.replaying {
             self.replaying = false;
             if let Some(tr) = &self.opts.tracer {
@@ -1192,6 +1294,7 @@ impl PipelineTrainer {
         if self.factory.is_none() {
             return Err(ExecError::RecoveryUnsupported);
         }
+        let t0 = Instant::now();
         // With a store configured, restore from its newest durable
         // checkpoint (the same snapshot take_checkpoint persisted, so
         // replay stays bit-identical to the in-memory path); this is
@@ -1237,6 +1340,7 @@ impl PipelineTrainer {
             &self.progress,
             &self.deaths,
             &self.opts.fault_plan,
+            self.stage_metrics.as_ref(),
         );
         self.stages = wiring.stages;
         drop(std::mem::replace(&mut self.input_tx, wiring.input_tx));
@@ -1279,6 +1383,10 @@ impl PipelineTrainer {
                 }
                 Err(e) => return Err(self.fail(e)),
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.restores.inc(1);
+            m.restore_ns.record(t0.elapsed().as_nanos() as f64);
         }
         Ok(self.round)
     }

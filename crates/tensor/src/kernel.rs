@@ -121,6 +121,149 @@ pub fn fma_kernels_active() -> bool {
     kernel_path() != KernelPath::Portable
 }
 
+/// Human-readable name of the selected dispatch path.
+fn path_name(path: KernelPath) -> &'static str {
+    match path {
+        KernelPath::Portable => "portable",
+        KernelPath::Fma => "fma",
+        KernelPath::Avx512 => "avx512",
+    }
+}
+
+/// Dispatch-entry statistics: per-(kernel, ISA path) call counts and
+/// cumulative wall-clock nanoseconds, scraped by the metrics layer.
+///
+/// Collection is off by default and the disabled check is one relaxed
+/// atomic load per kernel call — the hot path pays nothing until
+/// [`set_kernel_stats_enabled`] turns it on (done by metered CLI runs
+/// and benches, never by library code).
+mod stats {
+    use super::{kernel_path, path_name, KernelPath};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    pub(super) const KERNEL_NAMES: [&str; 5] =
+        ["gemm", "gemm_tn", "gemm_nt", "conv2d_fwd", "conv2d_bwd"];
+    const N_KERNELS: usize = KERNEL_NAMES.len();
+    const N_PATHS: usize = 3;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static CALLS: [AtomicU64; N_KERNELS * N_PATHS] =
+        [const { AtomicU64::new(0) }; N_KERNELS * N_PATHS];
+    static NANOS: [AtomicU64; N_KERNELS * N_PATHS] =
+        [const { AtomicU64::new(0) }; N_KERNELS * N_PATHS];
+
+    fn slot(kernel: usize) -> usize {
+        kernel * N_PATHS + kernel_path() as usize
+    }
+
+    pub(super) fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub(super) fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn reset() {
+        for c in &CALLS {
+            c.store(0, Ordering::Relaxed);
+        }
+        for n in &NANOS {
+            n.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// An RAII timer charging the enclosing kernel call to its
+    /// (kernel, path) slot on drop; a no-op when collection is off.
+    pub(super) struct KernelTimer {
+        start: Option<(usize, Instant)>,
+    }
+
+    pub(super) fn time_kernel(kernel: usize) -> KernelTimer {
+        KernelTimer {
+            start: enabled().then(|| (slot(kernel), Instant::now())),
+        }
+    }
+
+    impl Drop for KernelTimer {
+        fn drop(&mut self) {
+            if let Some((slot, start)) = self.start {
+                CALLS[slot].fetch_add(1, Ordering::Relaxed);
+                NANOS[slot].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(super) fn snapshot() -> Vec<super::KernelStat> {
+        let paths = [KernelPath::Portable, KernelPath::Fma, KernelPath::Avx512];
+        let mut out = Vec::new();
+        for (k, kernel) in KERNEL_NAMES.iter().enumerate() {
+            for (p, path) in paths.iter().enumerate() {
+                let slot = k * N_PATHS + p;
+                let calls = CALLS[slot].load(Ordering::Relaxed);
+                if calls == 0 {
+                    continue;
+                }
+                out.push(super::KernelStat {
+                    kernel,
+                    path: path_name(*path),
+                    calls,
+                    nanos: NANOS[slot].load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+}
+
+pub(crate) const K_GEMM: usize = 0;
+pub(crate) const K_GEMM_TN: usize = 1;
+pub(crate) const K_GEMM_NT: usize = 2;
+pub(crate) const K_CONV_FWD: usize = 3;
+pub(crate) const K_CONV_BWD: usize = 4;
+
+/// One row of [`kernel_stats`]: cumulative calls and wall-clock
+/// nanoseconds one dispatch entry point spent on one ISA path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Dispatch entry point (`gemm`, `gemm_tn`, `gemm_nt`,
+    /// `conv2d_fwd`, `conv2d_bwd`).
+    pub kernel: &'static str,
+    /// ISA path runtime dispatch selected (`portable`, `fma`,
+    /// `avx512`).
+    pub path: &'static str,
+    /// Calls since collection was enabled (or last reset).
+    pub calls: u64,
+    /// Cumulative wall-clock nanoseconds across those calls.
+    pub nanos: u64,
+}
+
+/// Turns kernel dispatch statistics collection on or off. Off (the
+/// default), kernel calls pay one relaxed atomic load; on, each call
+/// adds two relaxed atomic adds and an `Instant` read.
+pub fn set_kernel_stats_enabled(on: bool) {
+    stats::set_enabled(on);
+}
+
+/// Whether kernel dispatch statistics are being collected.
+#[must_use]
+pub fn kernel_stats_enabled() -> bool {
+    stats::enabled()
+}
+
+/// Zeroes every (kernel, path) slot.
+pub fn reset_kernel_stats() {
+    stats::reset();
+}
+
+/// The non-zero (kernel, path) rows collected so far, in a stable
+/// (kernel, path) order.
+#[must_use]
+pub fn kernel_stats() -> Vec<KernelStat> {
+    stats::snapshot()
+}
+
 /// Runs `f(first_row, chunk_rows_slice)` over fixed `ROWS_PER_CHUNK`-row
 /// chunks of `out`, in parallel when `par` is set. The chunk grid is a pure
 /// function of `out.len()` and `n`, so parallel and sequential execution
@@ -452,6 +595,7 @@ fn gemm_dispatch(
 
 /// `out = a·b` for row-major `a: [m,k]`, `b: [k,n]`, `out: [m,n]`.
 pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = stats::time_kernel(K_GEMM);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -471,6 +615,7 @@ pub(crate) fn gemm_tn(
     n: usize,
     accumulate: bool,
 ) {
+    let _t = stats::time_kernel(K_GEMM_TN);
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -543,6 +688,7 @@ fn nt_rows_portable(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, chunk: 
 
 /// `out = a·bᵀ` for row-major `a: [m,k]`, `b: [n,k]`, `out: [m,n]`.
 pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = stats::time_kernel(K_GEMM_NT);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
@@ -602,6 +748,7 @@ impl ConvShape {
 /// `(ic, ky, kx)` order with the bias added first, so results are
 /// bit-identical to [`crate::reference::naive_conv2d_forward`].
 pub(crate) fn conv2d_forward(x: &[f32], wgt: &[f32], bias: &[f32], s: &ConvShape, out: &mut [f32]) {
+    let _t = stats::time_kernel(K_CONV_FWD);
     let plane = s.oh * s.ow;
     let par = s.macs() >= PAR_MAC_THRESHOLD;
     let run = |plane_idx: usize, oplane: &mut [f32]| {
@@ -661,6 +808,7 @@ pub(crate) fn conv2d_backward(
     gw: &mut [f32],
     gb: &mut [f32],
 ) {
+    let _t = stats::time_kernel(K_CONV_BWD);
     let oplane = s.oh * s.ow;
     let par = s.macs() >= PAR_MAC_THRESHOLD && max_threads() > 1;
 
@@ -808,5 +956,48 @@ mod tests {
         let mut out = [0.0f32; 4];
         gemm_nt(&a, &b, &mut out, 2, 2, 2);
         assert_eq!(out, [17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn kernel_stats_count_calls_only_while_enabled() {
+        // Serialized against other uses of the process-global stats by
+        // running everything inside this one test.
+        reset_kernel_stats();
+        assert!(!kernel_stats_enabled());
+        let a = [1.0f32; 16];
+        let b = [2.0f32; 16];
+        let mut out = [0.0f32; 16];
+        gemm(&a, &b, &mut out, 4, 4, 4);
+        assert!(
+            kernel_stats().is_empty(),
+            "disabled collection must record nothing"
+        );
+
+        set_kernel_stats_enabled(true);
+        gemm(&a, &b, &mut out, 4, 4, 4);
+        gemm(&a, &b, &mut out, 4, 4, 4);
+        gemm_nt(&a, &b, &mut out, 4, 4, 4);
+        set_kernel_stats_enabled(false);
+        gemm(&a, &b, &mut out, 4, 4, 4);
+
+        // Other tests in this binary may run concurrently and land
+        // kernel calls inside the enabled window, so the counts are
+        // lower bounds; the disabled window before it saw nothing.
+        let stats = kernel_stats();
+        let gemm_row = stats.iter().find(|s| s.kernel == "gemm").expect("gemm row");
+        assert!(gemm_row.calls >= 2, "enabled-window calls must count");
+        let nt_row = stats
+            .iter()
+            .find(|s| s.kernel == "gemm_nt")
+            .expect("gemm_nt row");
+        assert!(nt_row.calls >= 1);
+        assert!(
+            stats
+                .iter()
+                .all(|s| ["portable", "fma", "avx512"].contains(&s.path)),
+            "paths must be the dispatch names"
+        );
+        reset_kernel_stats();
+        assert!(kernel_stats().is_empty());
     }
 }

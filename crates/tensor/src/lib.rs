@@ -32,6 +32,9 @@ pub mod optim;
 pub mod reference;
 pub mod tensor;
 
+pub use kernel::{
+    kernel_stats, kernel_stats_enabled, reset_kernel_stats, set_kernel_stats_enabled, KernelStat,
+};
 pub use layers::{AvgPool2d, Conv2d, Flatten, Layer, Linear, ReLU, Tanh};
 pub use loss::{accuracy, softmax, SoftmaxCrossEntropy};
 pub use network::Network;

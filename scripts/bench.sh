@@ -72,4 +72,19 @@ for kind in 1f1b gpipe async interleaved zb; do
     fi
 done
 
+# The metrics instrumentation must stay in the trajectory: the micro
+# snapshot carries the hub hot-path cases and the headline snapshot the
+# hub-attached twin of the 1F1B round (the committed overhead record).
+for case in metrics_hub_counter_inc_1024 metrics_hub_histogram_record_1024 \
+    metrics_hub_snapshot_48_series; do
+    if ! grep -q "\"$case\"" "$out_dir/BENCH_micro.json"; then
+        echo "ERROR: BENCH_micro.json is missing the $case metrics case" >&2
+        exit 1
+    fi
+done
+if ! grep -q "\"pipeline_1f1b_round_b2_m16_metered\"" "$out_dir/BENCH_headline.json"; then
+    echo "ERROR: BENCH_headline.json is missing the hub-attached 1F1B round case" >&2
+    exit 1
+fi
+
 echo "==> bench snapshots written to $out_dir"

@@ -18,9 +18,16 @@ covered_fl=0
 covered_tensor=0
 covered_bench=0
 covered_store=0
+covered_metrics=0
 while IFS= read -r manifest; do
     case "$manifest" in
-        */crates/obs/Cargo.toml) covered_obs=1 ;;
+        # The streaming-metrics module ships inside crates/obs; the
+        # sentinel pins it to the manifest the walk covers so a future
+        # move into its own crate must move the coverage check too.
+        */crates/obs/Cargo.toml)
+            covered_obs=1
+            [ -f "${manifest%Cargo.toml}src/metrics.rs" ] && covered_metrics=1
+            ;;
         */crates/fl/Cargo.toml) covered_fl=1 ;;
         */crates/tensor/Cargo.toml) covered_tensor=1 ;;
         */crates/bench/Cargo.toml) covered_bench=1 ;;
@@ -52,6 +59,10 @@ if [ "$covered_obs" -ne 1 ] || [ "$covered_fl" -ne 1 ] ||
     [ "$covered_tensor" -ne 1 ] || [ "$covered_bench" -ne 1 ] ||
     [ "$covered_store" -ne 1 ]; then
     echo "ERROR: hermeticity guard never saw the crates/obs, crates/fl, crates/tensor, crates/bench and crates/store manifests — the manifest walk is broken." >&2
+    exit 1
+fi
+if [ "$covered_metrics" -ne 1 ]; then
+    echo "ERROR: hermeticity guard did not find crates/obs/src/metrics.rs — the streaming-metrics module moved without updating its sentinel." >&2
     exit 1
 fi
 echo "    ok"
@@ -123,6 +134,41 @@ done
 echo "    ECOFL_PORTABLE_KERNELS=1"
 ECOFL_PORTABLE_KERNELS=1 \
     cargo test -q --release --offline -p ecofl-tensor --test kernel_equivalence
+
+# Metrics-perturbation gate: attaching a MetricsHub must leave FL run
+# results, executor reports/traces and threaded-runtime parameters
+# bit-identical to a detached run. Swept across pool widths because the
+# guarantee must hold regardless of kernel parallelism; watchdogged
+# because the suite drives the threaded runtime.
+echo "==> metrics-perturbation gate: --test metrics_perturbation at ECOFL_THREADS=1/2/8 (watchdog 300s)"
+for threads in 1 2 8; do
+    echo "    ECOFL_THREADS=$threads"
+    ECOFL_THREADS=$threads timeout 300 \
+        cargo test -q --release --offline --test metrics_perturbation || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: metrics-perturbation suite hit the watchdog — the instrumented runtime deadlocked." >&2
+        fi
+        exit "$status"
+    }
+done
+
+# Metrics-overhead smoke gate: the hub-enabled 1F1B round must stay
+# within a fixed median ratio of the hub-disabled round (the test is
+# #[ignore]d because wall-clock ratios are meaningless under the
+# parallel test runner — it only runs here, serially, in release).
+echo "==> metrics-overhead gate: --test metrics_overhead -- --ignored at ECOFL_THREADS=1/2/8 (watchdog 300s)"
+for threads in 1 2 8; do
+    echo "    ECOFL_THREADS=$threads"
+    ECOFL_THREADS=$threads timeout 300 \
+        cargo test -q --release --offline --test metrics_overhead -- --ignored || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: metrics-overhead gate hit the watchdog." >&2
+        fi
+        exit "$status"
+    }
+done
 
 # Bench-smoke gate: one-iteration pass through the benchmark trajectory
 # runner, asserting the BENCH_*.json plumbing and schema — never timings,

@@ -8,12 +8,16 @@
 //! ecofl fl      --strategy ecofl --clients 60 --horizon 800
 //! ecofl trace   --model effnet-b0 --devices tx2q,nanoh,nanoh
 //! ecofl trace   --store target/ecofl-results/trace/pipeline --rounds 0..2
+//! ecofl metrics --live fl --clients 12 --horizon 120 --store DIR
+//! ecofl metrics --store DIR [--round N] [--export FILE]
+//! ecofl metrics --import FILE
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: `--key value` pairs
 //! after a subcommand. Every failure path is a typed [`EcoFlError`];
 //! `main` prints its `Display` form, which carries the exact message.
 
+use ecofl::obs::metrics::LogHistogram;
 use ecofl::obs::{trace_dir, Domain};
 use ecofl::prelude::*;
 use ecofl_pipeline::adaptive::{simulate_load_spike_traced, SchedulerConfig};
@@ -738,6 +742,221 @@ fn cmd_trace_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     Ok(())
 }
 
+/// Renders one metrics snapshot as an aligned ASCII dashboard.
+fn render_snapshot(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "metrics snapshot — round {} ({} counter(s), {} gauge(s), {} histogram(s))",
+        snap.round,
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    ));
+    if !snap.counters.is_empty() {
+        out.push("  counters:".into());
+        for c in &snap.counters {
+            out.push(format!("    {:<30} {:>14}", c.name, c.value));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push("  gauges (last / min / max / samples):".into());
+        for g in &snap.gauges {
+            out.push(format!(
+                "    {:<30} {:>12.4} {:>12.4} {:>12.4} {:>8}",
+                g.name, g.last, g.min, g.max, g.samples
+            ));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push("  histograms (p50 / p95 / p99 / max / count):".into());
+        for h in &snap.histograms {
+            let sketch = LogHistogram::from_snapshot(h);
+            let q = |p: f64| sketch.quantile(p).unwrap_or(0.0);
+            out.push(format!(
+                "    {:<30} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>8}",
+                h.name,
+                q(0.5),
+                q(0.95),
+                q(0.99),
+                h.max,
+                h.count
+            ));
+        }
+    }
+    out
+}
+
+/// Folds the tensor crate's process-global kernel statistics into the
+/// hub as `kernel_<name>_<path>_{calls,ns}` counters. The counters are
+/// written only here, so increment-by-delta keeps them equal to the
+/// monotone totals.
+fn scrape_kernel_stats(hub: &MetricsHub) {
+    for stat in ecofl_tensor::kernel_stats() {
+        let calls = hub.counter(&format!("kernel_{}_{}_calls", stat.kernel, stat.path));
+        calls.inc(stat.calls.saturating_sub(calls.get()));
+        let nanos = hub.counter(&format!("kernel_{}_{}_ns", stat.kernel, stat.path));
+        nanos.inc(stat.nanos.saturating_sub(nanos.get()));
+    }
+}
+
+fn cmd_metrics(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    if args.contains_key("live") {
+        return cmd_metrics_live(args);
+    }
+    if let Some(file) = args.get("import") {
+        return cmd_metrics_import(args, file);
+    }
+    cmd_metrics_inspect(args)
+}
+
+/// Opens a run store and renders its persisted metrics snapshots: the
+/// latest by default, a specific round with `--round`, exported as
+/// Prometheus text with `--export`.
+fn cmd_metrics_inspect(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    let dir = PathBuf::from(require(args, "store")?);
+    let io_err = |e: std::io::Error| EcoFlError::Io(format!("run store {}: {e}", dir.display()));
+    let store = RunStore::open(dir.as_path()).map_err(io_err)?;
+    let count = store.snapshot_count();
+    println!("store: {} ({count} metrics snapshot(s))", dir.display());
+    let snap = match args.get("round") {
+        Some(r) => {
+            let round: u64 = r
+                .parse()
+                .map_err(|_| EcoFlError::Parse(format!("bad value for --round: {r}")))?;
+            store.snapshot_at_round(round).map_err(io_err)?
+        }
+        None => store.latest_snapshot().map_err(io_err)?,
+    };
+    let Some(snap) = snap else {
+        return Err(EcoFlError::Config(
+            "store holds no matching metrics snapshot".into(),
+        ));
+    };
+    if let Some(out) = args.get("export") {
+        std::fs::write(out, snap.to_prometheus())
+            .map_err(|e| EcoFlError::Io(format!("cannot write {out}: {e}")))?;
+        println!("exported Prometheus text to {out}");
+    }
+    for line in render_snapshot(&snap) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// Parses a Prometheus-text export back into a snapshot and renders it
+/// (the read half of the export round-trip); `--export` re-exports it.
+fn cmd_metrics_import(args: &HashMap<String, String>, file: &str) -> Result<(), EcoFlError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| EcoFlError::Io(format!("cannot read {file}: {e}")))?;
+    let snap = MetricsSnapshot::from_prometheus(&text)
+        .map_err(|e| EcoFlError::Parse(format!("{file}: {e}")))?;
+    println!("imported {file}");
+    if let Some(out) = args.get("export") {
+        std::fs::write(out, snap.to_prometheus())
+            .map_err(|e| EcoFlError::Io(format!("cannot write {out}: {e}")))?;
+        println!("re-exported Prometheus text to {out}");
+    }
+    for line in render_snapshot(&snap) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// Runs an FL scenario with a [`MetricsHub`] attached and renders a
+/// refreshing dashboard while it trains. Every refresh tick rolls the
+/// hub into a snapshot; with `--store` each tick is durably appended
+/// (snapshot blocks seal per append), so a second terminal can inspect
+/// the same store mid-run with `ecofl metrics --store DIR`.
+fn cmd_metrics_live(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
+    use std::io::IsTerminal as _;
+
+    let scenario = require(args, "live")?;
+    if scenario != "fl" {
+        return Err(EcoFlError::Parse(format!(
+            "unknown live scenario '{scenario}' (fl)"
+        )));
+    }
+    let strategy = parse_strategy(args.get("strategy").map_or("ecofl", String::as_str))?;
+    let clients = get(args, "clients", 12usize)?;
+    let horizon = get(args, "horizon", 120.0f64)?;
+    let seed = get(args, "seed", 42u64)?;
+    let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
+    let dataset = parse_dataset(args.get("dataset").map_or("mnist", String::as_str))?;
+    let refresh = get(args, "refresh-ms", 200u64)?;
+    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
+
+    let mut store = match args.get("store") {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            let st = RunStore::open_or_create(dir.as_path())
+                .map_err(|e| EcoFlError::Io(format!("run store {}: {e}", dir.display())))?;
+            Some((dir, st))
+        }
+        None => None,
+    };
+
+    let hub = MetricsHub::new();
+    if let Some((_, st)) = &mut store {
+        st.attach_metrics(&hub);
+    }
+    ecofl_tensor::reset_kernel_stats();
+    ecofl_tensor::set_kernel_stats_enabled(true);
+
+    let worker = {
+        let hub = hub.clone();
+        std::thread::spawn(move || run_strategy_metered(strategy, &setup, None, &hub))
+    };
+
+    let live_tty = std::io::stdout().is_terminal();
+    let mut tick = 0u64;
+    let io_err = |e: std::io::Error| EcoFlError::Io(format!("metrics store: {e}"));
+    while !worker.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(refresh));
+        tick += 1;
+        scrape_kernel_stats(&hub);
+        let snap = hub.snapshot(tick);
+        if let Some((_, st)) = &mut store {
+            st.append_snapshot(&snap).map_err(io_err)?;
+        }
+        if live_tty {
+            print!("\x1b[2J\x1b[H");
+        }
+        for line in render_snapshot(&snap) {
+            println!("{line}");
+        }
+        println!();
+    }
+    ecofl_tensor::set_kernel_stats_enabled(false);
+    let result = worker
+        .join()
+        .map_err(|_| EcoFlError::Config("metered FL run panicked".into()))?;
+
+    // Final rollup: everything the run recorded, tagged one past the
+    // last live tick.
+    tick += 1;
+    scrape_kernel_stats(&hub);
+    let snap = hub.snapshot(tick);
+    if let Some((dir, st)) = &mut store {
+        st.append_snapshot(&snap).map_err(io_err)?;
+        println!(
+            "persisted {} metrics snapshot(s) to {}",
+            st.snapshot_count(),
+            dir.display()
+        );
+    }
+    for line in render_snapshot(&snap) {
+        println!("{line}");
+    }
+    println!(
+        "{}: best {:.1}% | final {:.1}% | {} updates",
+        result.strategy,
+        result.best_accuracy * 100.0,
+        result.final_accuracy * 100.0,
+        result.global_updates
+    );
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: ecofl <command> [--key value ...]\n\
      commands:\n\
@@ -762,6 +981,13 @@ fn usage() -> &'static str {
               [--rounds A..B] [--domain pipeline|scheduler|fl|grouping]\n\
               [--kind span|event|counter|gauge] [--min-duration T]\n\
               [--limit N]            segments, pruned query, checkpoints\n\
+       metrics --live fl             run FL with a metrics hub attached and\n\
+              [--clients N] [--horizon T] [--refresh-ms N] [--store DIR]\n\
+                                     render a live-refreshing dashboard,\n\
+                                     appending each tick's snapshot to DIR\n\
+       metrics --store DIR           inspect persisted metrics snapshots\n\
+              [--round N] [--export FILE (Prometheus text)]\n\
+       metrics --import FILE         parse a Prometheus export and render it\n\
      models : effnet-b0..b6, mobilenet-w1..w3 (optionally model@resolution)\n\
      devices: comma list of nanol, nanoh, tx2q, tx2n"
 }
@@ -780,6 +1006,7 @@ fn main() -> ExitCode {
         "spike" => cmd_spike(&args),
         "fl" => cmd_fl(&args),
         "trace" => cmd_trace(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

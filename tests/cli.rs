@@ -180,6 +180,79 @@ fn trace_records_into_a_store_and_inspect_reads_it_back() {
 }
 
 #[test]
+fn metrics_live_run_persists_snapshots_and_round_trips_prometheus() {
+    let dir = std::env::temp_dir().join(format!("ecofl-cli-metrics-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = dir.to_str().expect("utf-8 temp path");
+
+    // Live metered FL run: dashboard ticks while training, every tick's
+    // snapshot lands in the store.
+    let (ok, stdout, stderr) = ecofl(&[
+        "metrics",
+        "--live",
+        "fl",
+        "--clients",
+        "8",
+        "--horizon",
+        "60",
+        "--refresh-ms",
+        "50",
+        "--store",
+        store,
+    ]);
+    assert!(ok, "metrics --live failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("metrics snapshot"), "stdout:\n{stdout}");
+    for metric in [
+        "fl_global_updates",
+        "fl_round_latency_s",
+        "fl_accuracy",
+        "store_blocks_written",
+    ] {
+        assert!(stdout.contains(metric), "missing {metric} in:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("persisted") && stdout.contains("snapshot(s)"),
+        "stdout:\n{stdout}"
+    );
+    assert!(dir.join("metrics.seg").exists());
+
+    // Inspect the persisted snapshots and export Prometheus text.
+    let prom = dir.join("export.prom");
+    let prom_path = prom.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = ecofl(&["metrics", "--store", store, "--export", prom_path]);
+    assert!(ok, "metrics inspect failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("metrics snapshot(s))"), "stdout:\n{stdout}");
+    assert!(stdout.contains("fl_global_updates"), "stdout:\n{stdout}");
+    let text = std::fs::read_to_string(&prom).expect("export written");
+    assert!(text.starts_with("# ecofl-metrics v1 round="), "{text}");
+    assert!(text.contains("# TYPE fl_round_latency_s histogram"));
+
+    // Import the export, re-export, and demand a byte-identical file:
+    // the CLI-level Prometheus round trip.
+    let prom2 = dir.join("export2.prom");
+    let prom2_path = prom2.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = ecofl(&["metrics", "--import", prom_path, "--export", prom2_path]);
+    assert!(ok, "metrics import failed:\n{stdout}\n{stderr}");
+    let text2 = std::fs::read_to_string(&prom2).expect("re-export written");
+    assert_eq!(text, text2, "Prometheus round trip must be byte-identical");
+
+    // --round selects a specific stored snapshot.
+    let (ok, stdout, stderr) = ecofl(&["metrics", "--store", store, "--round", "1"]);
+    assert!(ok, "metrics --round failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("round 1 ("), "stdout:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_inspect_fails_cleanly_without_snapshots() {
+    let dir = std::env::temp_dir().join(format!("ecofl-cli-nometrics-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!ecofl(&["metrics", "--store", dir.to_str().unwrap()]).0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (ok, _, stderr) = ecofl(&["frobnicate"]);
     assert!(!ok);
@@ -204,7 +277,7 @@ fn missing_required_arg_fails_cleanly() {
 fn help_prints_all_commands() {
     let (ok, stdout, _) = ecofl(&["help"]);
     assert!(ok);
-    for cmd in ["devices", "plan", "gantt", "spike", "fl"] {
+    for cmd in ["devices", "plan", "gantt", "spike", "fl", "metrics"] {
         assert!(stdout.contains(cmd));
     }
 }

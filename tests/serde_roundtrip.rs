@@ -213,9 +213,8 @@ fn trace_record_variants_round_trip() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the one-release write_jsonl/read_jsonl shims
 fn trace_jsonl_files_round_trip() {
-    use ecofl::obs::{read_jsonl, trace_dir, write_jsonl, Domain, EventKind, SpanKind};
+    use ecofl::obs::{trace_dir, Domain, EventKind, RunStore, SpanKind};
 
     let tracer = Tracer::new();
     tracer.span(Domain::Fl, SpanKind::LocalTrain, 4, 2, 0, 10.0, 14.5);
@@ -224,10 +223,23 @@ fn trace_jsonl_files_round_trip() {
     tracer.gauge("accuracy", 15.0, 0.625);
     let records = tracer.records();
 
+    // The store's JSONL export is the (only) flat-file path since the
+    // deprecated write_jsonl/read_jsonl shims were removed.
+    let dir = trace_dir().join(format!("serde-roundtrip-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut store = RunStore::create(&dir).expect("create store");
+    store.append(&records).expect("append");
+    store.flush().expect("flush");
+    assert_eq!(store.records().expect("records"), records);
+
     let path = trace_dir().join("serde-roundtrip-test.jsonl");
-    write_jsonl(&path, &records).expect("write");
-    assert_eq!(read_jsonl(&path).expect("read"), records);
+    store.export_jsonl(&path).expect("export");
+    let reopened = RunStore::open(&dir).expect("open");
+    let text = std::fs::read_to_string(&path).expect("read export");
+    assert_eq!(text.lines().count(), records.len());
+    assert_eq!(reopened.records().expect("records"), records);
     std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -11,6 +11,7 @@ use ecofl_compat::check::{f64_in, forall, quad, triple, usize_in, vec_in};
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::p_bounds;
 use ecofl_pipeline::profiler::{PipelineProfile, StageProfile};
+use ecofl_pipeline::schedule::{ScheduleKind, DEFAULT_INTERLEAVE};
 
 const CASES: usize = 24;
 
@@ -209,6 +210,116 @@ fn uniform_pipeline_bubble_fraction_matches_eq2_ssb() {
                     (bubble - expected_bubble).abs() < 1e-9,
                     "round {r}: measured bubble {bubble} vs Eq. 2 {expected_bubble} \
                      (S = {s_count}, M = {m}, w = {w}, comm = {comm})"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn interleaved_and_zero_bubble_traces_account_idle_and_bubbles() {
+    // The idle/bubble identities are not 1F1B-specific: on interleaved
+    // traces the entities are *virtual* stages (S·v of them, two per
+    // device) and on zero-bubble traces the backward splits into
+    // BwdInput/BwdWeight spans — in both cases the trace's idle
+    // accounting must still equal the executor's own, and every round's
+    // bubble fraction must be a well-formed ratio.
+    let input = triple(
+        vec_in(f64_in(0.05, 1.0), 2, 4),
+        usize_in(2, 8),
+        usize_in(1, 3),
+    );
+    forall(
+        "interleaved_and_zero_bubble_traces_account_idle_and_bubbles",
+        CASES,
+        &input,
+        |(widths, m, rounds)| {
+            let s_count = widths.len();
+            let stages: Vec<StageProfile> = widths
+                .iter()
+                .enumerate()
+                .map(|(s, &w)| stage(s, s_count, w / 3.0, 2.0 * w / 3.0, 0.02))
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 4);
+            for kind in [ScheduleKind::Interleaved1F1B, ScheduleKind::ZeroBubble] {
+                let policy = kind.policy_for(&profile).expect("ample memory");
+                let exec = PipelineExecutor::new(&profile, policy).expect("valid schedule");
+                let tracer = Tracer::new();
+                let report = exec.run_traced(*m, *rounds, &tracer).expect("ample memory");
+                let view = tracer.view();
+
+                // Interleaved entities are virtual stages; zero-bubble
+                // splits each backward into two half-length spans.
+                let (entities, spans_per_round) = match kind {
+                    ScheduleKind::Interleaved1F1B => (s_count * DEFAULT_INTERLEAVE, 2 * m),
+                    _ => (s_count, 3 * m),
+                };
+                assert_eq!(view.stage_count(), entities, "{}", kind.name());
+                assert_eq!(view.pipeline_rounds(), *rounds, "{}", kind.name());
+                let compute = view.spans().filter(|sp| sp.is_compute()).count();
+                assert_eq!(
+                    compute,
+                    entities * spans_per_round * rounds,
+                    "{}",
+                    kind.name()
+                );
+
+                let report_idle: f64 = report.stage_idle_time.iter().sum();
+                assert!(
+                    (view.total_idle_time() - report_idle).abs() < 1e-9,
+                    "{}: trace idle {} vs executor idle {report_idle}",
+                    kind.name(),
+                    view.total_idle_time()
+                );
+                for r in 0..*rounds {
+                    let bubble = view.bubble_fraction(r).expect("round has spans");
+                    assert!(
+                        (0.0..1.0).contains(&bubble),
+                        "{}: round {r} bubble {bubble} outside [0, 1)",
+                        kind.name()
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn zero_bubble_trace_beats_1f1b_bubble_on_uniform_stages() {
+    // The point of the zero-bubble schedule: deferring BwdWeight work
+    // into the drain fills part of the Eq. 2 bubble, so on the same
+    // uniform profile its trace-measured bubble fraction must come in
+    // strictly below synchronous 1F1B's in every round.
+    let input = triple(usize_in(3, 6), usize_in(4, 10), f64_in(0.05, 0.5));
+    forall(
+        "zero_bubble_trace_beats_1f1b_bubble_on_uniform_stages",
+        CASES,
+        &input,
+        |(s_count, m, w)| {
+            let stages: Vec<StageProfile> = (0..*s_count)
+                .map(|s| stage(s, *s_count, *w, 2.0 * *w, 0.0))
+                .collect();
+            let profile = PipelineProfile::from_stages(stages, 4);
+            let bubble_of = |kind: ScheduleKind| -> Vec<f64> {
+                let policy = kind.policy_for(&profile).expect("ample memory");
+                let exec = PipelineExecutor::new(&profile, policy)
+                    .expect("valid schedule")
+                    .with_task_overhead(0.0);
+                let tracer = Tracer::new();
+                exec.run_traced(*m, 2, &tracer).expect("ample memory");
+                let view = tracer.view();
+                (0..view.pipeline_rounds())
+                    .map(|r| view.bubble_fraction(r).expect("round has spans"))
+                    .collect()
+            };
+            let plain = bubble_of(ScheduleKind::OneFOneBSync);
+            let zb = bubble_of(ScheduleKind::ZeroBubble);
+            assert_eq!(plain.len(), zb.len());
+            for (r, (p, z)) in plain.iter().zip(&zb).enumerate() {
+                assert!(
+                    z < p,
+                    "round {r}: zero-bubble {z} not below 1F1B {p} \
+                     (S = {s_count}, M = {m}, w = {w})"
                 );
             }
         },
