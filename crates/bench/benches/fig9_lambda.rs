@@ -74,6 +74,7 @@ fn main() {
                 strategy: GroupingStrategy::EcoFl { lambda },
                 rt_relative: 0.6,
                 rt_min: 5.0,
+                assign_batch: 0,
             },
             &mut Rng::new(seed + 1),
         );

@@ -70,6 +70,39 @@ fn bench_fl_runs() {
     });
 }
 
+fn bench_sched_dispatch_100k() {
+    // 100k virtual clients round-robined onto 64 data shards: the
+    // census-scale scheduler path (calendar event queue, shared
+    // start-parameter snapshots, streaming delta folds) end to end.
+    let config = FlConfig {
+        num_clients: 100_000,
+        clients_per_round: 256,
+        horizon: 150.0,
+        eval_interval: 50.0,
+        ..FlConfig::tiny()
+    };
+    let data = FederatedDataset::generate(
+        &SyntheticSpec::mnist_like(),
+        64,
+        60,
+        60,
+        PartitionScheme::ClassesPerClient(2),
+        None,
+        config.seed,
+    )
+    .virtualize(config.num_clients);
+    let setup = FlSetup {
+        data,
+        arch: ModelArch::Mlp,
+        config,
+    };
+    let iters = bench_iters(DEFAULT_ITERS);
+    let warmup = bench_warmup(DEFAULT_WARMUP);
+    time_case("sched_dispatch_100k", warmup, iters, || {
+        run(Strategy::FedAvg, black_box(&setup))
+    });
+}
+
 fn bench_pipeline_round() {
     let model = efficientnet_at(2, 224);
     let devices = vec![
@@ -176,6 +209,7 @@ fn load(id: &str) -> Option<Value> {
 fn main() {
     header("Headline workloads (wall-clock)");
     bench_fl_runs();
+    bench_sched_dispatch_100k();
     bench_pipeline_round();
     header("Schedule matrix (Table-2 style: schedule x device mix)");
     bench_schedule_matrix();

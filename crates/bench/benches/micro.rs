@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the hot algorithmic kernels, driven by
 //! `ecofl_bench::time_case` (the criterion-free harness):
 //! the Eq. 1 dynamic-programming partitioner, the event-driven pipeline
-//! executor, k-means latency clustering, JS divergence, FedAvg
+//! executor, the calendar event queue at 100k events, k-means latency
+//! clustering (exact and million-point mini-batch), JS divergence, FedAvg
 //! aggregation, client local training, the blocked tensor kernels
 //! that dominate it — each blocked kernel timed next to its retained
 //! naive reference so every `BENCH_micro.json` snapshot carries its own
@@ -16,13 +17,13 @@ use ecofl_bench::{bench_iters, bench_warmup, header, time_case, write_bench_snap
 use ecofl_data::SyntheticSpec;
 use ecofl_fl::aggregate::weighted_average;
 use ecofl_fl::client::{local_train, LocalTrainConfig};
-use ecofl_grouping::kmeans_1d;
+use ecofl_grouping::{kmeans_1d, kmeans_1d_minibatch};
 use ecofl_models::{efficientnet_at, ModelArch};
 use ecofl_pipeline::executor::{PipelineExecutor, SchedulePolicy};
 use ecofl_pipeline::orchestrator::k_bounds;
 use ecofl_pipeline::partition::partition_dp;
 use ecofl_pipeline::profiler::PipelineProfile;
-use ecofl_simnet::{nano_h, tx2_q, Device, Link};
+use ecofl_simnet::{nano_h, tx2_q, Device, EventQueue, Link};
 use ecofl_tensor::{reference, Conv2d, Layer, Sgd, Tensor};
 use ecofl_util::{js_divergence, Rng};
 use std::hint::black_box;
@@ -81,6 +82,40 @@ fn bench_kmeans() {
     time_case("kmeans_300_clients_k5", warmup(), iters(), || {
         let mut r = Rng::new(7);
         kmeans_1d(black_box(&points), 5, &mut r, 100)
+    });
+}
+
+fn bench_eventqueue() {
+    // 100k events through the calendar-queue backend: schedule with an
+    // xorshift time spread, then drain to empty. This is the per-event
+    // cost the scheduler pays at census scale (O(1) amortized vs the
+    // binary heap's O(log n)).
+    time_case("eventqueue_schedule_pop", warmup(), iters(), || {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..100_000usize {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule((x % 1_000_000) as f64 * 1e-3, i);
+        }
+        let mut drained = 0usize;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        black_box(drained)
+    });
+}
+
+fn bench_kmeans_minibatch() {
+    // Million-point latency clustering via mini-batch k-means — the
+    // initial-grouping seed at the scale the exact Lloyd path cannot
+    // afford (its per-sweep cost is O(n·k) with tens of sweeps).
+    let mut rng = Rng::new(31);
+    let points: Vec<f64> = (0..1_000_000).map(|_| rng.range_f64(5.0, 150.0)).collect();
+    time_case("kmeans_minibatch_1m", warmup(), iters(), || {
+        let mut r = Rng::new(7);
+        kmeans_1d_minibatch(black_box(&points), 5, 8192, 30, &mut r)
     });
 }
 
@@ -283,6 +318,8 @@ fn main() {
     bench_partition();
     bench_executor();
     bench_kmeans();
+    bench_kmeans_minibatch();
+    bench_eventqueue();
     bench_js();
     bench_aggregate();
     bench_local_train();

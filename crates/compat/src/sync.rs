@@ -11,6 +11,14 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 
+/// A cheaply-clonable shared immutable handle (an alias of
+/// [`std::sync::Arc`]). Used where the simulator hands one snapshot —
+/// e.g. the global model's weight vector — to many concurrent readers:
+/// cloning a `Shared<Vec<f32>>` is a reference-count bump, not a copy
+/// of the vector, so per-client weight materialization is deferred to
+/// the moment training actually needs a mutable copy.
+pub type Shared<T> = Arc<T>;
+
 /// A mutual-exclusion lock with parking_lot's calling convention:
 /// `lock()` returns the guard directly. A panic while holding the lock
 /// does not poison it for later users (the protected invariants in this

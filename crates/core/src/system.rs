@@ -215,15 +215,20 @@ impl EcoFlSystemBuilder {
     /// Validates and assembles the system.
     ///
     /// # Errors
-    /// [`EcoFlError::Config`] when no homes are configured;
-    /// [`EcoFlError::Plan`] when some home admits no feasible pipeline
-    /// plan.
+    /// [`EcoFlError::Config`] when no homes are configured or the FL
+    /// config fails [`FlConfig::validate`] (out-of-range failure
+    /// probability, non-positive eval interval, negative communication
+    /// latency, …); [`EcoFlError::Plan`] when some home admits no
+    /// feasible pipeline plan.
     pub fn build(self) -> Result<EcoFlSystem, EcoFlError> {
         if self.homes.is_empty() {
             return Err(EcoFlError::Config(
                 "EcoFlSystem: at least one smart home is required".into(),
             ));
         }
+        self.fl_config
+            .validate()
+            .map_err(|msg| EcoFlError::Config(format!("EcoFlSystem: {msg}")))?;
         let link = Link::mbps_100();
         let mut plans = Vec::with_capacity(self.homes.len());
         for home in &self.homes {
@@ -443,6 +448,30 @@ mod tests {
         match EcoFlSystem::builder().build() {
             Err(EcoFlError::Config(msg)) => assert!(msg.contains("at least one smart home")),
             other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fl_config() {
+        // Each broken field surfaces as a typed Config error at build
+        // time, before any pipeline planning runs.
+        type BreakField = fn(&mut FlConfig);
+        let cases: &[(BreakField, &str)] = &[
+            (|c| c.failure_prob = 1.5, "failure_prob"),
+            (|c| c.failure_prob = f64::NAN, "failure_prob"),
+            (|c| c.eval_interval = 0.0, "eval_interval"),
+            (|c| c.comm_latency = -1.0, "comm_latency"),
+            (|c| c.probe_backoff = 0.0, "probe_backoff"),
+        ];
+        for (break_field, field) in cases {
+            let mut cfg = quick_cfg();
+            break_field(&mut cfg);
+            match EcoFlSystem::builder().homes(homes()).fl_config(cfg).build() {
+                Err(EcoFlError::Config(msg)) => {
+                    assert!(msg.contains(field), "{field}: message was {msg:?}");
+                }
+                other => panic!("{field}: expected Config error, got {other:?}"),
+            }
         }
     }
 

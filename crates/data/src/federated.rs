@@ -26,11 +26,21 @@ pub enum PartitionScheme {
 
 /// A complete federated learning dataset: one shard per client plus a
 /// held-out test set drawn from the same task.
+///
+/// At million-client scale the dataset is *virtualized*
+/// ([`FederatedDataset::virtualize`]): `n` virtual clients are mapped
+/// round-robin onto the materialized shards, so data memory stays
+/// O(shards) while the scheduler sees `n` clients. Two virtual clients
+/// sharing a shard still train independently — their RNG streams (and
+/// hence their local updates) differ.
 #[derive(Debug, Clone)]
 pub struct FederatedDataset {
     clients: Vec<Dataset>,
     test: Dataset,
     num_classes: usize,
+    /// When set, the population presented by [`Self::num_clients`] /
+    /// [`Self::client`]; the materialized shards back it round-robin.
+    num_virtual: Option<usize>,
 }
 
 impl FederatedDataset {
@@ -81,22 +91,59 @@ impl FederatedDataset {
             clients,
             test,
             num_classes: spec.num_classes,
+            num_virtual: None,
         }
     }
 
-    /// Number of clients.
+    /// Presents this dataset as `n` virtual clients backed round-robin
+    /// by the materialized shards (`virtual client i → shard i %
+    /// num_shards()`). The scheduler, grouper and failure model all see
+    /// `n` clients; data memory stays proportional to the shard count.
+    ///
+    /// # Panics
+    /// Panics if `n` is smaller than the number of materialized shards
+    /// (that would silently orphan shards).
+    #[must_use]
+    pub fn virtualize(mut self, n: usize) -> Self {
+        assert!(
+            n >= self.clients.len(),
+            "virtualize: {n} virtual clients cannot cover {} shards",
+            self.clients.len()
+        );
+        self.num_virtual = Some(n);
+        self
+    }
+
+    /// Number of clients (virtual population when virtualized).
     #[must_use]
     pub fn num_clients(&self) -> usize {
+        self.num_virtual.unwrap_or(self.clients.len())
+    }
+
+    /// Number of materialized shards (= `num_clients()` when not
+    /// virtualized).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
         self.clients.len()
     }
 
-    /// Training shard of client `i`.
+    /// The materialized shard backing client `i`.
     #[must_use]
-    pub fn client(&self, i: usize) -> &Dataset {
-        &self.clients[i]
+    pub fn shard_index(&self, i: usize) -> usize {
+        debug_assert!(i < self.num_clients());
+        i % self.clients.len()
     }
 
-    /// All client shards.
+    /// Training shard of client `i` (the backing shard when
+    /// virtualized).
+    #[must_use]
+    pub fn client(&self, i: usize) -> &Dataset {
+        &self.clients[self.shard_index(i)]
+    }
+
+    /// The materialized shards — one entry per *shard*, not per virtual
+    /// client; use [`Self::shard_index`] to map a client id onto this
+    /// slice.
     #[must_use]
     pub fn clients(&self) -> &[Dataset] {
         &self.clients
@@ -114,20 +161,31 @@ impl FederatedDataset {
         self.num_classes
     }
 
-    /// Per-client label distributions `π_n` (Eq. 4 inputs).
+    /// Per-client label distributions `π_n` (Eq. 4 inputs); one entry
+    /// per client, replicated from the backing shard when virtualized.
     #[must_use]
     pub fn client_label_distributions(&self) -> Vec<Vec<f64>> {
-        self.clients
+        let shard_dists: Vec<Vec<f64>> = self
+            .clients
             .iter()
             .map(Dataset::label_distribution)
-            .collect()
+            .collect();
+        match self.num_virtual {
+            None => shard_dists,
+            Some(n) => (0..n)
+                .map(|i| shard_dists[self.shard_index(i)].clone())
+                .collect(),
+        }
     }
 
     /// Total training samples across all clients (`|D|` in the FL
-    /// objective).
+    /// objective) — counts each virtual client's view of its shard.
     #[must_use]
     pub fn total_train_samples(&self) -> usize {
-        self.clients.iter().map(Dataset::len).sum()
+        match self.num_virtual {
+            None => self.clients.iter().map(Dataset::len).sum(),
+            Some(n) => (0..n).map(|i| self.client(i).len()).sum(),
+        }
     }
 }
 
@@ -203,6 +261,43 @@ mod tests {
             assert_eq!(a.client(i), b.client(i));
         }
         assert_eq!(a.test(), b.test());
+    }
+
+    #[test]
+    fn virtualize_maps_round_robin_onto_shards() {
+        let fd = FederatedDataset::generate(
+            &SyntheticSpec::mnist_like(),
+            4,
+            20,
+            5,
+            PartitionScheme::Iid,
+            None,
+            13,
+        )
+        .virtualize(11);
+        assert_eq!(fd.num_clients(), 11);
+        assert_eq!(fd.num_shards(), 4);
+        for i in 0..11 {
+            assert_eq!(fd.shard_index(i), i % 4);
+            assert_eq!(fd.client(i), &fd.clients()[i % 4]);
+        }
+        assert_eq!(fd.client_label_distributions().len(), 11);
+        assert_eq!(fd.total_train_samples(), 11 * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn virtualize_rejects_fewer_clients_than_shards() {
+        let fd = FederatedDataset::generate(
+            &SyntheticSpec::mnist_like(),
+            4,
+            10,
+            2,
+            PartitionScheme::Iid,
+            None,
+            13,
+        );
+        let _ = fd.virtualize(3);
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //!
 //! - [`weighted_average`] — the FedAvg/intra-group synchronous rule:
 //!   `w ← Σ_c (|D_c|/|D^g|) · w_c`,
+//! - [`StreamingAverage`] — the same rule folded incrementally, so a
+//!   cohort's updates can be aggregated and dropped in chunks instead
+//!   of all being held live at once,
 //! - [`fedasync_mix`] — the FedAsync/inter-group asynchronous rule:
 //!   `w(k) = (1−α) w(k−1) + α w_new`,
 //! - [`staleness_alpha`] — polynomial staleness discounting
@@ -31,6 +34,75 @@ pub fn weighted_average(updates: &[(&[f32], f64)]) -> Vec<f32> {
         }
     }
     out.into_iter().map(|x| x as f32).collect()
+}
+
+/// Streaming form of [`weighted_average`]: updates are folded in one at
+/// a time and can be dropped immediately after, so peak memory is one
+/// parameter vector per *in-flight* update rather than one per cohort
+/// member.
+///
+/// The total weight must be known up front (in this simulator it is —
+/// `num_samples` per client is fixed by the dataset before training
+/// runs). Folding updates **in the same order** with the same weights
+/// then performs the exact `acc += (w/total)·f64(p)` operation sequence
+/// of `weighted_average`, so the result is bit-identical, which the
+/// 1/2/8-thread determinism gate relies on.
+#[derive(Debug, Clone)]
+pub struct StreamingAverage {
+    acc: Vec<f64>,
+    total: f64,
+    folded: f64,
+}
+
+impl StreamingAverage {
+    /// Starts an accumulator for vectors of length `dim` whose weights
+    /// will sum to `total_weight`.
+    ///
+    /// # Panics
+    /// Panics if `total_weight` is not positive and finite.
+    #[must_use]
+    pub fn new(dim: usize, total_weight: f64) -> Self {
+        assert!(
+            total_weight > 0.0 && total_weight.is_finite(),
+            "StreamingAverage: total weight must be positive, got {total_weight}"
+        );
+        Self {
+            acc: vec![0.0f64; dim],
+            total: total_weight,
+            folded: 0.0,
+        }
+    }
+
+    /// Folds one update into the running average.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn fold(&mut self, params: &[f32], weight: f64) {
+        assert_eq!(
+            params.len(),
+            self.acc.len(),
+            "StreamingAverage: length mismatch"
+        );
+        let w = weight / self.total;
+        for (acc, &p) in self.acc.iter_mut().zip(params) {
+            *acc += w * f64::from(p);
+        }
+        self.folded += weight;
+    }
+
+    /// Weight folded so far (diagnostic; callers may assert it reached
+    /// the declared total).
+    #[must_use]
+    pub fn folded_weight(&self) -> f64 {
+        self.folded
+    }
+
+    /// Finishes the average, rounding to `f32` exactly as
+    /// [`weighted_average`] does.
+    #[must_use]
+    pub fn finish(self) -> Vec<f32> {
+        self.acc.into_iter().map(|x| x as f32).collect()
+    }
 }
 
 /// FedAsync mixing: `w ← (1−α) w + α w_new`, in place.
@@ -100,6 +172,51 @@ mod tests {
     fn rejects_zero_weights() {
         let p = [1.0f32];
         let _ = weighted_average(&[(&p, 0.0)]);
+    }
+
+    #[test]
+    fn streaming_average_bit_identical_to_batch() {
+        // Pseudo-random but fully deterministic inputs; the streaming
+        // fold must reproduce weighted_average *bitwise*, not just
+        // approximately — the thread-count determinism gate depends on
+        // it.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let updates: Vec<(Vec<f32>, f64)> = (0..17)
+            .map(|i| {
+                let v: Vec<f32> = (0..257).map(|_| next()).collect();
+                (v, 10.0 + i as f64 * 3.0)
+            })
+            .collect();
+        let refs: Vec<(&[f32], f64)> = updates.iter().map(|(v, w)| (v.as_slice(), *w)).collect();
+        let batch = weighted_average(&refs);
+
+        let total: f64 = updates.iter().map(|(_, w)| *w).sum();
+        // Fold in uneven chunks to mimic the chunked train-and-fold
+        // path.
+        let mut stream = StreamingAverage::new(257, total);
+        for chunk in updates.chunks(5) {
+            for (v, w) in chunk {
+                stream.fold(v, *w);
+            }
+        }
+        assert_eq!(stream.folded_weight(), total);
+        let streamed = stream.finish();
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits(), "streaming fold diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn streaming_rejects_nonpositive_total() {
+        let _ = StreamingAverage::new(4, 0.0);
     }
 
     #[test]

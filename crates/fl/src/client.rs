@@ -10,6 +10,7 @@ use ecofl_data::Dataset;
 use ecofl_models::ModelArch;
 use ecofl_tensor::{Sgd, Tensor};
 use ecofl_util::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Local-solver hyper-parameters for one training call.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +25,57 @@ pub struct LocalTrainConfig {
     pub mu: f32,
 }
 
+static LIVE_UPDATES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_LIVE_UPDATES: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`LocalUpdate`]s currently alive. The
+/// streaming-aggregation contract — peak RSS scales with cohort chunk
+/// size, not the client population — is asserted against this and
+/// [`peak_live_update_count`] by the `memory_bound` integration test.
+#[must_use]
+pub fn live_update_count() -> usize {
+    LIVE_UPDATES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_update_count`] since the last
+/// [`reset_peak_live_updates`].
+#[must_use]
+pub fn peak_live_update_count() -> usize {
+    PEAK_LIVE_UPDATES.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current live count.
+pub fn reset_peak_live_updates() {
+    PEAK_LIVE_UPDATES.store(LIVE_UPDATES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// RAII tally of one live [`LocalUpdate`]: counts itself in on
+/// construction/clone and out on drop, maintaining the high-water mark.
+/// Kept as a private field so partial moves out of `LocalUpdate`
+/// (e.g. `update.params`) still decrement when the token drops.
+#[derive(Debug)]
+struct LiveToken;
+
+impl LiveToken {
+    fn new() -> Self {
+        let live = LIVE_UPDATES.fetch_add(1, Ordering::Relaxed) + 1;
+        PEAK_LIVE_UPDATES.fetch_max(live, Ordering::Relaxed);
+        LiveToken
+    }
+}
+
+impl Clone for LiveToken {
+    fn clone(&self) -> Self {
+        LiveToken::new()
+    }
+}
+
+impl Drop for LiveToken {
+    fn drop(&mut self) {
+        LIVE_UPDATES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Result of a local training call.
 #[derive(Debug, Clone)]
 pub struct LocalUpdate {
@@ -33,6 +85,7 @@ pub struct LocalUpdate {
     pub num_samples: usize,
     /// Mean training loss over the final epoch.
     pub final_loss: f32,
+    _live: LiveToken,
 }
 
 /// Trains `start_params` on `data` and returns the updated parameters.
@@ -84,6 +137,7 @@ pub fn local_train(
         params: model.params(),
         num_samples: data.len(),
         final_loss,
+        _live: LiveToken::new(),
     }
 }
 

@@ -80,6 +80,17 @@ pub struct FlConfig {
     /// `failure_prob` casualty, so the two knobs model the
     /// without-recovery and with-recovery ends of the same failure.
     pub failure_prob: f64,
+    /// Delay before a hierarchical strategy re-probes a group that had
+    /// no dispatchable members (all busy or dropped), virtual seconds.
+    /// Retry probes previously piggybacked on `comm_latency`, silently
+    /// coupling probe cadence to an unrelated knob.
+    pub probe_backoff: f64,
+    /// Mini-batch size for the Eq. 4 group-association sweep. `0`
+    /// keeps the exact O(n²) greedy assignment (the paper-scale
+    /// default); a positive value switches to batched association and
+    /// mini-batch k-means seeding, keeping grouping sub-quadratic at
+    /// 10⁵–10⁶ clients.
+    pub grouping_batch: usize,
     /// RNG seed for the whole run.
     pub seed: u64,
 }
@@ -107,6 +118,8 @@ impl Default for FlConfig {
             dynamics: Some(DynamicsConfig::default()),
             base_delay_override: None,
             failure_prob: 0.0,
+            probe_backoff: 30.0,
+            grouping_batch: 0,
             seed: 42,
         }
     }
@@ -133,6 +146,47 @@ impl FlConfig {
     pub fn clients_per_group_round(&self) -> usize {
         (self.clients_per_round / self.num_groups).max(1)
     }
+
+    /// Validates the scheduler-facing knobs, returning a description of
+    /// the first violation.
+    ///
+    /// Out-of-range values used to flow silently into the run: a NaN or
+    /// `>1` `failure_prob` reached `rng.bernoulli` unchecked (making
+    /// the failure model ill-defined or a no-op), a non-positive
+    /// `eval_interval` made the eval watermark spin, and a negative
+    /// `comm_latency` scheduled events in the past. The builder and the
+    /// CLI map an `Err` here to `EcoFlError::Config`.
+    ///
+    /// # Errors
+    /// Returns `Err(message)` naming the offending field and value.
+    pub fn validate(&self) -> Result<(), String> {
+        // `!(x >= lo && x <= hi)` style so NaN fails every check.
+        if !(self.failure_prob >= 0.0 && self.failure_prob <= 1.0) {
+            return Err(format!(
+                "failure_prob must be in [0, 1], got {}",
+                self.failure_prob
+            ));
+        }
+        if !(self.eval_interval > 0.0 && self.eval_interval.is_finite()) {
+            return Err(format!(
+                "eval_interval must be positive and finite, got {}",
+                self.eval_interval
+            ));
+        }
+        if !(self.comm_latency >= 0.0 && self.comm_latency.is_finite()) {
+            return Err(format!(
+                "comm_latency must be non-negative and finite, got {}",
+                self.comm_latency
+            ));
+        }
+        if !(self.probe_backoff > 0.0 && self.probe_backoff.is_finite()) {
+            return Err(format!(
+                "probe_backoff must be positive and finite, got {}",
+                self.probe_backoff
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +205,57 @@ mod tests {
         assert!((c.comm_latency - 1.0).abs() < 1e-12);
         let d = c.dynamics.unwrap();
         assert_eq!(d.degrees, vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_tiny() {
+        assert!(FlConfig::default().validate().is_ok());
+        assert!(FlConfig::tiny().validate().is_ok());
+        // Boundary values are legal.
+        let mut c = FlConfig::tiny();
+        c.failure_prob = 1.0;
+        c.comm_latency = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_failure_prob() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let mut c = FlConfig::tiny();
+            c.failure_prob = bad;
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("failure_prob"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_eval_interval() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut c = FlConfig::tiny();
+            c.eval_interval = bad;
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("eval_interval"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_comm_latency() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut c = FlConfig::tiny();
+            c.comm_latency = bad;
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("comm_latency"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_probe_backoff() {
+        for bad in [0.0, -3.0, f64::NAN] {
+            let mut c = FlConfig::tiny();
+            c.probe_backoff = bad;
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("probe_backoff"), "got: {err}");
+        }
     }
 
     #[test]

@@ -15,15 +15,24 @@
 //! bit-identical to a sequential one at any thread count (asserted by
 //! the `determinism` integration test at 1, 2 and 8 threads).
 
+use crate::aggregate::StreamingAverage;
 use crate::client::{local_train, LocalTrainConfig, LocalUpdate};
 use crate::config::FlConfig;
 use crate::engine::{FlSetup, RunResult};
 use crate::latency::LatencyModel;
 use ecofl_compat::par::par_map;
+use ecofl_compat::sync::Shared;
 use ecofl_obs::{Domain, EventKind, MetricsHub, SpanKind, Tracer};
 use ecofl_simnet::EventQueue;
 use ecofl_tensor::{Network, Tensor};
 use ecofl_util::{Rng, TimeSeries};
+
+/// A cheap shared handle on a frozen parameter snapshot. Cloning bumps
+/// a reference count instead of copying the weight vector, so an
+/// in-flight cohort costs O(1) memory for its start model no matter how
+/// many cohorts share the same snapshot. Deref coercion makes a
+/// `&SharedParams` usable anywhere a `&[f32]` is expected.
+pub type SharedParams = Shared<Vec<f32>>;
 
 /// A scheduled unit of client work: the cohort of clients that finishes
 /// local training together. FedAvg rounds are one cohort of the whole
@@ -35,9 +44,10 @@ pub struct Cohort {
     /// Participating clients; empty cohorts are retry probes for
     /// currently-empty groups.
     pub members: Vec<usize>,
-    /// Model the cohort synchronized from; empty when the strategy
-    /// trains from the live global model instead.
-    pub start_params: Vec<f32>,
+    /// Shared handle on the model snapshot the cohort synchronized
+    /// from; an empty vector when the strategy trains from the live
+    /// global model instead.
+    pub start_params: SharedParams,
     /// Global model version (or round index) at dispatch time.
     pub version: u64,
     /// Virtual dispatch timestamp.
@@ -131,10 +141,21 @@ pub struct Scheduler<'a> {
     evaluator: Evaluator,
     queue: EventQueue<Cohort>,
     w: Vec<f32>,
+    /// Lazily-built shared snapshot of `w`, handed to dispatching
+    /// cohorts; invalidated whenever the global model changes so stale
+    /// snapshots are never served.
+    shared_snapshot: Option<SharedParams>,
     accuracy: TimeSeries,
     updates: u64,
     last_eval: f64,
 }
+
+/// Chunk size of the streaming train-and-fold path
+/// ([`Scheduler::train_cohort_folded`]): at most this many finished
+/// [`LocalUpdate`]s are live at once, independent of cohort size and of
+/// the total client count (asserted by the `memory_bound` integration
+/// test).
+pub const TRAIN_FOLD_CHUNK: usize = 64;
 
 impl<'a> Scheduler<'a> {
     /// Runs `strategy` over `setup`, optionally tracing, and returns the
@@ -161,6 +182,9 @@ impl<'a> Scheduler<'a> {
         strategy: &mut dyn AggregationStrategy,
     ) -> RunResult {
         let cfg = &setup.config;
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid FlConfig: {msg}");
+        }
         let mut rng = Rng::new(cfg.seed ^ strategy.seed_salt());
         let latency = make_latency(cfg, &mut rng);
         let mut sched = Scheduler {
@@ -172,6 +196,7 @@ impl<'a> Scheduler<'a> {
             evaluator: Evaluator::new(setup),
             queue: EventQueue::new(),
             w: initial_params(setup),
+            shared_snapshot: None,
             accuracy: TimeSeries::new(),
             updates: 0,
             last_eval: strategy.initial_eval_mark(),
@@ -255,8 +280,18 @@ impl<'a> Scheduler<'a> {
 
     /// Synchronous-barrier duration of a cohort: its slowest member's
     /// response latency plus the client↔server communication latency.
+    ///
+    /// An **empty** cohort is a retry probe for a group with no
+    /// dispatchable members; it completes after the configured
+    /// `probe_backoff` delay. (It used to fold from `0.0` and return
+    /// bare `comm_latency`, silently pinning probe cadence to an
+    /// unrelated knob — a default 1-second comm latency meant a probe
+    /// storm against any temporarily-empty group.)
     #[must_use]
     pub fn cohort_round_time(&self, members: &[usize]) -> f64 {
+        if members.is_empty() {
+            return self.setup.config.probe_backoff;
+        }
         members
             .iter()
             .map(|&c| self.latency.response_latency(c))
@@ -276,13 +311,29 @@ impl<'a> Scheduler<'a> {
         &self.w
     }
 
+    /// A shared handle on the current global model. The snapshot is
+    /// built (one vector copy) at most once per model version and then
+    /// served by reference-count bump to every cohort dispatched before
+    /// the next update — so N in-flight cohorts reading the same global
+    /// cost one vector, not N.
+    pub fn global_shared(&mut self) -> SharedParams {
+        if let Some(s) = &self.shared_snapshot {
+            return s.clone();
+        }
+        let s = SharedParams::new(self.w.clone());
+        self.shared_snapshot = Some(s.clone());
+        s
+    }
+
     /// Mutable access to the global model (incremental async mixing).
     pub fn global_mut(&mut self) -> &mut Vec<f32> {
+        self.shared_snapshot = None;
         &mut self.w
     }
 
     /// Replaces the global model wholesale (synchronous averaging).
     pub fn set_global(&mut self, w: Vec<f32>) {
+        self.shared_snapshot = None;
         self.w = w;
     }
 
@@ -338,6 +389,43 @@ impl<'a> Scheduler<'a> {
         })
     }
 
+    /// [`Scheduler::train_cohort`] fused with a streaming weighted
+    /// average: members train in chunks of [`TRAIN_FOLD_CHUNK`] and each
+    /// chunk's updates are folded into a [`StreamingAverage`] and
+    /// dropped before the next chunk trains. Peak live weight vectors
+    /// are therefore bounded by the chunk size, not the cohort (or
+    /// client-population) size.
+    ///
+    /// Per-client sample counts are fixed by the dataset before
+    /// training, so the total weight is known up front and the fold
+    /// performs the exact operation sequence of
+    /// [`crate::aggregate::weighted_average`] over the full member list
+    /// — the returned average is bit-identical to the unfused
+    /// train-then-aggregate path at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or holds no training samples.
+    #[must_use]
+    pub fn train_cohort_folded(
+        &self,
+        members: &[usize],
+        start: &[f32],
+        mu: f32,
+        tag: u64,
+    ) -> Vec<f32> {
+        let total: f64 = members
+            .iter()
+            .map(|&c| self.setup.data.client(c).len() as f64)
+            .sum();
+        let mut acc = StreamingAverage::new(start.len(), total);
+        for chunk in members.chunks(TRAIN_FOLD_CHUNK) {
+            for update in self.train_cohort(chunk, start, mu, tag) {
+                acc.fold(&update.params, update.num_samples as f64);
+            }
+        }
+        acc.finish()
+    }
+
     /// Records one global model update (counter + tally).
     pub fn note_update(&mut self, t: f64) {
         self.updates += 1;
@@ -350,8 +438,17 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Evaluates the global model if the cadence interval elapsed.
+    ///
+    /// The watermark advances in **whole-interval multiples** from its
+    /// previous position, keeping successive evaluations on the
+    /// configured `eval_interval` grid. (It used to jump to the cohort
+    /// completion time `t` itself, so under irregular completions every
+    /// eval re-anchored the grid and the effective cadence drifted up
+    /// to one interval late per eval — pinned by the
+    /// `eval_watermark_advances_on_interval_grid` regression test.)
     pub fn maybe_eval(&mut self, t: f64) {
-        if t - self.last_eval >= self.setup.config.eval_interval {
+        let interval = self.setup.config.eval_interval;
+        if t - self.last_eval >= interval {
             let acc = self.evaluator.accuracy(&self.w);
             self.accuracy.push(t, acc);
             if let Some(tr) = self.tracer {
@@ -360,7 +457,14 @@ impl<'a> Scheduler<'a> {
             if let Some(m) = &self.metrics {
                 m.accuracy.set(acc);
             }
-            self.last_eval = t;
+            if self.last_eval.is_finite() {
+                self.last_eval += ((t - self.last_eval) / interval).floor() * interval;
+            } else {
+                // A non-finite mark (FedAvg's evaluate-after-first-
+                // cohort sentinel) has no grid to stay on yet; anchor
+                // it at the first eval time.
+                self.last_eval = t;
+            }
         }
     }
 
@@ -544,5 +648,223 @@ fn finish(
         regroup_events: regroups,
         dropped_final: dropped,
         final_recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::weighted_average;
+    use crate::engine::FlSetup;
+    use ecofl_data::{federated::PartitionScheme, FederatedDataset, SyntheticSpec};
+    use ecofl_models::ModelArch;
+
+    fn setup_with(cfg: FlConfig, samples_per_client: usize) -> FlSetup {
+        let data = FederatedDataset::generate(
+            &SyntheticSpec::mnist_like(),
+            cfg.num_clients,
+            samples_per_client,
+            10,
+            PartitionScheme::Iid,
+            None,
+            cfg.seed,
+        );
+        FlSetup {
+            data,
+            arch: ModelArch::Mlp,
+            config: cfg,
+        }
+    }
+
+    fn probe_cohort() -> Cohort {
+        Cohort {
+            group: 0,
+            members: Vec::new(),
+            start_params: SharedParams::default(),
+            version: 0,
+            started: 0.0,
+        }
+    }
+
+    /// Dispatches empty probe cohorts at fixed absolute times and asks
+    /// for an eval on each completion — the irregular-completion shape
+    /// that used to drag the eval watermark off the grid.
+    struct GridProbe {
+        times: Vec<f64>,
+    }
+
+    impl AggregationStrategy for GridProbe {
+        fn name(&self) -> &'static str {
+            "grid-probe"
+        }
+        fn seed_salt(&self) -> u64 {
+            0x6171
+        }
+        fn horizon_policy(&self) -> HorizonPolicy {
+            HorizonPolicy::ProcessAll
+        }
+        fn initial_eval_mark(&self) -> f64 {
+            0.0
+        }
+        fn begin(&mut self, sched: &mut Scheduler<'_>) {
+            for &t in &self.times {
+                sched.dispatch_after(t, probe_cohort());
+            }
+        }
+        fn on_cohort(&mut self, sched: &mut Scheduler<'_>, t: f64, _cohort: Cohort) {
+            sched.maybe_eval(t);
+        }
+    }
+
+    #[test]
+    fn eval_watermark_advances_on_interval_grid() {
+        let cfg = FlConfig {
+            num_clients: 4,
+            clients_per_round: 2,
+            eval_interval: 20.0,
+            horizon: 1000.0,
+            ..FlConfig::tiny()
+        };
+        let setup = setup_with(cfg, 12);
+        // Completions at 25/45/60/85 with interval 20: the watermark
+        // walks the grid 0→20→40→60→80, so *every* completion ≥ one
+        // interval past the previous grid point evaluates. The old
+        // `last_eval = t` re-anchoring skipped t=60 (60 − 45 < 20).
+        let mut strat = GridProbe {
+            times: vec![25.0, 45.0, 60.0, 85.0],
+        };
+        let r = Scheduler::drive(&setup, None, &mut strat);
+        let eval_times: Vec<f64> = r.accuracy.points().iter().map(|&(t, _)| t).collect();
+        assert_eq!(eval_times, vec![0.0, 25.0, 45.0, 60.0, 85.0]);
+    }
+
+    #[test]
+    fn eval_grid_handles_nonfinite_initial_mark() {
+        let cfg = FlConfig {
+            num_clients: 4,
+            clients_per_round: 2,
+            eval_interval: 20.0,
+            horizon: 1000.0,
+            ..FlConfig::tiny()
+        };
+        let setup = setup_with(cfg, 12);
+        // NEG_INFINITY sentinel (FedAvg): first completion must both
+        // evaluate and anchor a *finite* grid — no NaN watermark.
+        struct NegInf(Vec<f64>);
+        impl AggregationStrategy for NegInf {
+            fn name(&self) -> &'static str {
+                "neg-inf-probe"
+            }
+            fn seed_salt(&self) -> u64 {
+                0x6172
+            }
+            fn horizon_policy(&self) -> HorizonPolicy {
+                HorizonPolicy::ProcessAll
+            }
+            fn initial_eval_mark(&self) -> f64 {
+                f64::NEG_INFINITY
+            }
+            fn begin(&mut self, sched: &mut Scheduler<'_>) {
+                for &t in &self.0 {
+                    sched.dispatch_after(t, probe_cohort());
+                }
+            }
+            fn on_cohort(&mut self, sched: &mut Scheduler<'_>, t: f64, _cohort: Cohort) {
+                sched.maybe_eval(t);
+            }
+        }
+        let mut strat = NegInf(vec![7.0, 12.0, 27.0, 55.0]);
+        let r = Scheduler::drive(&setup, None, &mut strat);
+        let eval_times: Vec<f64> = r.accuracy.points().iter().map(|&(t, _)| t).collect();
+        // t=7 evaluates (sentinel) and anchors the grid at 7; 12 is
+        // within the interval, 27 and 55 are on/past grid points.
+        assert_eq!(eval_times, vec![0.0, 7.0, 27.0, 55.0]);
+    }
+
+    /// Captures scheduler-path observations from inside `begin`.
+    #[derive(Default)]
+    struct Inspect {
+        empty_round_time: f64,
+        single_round_time: f64,
+        latency0: f64,
+        snapshots_shared: bool,
+        snapshot_invalidated: bool,
+        folded_matches_batch: bool,
+    }
+
+    impl AggregationStrategy for Inspect {
+        fn name(&self) -> &'static str {
+            "inspect"
+        }
+        fn seed_salt(&self) -> u64 {
+            0x6173
+        }
+        fn horizon_policy(&self) -> HorizonPolicy {
+            HorizonPolicy::ProcessAll
+        }
+        fn initial_eval_mark(&self) -> f64 {
+            0.0
+        }
+        fn begin(&mut self, sched: &mut Scheduler<'_>) {
+            self.empty_round_time = sched.cohort_round_time(&[]);
+            self.single_round_time = sched.cohort_round_time(&[0]);
+            self.latency0 = sched.response_latency(0);
+
+            let a = sched.global_shared();
+            let b = sched.global_shared();
+            self.snapshots_shared = SharedParams::ptr_eq(&a, &b);
+            sched.set_global(a.as_ref().clone());
+            let c = sched.global_shared();
+            self.snapshot_invalidated = !SharedParams::ptr_eq(&a, &c);
+
+            // Streaming train-and-fold must be bit-identical to the
+            // unfused train-then-aggregate path, across a chunk
+            // boundary (cohort larger than TRAIN_FOLD_CHUNK).
+            let members: Vec<usize> = (0..sched.config().num_clients).collect();
+            assert!(members.len() > TRAIN_FOLD_CHUNK);
+            let start = sched.global().to_vec();
+            let folded = sched.train_cohort_folded(&members, &start, 0.0, 3);
+            let updates = sched.train_cohort(&members, &start, 0.0, 3);
+            let refs: Vec<(&[f32], f64)> = updates
+                .iter()
+                .map(|u| (u.params.as_slice(), u.num_samples as f64))
+                .collect();
+            let batch = weighted_average(&refs);
+            self.folded_matches_batch = folded.len() == batch.len()
+                && folded
+                    .iter()
+                    .zip(&batch)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+        fn on_cohort(&mut self, _sched: &mut Scheduler<'_>, _t: f64, _cohort: Cohort) {}
+    }
+
+    #[test]
+    fn empty_cohort_uses_probe_backoff_and_fold_is_bit_identical() {
+        let cfg = FlConfig {
+            num_clients: TRAIN_FOLD_CHUNK + 9,
+            clients_per_round: 8,
+            local_epochs: 1,
+            probe_backoff: 17.5,
+            comm_latency: 1.0,
+            horizon: 10.0,
+            ..FlConfig::tiny()
+        };
+        let setup = setup_with(cfg, 8);
+        let mut strat = Inspect::default();
+        let _ = Scheduler::drive(&setup, None, &mut strat);
+        // Empty members = retry probe: explicit backoff, decoupled
+        // from comm_latency.
+        assert_eq!(strat.empty_round_time, 17.5);
+        assert_eq!(strat.single_round_time, strat.latency0 + 1.0);
+        assert!(strat.snapshots_shared, "snapshot should be served shared");
+        assert!(
+            strat.snapshot_invalidated,
+            "set_global must invalidate the shared snapshot"
+        );
+        assert!(
+            strat.folded_matches_batch,
+            "train_cohort_folded diverged from train + weighted_average"
+        );
     }
 }

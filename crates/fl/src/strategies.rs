@@ -10,7 +10,7 @@
 
 use crate::aggregate::{fedasync_mix, staleness_alpha, weighted_average};
 use crate::engine::Strategy;
-use crate::sched::{AggregationStrategy, Cohort, HorizonPolicy, Scheduler};
+use crate::sched::{AggregationStrategy, Cohort, HorizonPolicy, Scheduler, SharedParams};
 use ecofl_grouping::{Grouper, GroupingConfig, GroupingStrategy, RegroupOutcome};
 
 /// Builds the strategy object behind a [`Strategy`] selector.
@@ -59,7 +59,7 @@ impl FedAvg {
             Cohort {
                 group: 0,
                 members,
-                start_params: Vec::new(),
+                start_params: SharedParams::default(),
                 version: self.round,
                 started: t,
             },
@@ -101,13 +101,12 @@ impl AggregationStrategy for FedAvg {
         if !survivors.is_empty() {
             // The cohort trains from the live global model: FedAvg has a
             // single outstanding round, so dispatch-time and
-            // completion-time globals coincide.
-            let results = sched.train_cohort(&survivors, sched.global(), 0.0, cohort.version);
-            let refs: Vec<(&[f32], f64)> = results
-                .iter()
-                .map(|u| (u.params.as_slice(), u.num_samples as f64))
-                .collect();
-            sched.set_global(weighted_average(&refs));
+            // completion-time globals coincide. The streaming fold keeps
+            // at most TRAIN_FOLD_CHUNK finished updates live at once and
+            // is bit-identical to train-then-weighted_average.
+            let start = sched.global_shared();
+            let avg = sched.train_cohort_folded(&survivors, &start, 0.0, cohort.version);
+            sched.set_global(avg);
             sched.trace_aggregation(0, t, survivors.len() as f64);
             sched.note_update(t);
         }
@@ -144,7 +143,9 @@ impl FedAsync {
         let client = sched.rng().range_usize(0, n);
         let delay = sched.response_latency(client) + sched.config().comm_latency;
         let started = sched.now();
-        let start_params = sched.global().to_vec();
+        // A cheap handle on the dispatch-time snapshot: every worker
+        // dispatched between two global updates shares one vector.
+        let start_params = sched.global_shared();
         sched.dispatch_after(
             delay,
             Cohort {
@@ -271,8 +272,9 @@ pub struct Hierarchical {
     // global as a straggler-boosted weighted average of tier models
     // (Chai et al. 2021) — not incremental mixing. Averaging tier models
     // that drift toward disjoint label subsets is exactly what degrades
-    // FedAT under RLG-NIID (Fig. 8).
-    tier_models: Vec<Vec<f32>>,
+    // FedAT under RLG-NIID (Fig. 8). Shared handles: a tier's in-flight
+    // cohort holds the same snapshot the tier table does.
+    tier_models: Vec<SharedParams>,
     version: u64,
     tag: u64,
     regroups: u64,
@@ -302,27 +304,30 @@ impl Hierarchical {
     /// The model a group's next round synchronizes from: FedAT tiers
     /// evolve from their own tier model (semi-independent FedAvg per
     /// tier; the global weighted average is the served model only),
-    /// everyone else from the live global model.
-    fn start_model<'s>(&'s self, sched: &'s Scheduler<'_>, group: usize) -> &'s [f32] {
+    /// everyone else from the live global model. Returned as a shared
+    /// handle: dispatching a cohort never copies the weight vector.
+    fn start_model(&self, sched: &mut Scheduler<'_>, group: usize) -> SharedParams {
         match self.kind {
-            HierKind::FedAt => &self.tier_models[group],
-            _ => sched.global(),
+            HierKind::FedAt => self.tier_models[group].clone(),
+            _ => sched.global_shared(),
         }
     }
 
     /// Dispatches the next round for `group` at its current start model.
     fn dispatch(&self, sched: &mut Scheduler<'_>, group: usize) {
-        let retry_delay = sched.config().base_delay_mean;
         let members_all = &self.grouper().groups()[group].members;
         if members_all.is_empty() {
-            // Empty group: retry later (members may be regrouped in).
+            // Empty group: dispatch a retry probe (members may be
+            // regrouped in); the empty-members round time is the
+            // configured probe backoff.
+            let retry_delay = sched.cohort_round_time(&[]);
             let started = sched.now();
             sched.dispatch_after(
                 retry_delay,
                 Cohort {
                     group,
                     members: Vec::new(),
-                    start_params: Vec::new(),
+                    start_params: SharedParams::default(),
                     version: self.version,
                     started,
                 },
@@ -342,7 +347,7 @@ impl Hierarchical {
             let done = start + sched.response_latency(c);
             sched.trace_local_train(c, self.version as usize, start, done);
         }
-        let start_params = self.start_model(sched, group).to_vec();
+        let start_params = self.start_model(sched, group);
         sched.dispatch_after(
             round_time,
             Cohort {
@@ -400,13 +405,20 @@ impl AggregationStrategy for Hierarchical {
             strategy: self.kind.grouping(lambda),
             rt_relative: cfg.rt_relative,
             rt_min: cfg.rt_min,
+            assign_batch: cfg.grouping_batch,
         };
-        let label_counts: Vec<Vec<f64>> = sched
-            .setup()
-            .data
+        // Per-shard histograms are computed once and replicated across
+        // the virtual clients mapped onto each shard, so profiling a
+        // million-virtual-client population costs O(shards·classes)
+        // histogram work, not O(n·classes).
+        let data = &sched.setup().data;
+        let shard_hists: Vec<Vec<f64>> = data
             .clients()
             .iter()
             .map(|d| d.label_counts().iter().map(|&c| c as f64).collect())
+            .collect();
+        let label_counts: Vec<Vec<f64>> = (0..data.num_clients())
+            .map(|i| shard_hists[data.shard_index(i)].clone())
             .collect();
         let latencies = sched.all_latencies();
         self.grouper = Some(Grouper::initial(
@@ -417,7 +429,7 @@ impl AggregationStrategy for Hierarchical {
         ));
         let num_groups = self.grouper().groups().len();
         if matches!(self.kind, HierKind::FedAt) {
-            self.tier_models = vec![sched.global().to_vec(); num_groups];
+            self.tier_models = vec![sched.global_shared(); num_groups];
         }
         for g in 0..num_groups {
             self.dispatch(sched, g);
@@ -448,12 +460,9 @@ impl AggregationStrategy for Hierarchical {
         } else {
             0.0
         };
-        let results = sched.train_cohort(&survivors, &cohort.start_params, mu, self.tag);
-        let refs: Vec<(&[f32], f64)> = results
-            .iter()
-            .map(|u| (u.params.as_slice(), u.num_samples as f64))
-            .collect();
-        let group_model = weighted_average(&refs);
+        // Streaming fold: bit-identical to train-then-weighted_average,
+        // but at most TRAIN_FOLD_CHUNK updates are live at once.
+        let group_model = sched.train_cohort_folded(&survivors, &cohort.start_params, mu, self.tag);
 
         sched.trace_round_span(cohort.group, cohort.version as usize, cohort.started, t);
         // Inter-group aggregation.
@@ -463,7 +472,7 @@ impl AggregationStrategy for Hierarchical {
                 // global as a weighted average over all tier models, with
                 // slower tiers weighted higher to counter their lower
                 // update frequency.
-                self.tier_models[cohort.group] = group_model;
+                self.tier_models[cohort.group] = SharedParams::new(group_model);
                 let mut centers: Vec<(usize, f64)> = self
                     .grouper()
                     .groups()

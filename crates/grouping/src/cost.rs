@@ -70,29 +70,38 @@ impl GroupState {
     /// with the given label counts — the `JS(π_n^g, π_iid)` term of Eq. 4.
     #[must_use]
     pub fn union_js_from_iid(&self, client_counts: &[f64]) -> f64 {
-        assert_eq!(
-            client_counts.len(),
-            self.label_counts.len(),
-            "union_js: class-count mismatch"
-        );
-        let union: Vec<f64> = self
-            .label_counts
-            .iter()
-            .zip(client_counts)
-            .map(|(a, b)| a + b)
-            .collect();
-        let n = union.len();
-        js_divergence(&normalize_distribution(&union), &vec![1.0 / n as f64; n])
+        union_js_from_iid_parts(&self.label_counts, client_counts)
+    }
+
+    /// The group's pooled label counts (the raw `π^g` numerator) — a
+    /// batch-association pass snapshots these to score a whole batch
+    /// against frozen group state.
+    #[must_use]
+    pub fn label_counts(&self) -> &[f64] {
+        &self.label_counts
     }
 
     /// Adds a member.
     pub fn admit(&mut self, client: usize, latency: f64, client_counts: &[f64]) {
+        self.admit_deferred(client, latency, client_counts);
+        self.recompute_center();
+    }
+
+    /// [`GroupState::admit`] without the center recomputation: the
+    /// batched association path admits a whole batch and then calls
+    /// [`GroupState::refresh_center`] once per touched group, turning
+    /// O(members) per admit into O(members) per batch.
+    pub fn admit_deferred(&mut self, client: usize, latency: f64, client_counts: &[f64]) {
         debug_assert!(!self.members.contains(&client), "duplicate admit");
         self.members.push(client);
         self.member_latencies.push(latency);
         for (acc, &c) in self.label_counts.iter_mut().zip(client_counts) {
             *acc += c;
         }
+    }
+
+    /// Recomputes the latency center after deferred admits.
+    pub fn refresh_center(&mut self) {
         self.recompute_center();
     }
 
@@ -136,6 +145,26 @@ impl GroupState {
     }
 }
 
+/// [`GroupState::union_js_from_iid`] over raw parts: JS-from-IID of a
+/// group's pooled counts after absorbing `client_counts`. Free function
+/// so batch scoring can run against lightweight `(center, counts)`
+/// snapshots instead of borrowing live [`GroupState`]s.
+#[must_use]
+pub fn union_js_from_iid_parts(group_counts: &[f64], client_counts: &[f64]) -> f64 {
+    assert_eq!(
+        client_counts.len(),
+        group_counts.len(),
+        "union_js: class-count mismatch"
+    );
+    let union: Vec<f64> = group_counts
+        .iter()
+        .zip(client_counts)
+        .map(|(a, b)| a + b)
+        .collect();
+    let n = union.len();
+    js_divergence(&normalize_distribution(&union), &vec![1.0 / n as f64; n])
+}
+
 /// The Eq. 4 cost of assigning a client to a group:
 /// `|L_g − L_n| + λ · JS(π_n^g, π_iid)`.
 ///
@@ -149,8 +178,29 @@ pub fn assignment_cost(
     lambda: f64,
     latency_weight: f64,
 ) -> f64 {
-    latency_weight * (group.center() - client_latency).abs()
-        + lambda * group.union_js_from_iid(client_counts)
+    assignment_cost_parts(
+        group.center(),
+        group.label_counts(),
+        client_latency,
+        client_counts,
+        lambda,
+        latency_weight,
+    )
+}
+
+/// [`assignment_cost`] over raw `(center, counts)` parts, for scoring
+/// against frozen batch snapshots.
+#[must_use]
+pub fn assignment_cost_parts(
+    center: f64,
+    group_counts: &[f64],
+    client_latency: f64,
+    client_counts: &[f64],
+    lambda: f64,
+    latency_weight: f64,
+) -> f64 {
+    latency_weight * (center - client_latency).abs()
+        + lambda * union_js_from_iid_parts(group_counts, client_counts)
 }
 
 #[cfg(test)]

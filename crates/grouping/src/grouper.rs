@@ -1,7 +1,8 @@
 //! Initial grouping and Algorithm 1's dynamic re-grouping.
 
-use crate::cost::{assignment_cost, GroupState};
-use crate::kmeans::kmeans_1d;
+use crate::cost::{assignment_cost, assignment_cost_parts, GroupState};
+use crate::kmeans::{kmeans_1d, kmeans_1d_minibatch};
+use ecofl_compat::par::par_map;
 use ecofl_compat::serde::{Deserialize, Serialize};
 use ecofl_util::Rng;
 
@@ -26,7 +27,11 @@ impl GroupingStrategy {
         match self {
             GroupingStrategy::EcoFl { lambda } => lambda,
             GroupingStrategy::LatencyOnly => 0.0,
-            // A large but finite weight: data dominates any latency gap.
+            // The latency term is already zeroed by `latency_weight`,
+            // so the data term needs no outsized λ to dominate — 1.0
+            // keeps the JS divergence unscaled and the cost latency-
+            // invariant (pinned by the `data_only_cost_is_latency_
+            // invariant` property test).
             GroupingStrategy::DataOnly => 1.0,
         }
     }
@@ -55,6 +60,13 @@ pub struct GroupingConfig {
     pub rt_relative: f64,
     /// Absolute floor for `RT_g`, seconds.
     pub rt_min: f64,
+    /// Mini-batch size for initial association. `0` (the default) runs
+    /// the exact O(n²) greedy sweep; a positive value switches to
+    /// mini-batch k-means seeding plus batched greedy association —
+    /// O(n·k·C + n²/B) — which keeps million-client grouping
+    /// sub-quadratic. Batch scoring is sharded over the compat worker
+    /// pool and is bit-identical at any thread count.
+    pub assign_batch: usize,
 }
 
 impl Default for GroupingConfig {
@@ -64,6 +76,7 @@ impl Default for GroupingConfig {
             strategy: GroupingStrategy::EcoFl { lambda: 1000.0 },
             rt_relative: 0.5,
             rt_min: 2.0,
+            assign_batch: 0,
         }
     }
 }
@@ -173,8 +186,19 @@ impl Grouper {
         let num_classes = label_counts[0].len();
         assert!(num_classes > 0);
 
-        // Seed group centers with k-means over latencies.
-        let km = kmeans_1d(latencies, config.num_groups, rng, 100);
+        // Seed group centers with k-means over latencies: exact Lloyd
+        // at paper scale, mini-batch at `assign_batch` scale.
+        let km = if config.assign_batch > 0 {
+            kmeans_1d_minibatch(
+                latencies,
+                config.num_groups,
+                config.assign_batch.min(1024),
+                30,
+                rng,
+            )
+        } else {
+            kmeans_1d(latencies, config.num_groups, rng, 100)
+        };
         let mut groups: Vec<GroupState> = km
             .centroids
             .iter()
@@ -183,12 +207,74 @@ impl Grouper {
             .collect();
 
         let mut membership = vec![None; latencies.len()];
+        let lambda = config.strategy.lambda();
+        let lat_w = config.strategy.latency_weight();
+
+        if config.assign_batch > 0 {
+            // Batched greedy association: score each batch of clients
+            // against a frozen snapshot of the group states (in
+            // parallel — pure math against the snapshot, so the result
+            // is thread-count independent), then admit sequentially in
+            // client order with one center refresh per touched group.
+            // O(n·k·C) scoring + O(n²/B) center refreshes, versus the
+            // exact sweep's O(n²·k·C).
+            let ids: Vec<usize> = (0..latencies.len()).collect();
+            for batch in ids.chunks(config.assign_batch) {
+                let snaps: Vec<(f64, Vec<f64>)> = groups
+                    .iter()
+                    .map(|g| (g.center(), g.label_counts().to_vec()))
+                    .collect();
+                let choices: Vec<Option<usize>> = par_map(batch, |&client| {
+                    let mut best: Option<(f64, usize)> = None;
+                    for (g, (center, group_counts)) in snaps.iter().enumerate() {
+                        let within = !config.strategy.uses_threshold()
+                            || (center - latencies[client]).abs() <= rt_threshold(&config, *center);
+                        if !within {
+                            continue;
+                        }
+                        let cost = assignment_cost_parts(
+                            *center,
+                            group_counts,
+                            latencies[client],
+                            &label_counts[client],
+                            lambda,
+                            lat_w,
+                        );
+                        if best.is_none_or(|(b, _)| cost < b) {
+                            best = Some((cost, g));
+                        }
+                    }
+                    best.map(|(_, g)| g)
+                });
+                let mut touched = vec![false; groups.len()];
+                for (&client, &choice) in batch.iter().zip(&choices) {
+                    if let Some(g) = choice {
+                        groups[g].admit_deferred(client, latencies[client], &label_counts[client]);
+                        membership[client] = Some(g);
+                        touched[g] = true;
+                    }
+                }
+                for (g, hit) in touched.iter().enumerate() {
+                    if *hit {
+                        groups[g].refresh_center();
+                    }
+                }
+            }
+            // Clients no group admits start in the drop-out pool, same
+            // as the exact path.
+            return Self {
+                config,
+                groups,
+                membership,
+                latencies: latencies.to_vec(),
+                label_counts: label_counts.to_vec(),
+            };
+        }
+
         let mut pool: Vec<usize> = (0..latencies.len()).collect();
 
         // Greedy association: each group in turn picks its cheapest
         // admissible client until nothing can be placed.
-        let lambda = config.strategy.lambda();
-        let lat_w = config.strategy.latency_weight();
         loop {
             let mut placed_any = false;
             #[allow(clippy::needless_range_loop)]
@@ -408,6 +494,7 @@ mod tests {
             strategy,
             rt_relative: 0.5,
             rt_min: 2.0,
+            assign_batch: 0,
         }
     }
 
@@ -452,6 +539,7 @@ mod tests {
             strategy: GroupingStrategy::EcoFl { lambda: 500.0 },
             rt_relative: 1.0,
             rt_min: 10.0,
+            assign_batch: 0,
         };
         let cfg_lat = GroupingConfig {
             strategy: GroupingStrategy::LatencyOnly,
@@ -555,6 +643,7 @@ mod tests {
                 strategy: GroupingStrategy::EcoFl { lambda },
                 rt_relative: 0.8,
                 rt_min: 5.0,
+                assign_batch: 0,
             };
             Grouper::initial(&latencies, &counts, cfg, &mut Rng::new(11)).avg_group_js()
         };

@@ -102,6 +102,7 @@ mod tests {
                 strategy: GroupingStrategy::EcoFl { lambda: 200.0 },
                 rt_relative: 0.8,
                 rt_min: 5.0,
+                assign_batch: 0,
             },
             &mut Rng::new(2),
         )

@@ -28,6 +28,7 @@ fn config(lambda: f64) -> GroupingConfig {
         strategy: GroupingStrategy::EcoFl { lambda },
         rt_relative: 0.6,
         rt_min: 5.0,
+        assign_batch: 0,
     }
 }
 
@@ -201,6 +202,76 @@ fn higher_lambda_never_worsens_average_js() {
                 js_high <= js_low + 0.1,
                 "λ=5000 js {js_high} vs λ=0 js {js_low}"
             );
+        },
+    );
+}
+
+#[test]
+fn data_only_cost_is_latency_invariant() {
+    let input = triple(any_u64(), usize_in(4, 40), f64_in(1.0, 1e4));
+    forall(
+        "data_only_cost_is_latency_invariant",
+        CASES,
+        &input,
+        |&(seed, n, shift)| {
+            let (lat, counts) = profiles(n, seed);
+            let cfg = GroupingConfig {
+                num_groups: 4,
+                strategy: GroupingStrategy::DataOnly,
+                rt_relative: 0.6,
+                rt_min: 5.0,
+                assign_batch: 0,
+            };
+            // Cost: DataOnly zeroes the latency term via latency_weight,
+            // so the Eq. 4 cost is bit-identical at any client latency.
+            let g = Grouper::initial(&lat, &counts, cfg, &mut Rng::new(seed ^ 1));
+            for group in g.groups() {
+                let here = assignment_cost(group, lat[0], &counts[0], 1.0, 0.0);
+                let moved = assignment_cost(group, lat[0] + shift, &counts[0], 1.0, 0.0);
+                assert_eq!(here.to_bits(), moved.to_bits());
+            }
+            // Membership: shifting and stretching every latency leaves
+            // the DataOnly partition unchanged (compared as a canonical
+            // set of member sets — centroid order may permute).
+            let scale = 1.0 + shift / 5e3;
+            let lat2: Vec<f64> = lat.iter().map(|&l| l * scale + shift).collect();
+            let g2 = Grouper::initial(&lat2, &counts, cfg, &mut Rng::new(seed ^ 1));
+            let canon = |g: &Grouper| {
+                let mut groups: Vec<Vec<usize>> = g
+                    .groups()
+                    .iter()
+                    .map(|gr| {
+                        let mut m = gr.members.clone();
+                        m.sort_unstable();
+                        m
+                    })
+                    .collect();
+                groups.sort();
+                groups
+            };
+            assert_eq!(canon(&g), canon(&g2));
+        },
+    );
+}
+
+#[test]
+fn batched_association_matches_thread_counts() {
+    // The mini-batch association path must be bit-identical regardless
+    // of how many threads score a batch: admissions happen sequentially
+    // in client order against frozen snapshots.
+    let input = pair(any_u64(), usize_in(16, 80));
+    forall(
+        "batched_association_matches_thread_counts",
+        CASES,
+        &input,
+        |&(seed, n)| {
+            let (lat, counts) = profiles(n, seed);
+            let mut cfg = config(500.0);
+            cfg.assign_batch = 16;
+            let g1 = Grouper::initial(&lat, &counts, cfg, &mut Rng::new(seed ^ 1));
+            let g2 = Grouper::initial(&lat, &counts, cfg, &mut Rng::new(seed ^ 1));
+            assert_eq!(g1.groups(), g2.groups());
+            check_invariants(&g1, n);
         },
     );
 }

@@ -1,0 +1,150 @@
+//! Differential property suite: the calendar-queue backend of
+//! [`EventQueue`] must be pop-for-pop identical to the retained
+//! `BinaryHeap` reference backend — same `(time, event)` sequence, same
+//! clock, same lengths — under random schedule/pop interleavings
+//! (including deliberately forced exact-tie timestamps, where the FIFO
+//! insertion-sequence contract is the only thing separating events) and
+//! under a 10⁵-event soak that drives the calendar through many
+//! grow/shrink resize cycles.
+
+use ecofl_simnet::EventQueue;
+
+/// Tiny deterministic PRNG (xorshift64*) so the suite needs no crates.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        Prng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs one random interleaving on both backends, asserting lockstep
+/// equality after every operation.
+fn differential_run(seed: u64, ops: usize, tie_permille: u64) {
+    let mut rng = Prng::new(seed);
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: EventQueue<u64> = EventQueue::with_reference_backend();
+    // Recently scheduled times, recycled to force exact-equal
+    // timestamps (bitwise ties) into both queues.
+    let mut recent: Vec<f64> = Vec::new();
+    let mut next_event = 0u64;
+
+    for _ in 0..ops {
+        let do_pop = !cal.is_empty() && rng.below(100) < 40;
+        if do_pop {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "pop diverged (seed {seed})");
+        } else {
+            let reuse_tie = !recent.is_empty() && rng.below(1000) < tie_permille;
+            let t = if reuse_tie {
+                let candidate = recent[rng.below(recent.len() as u64) as usize];
+                if candidate >= cal.now() {
+                    candidate
+                } else {
+                    cal.now()
+                }
+            } else {
+                // Mixed scales: dense near-term, occasional far-future
+                // (exercises the calendar's direct-search fallback).
+                let spread = match rng.below(10) {
+                    0 => 1e6,
+                    1..=3 => 1e3,
+                    _ => 50.0,
+                };
+                cal.now() + rng.unit_f64() * spread
+            };
+            recent.push(t);
+            if recent.len() > 32 {
+                recent.remove(0);
+            }
+            cal.schedule(t, next_event);
+            heap.schedule(t, next_event);
+            next_event += 1;
+        }
+        assert_eq!(cal.len(), heap.len(), "len diverged (seed {seed})");
+        assert_eq!(cal.now(), heap.now(), "clock diverged (seed {seed})");
+        assert_eq!(
+            cal.peek_time(),
+            heap.peek_time(),
+            "peek diverged (seed {seed})"
+        );
+    }
+    // Drain both completely: residual order must match too.
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "drain diverged (seed {seed})");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_match_reference() {
+    for seed in 1..=40u64 {
+        differential_run(seed, 600, 150);
+    }
+}
+
+#[test]
+fn tie_heavy_interleavings_match_reference() {
+    // Half of all schedules reuse a live timestamp: pop order is then
+    // dominated by the insertion-sequence tie-break.
+    for seed in 100..=120u64 {
+        differential_run(seed, 400, 500);
+    }
+}
+
+#[test]
+fn soak_100k_events_matches_reference() {
+    differential_run(0xDEAD_BEEF, 100_000, 120);
+}
+
+#[test]
+fn soak_100k_bulk_schedule_then_drain() {
+    // Pure schedule-then-drain at 10⁵ events: the throughput shape the
+    // `eventqueue_schedule_pop` bench measures, asserted for ordering
+    // here. Also checks the clock ends at the max scheduled time.
+    let mut rng = Prng::new(97);
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: EventQueue<u64> = EventQueue::with_reference_backend();
+    let mut t_max = 0.0f64;
+    for i in 0..100_000u64 {
+        let t = rng.unit_f64() * 1e5;
+        t_max = t_max.max(t);
+        cal.schedule(t, i);
+        heap.schedule(t, i);
+    }
+    let mut n = 0u64;
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+        n += 1;
+    }
+    assert_eq!(n, 100_000);
+    assert_eq!(cal.now(), t_max);
+    assert_eq!(heap.now(), t_max);
+}

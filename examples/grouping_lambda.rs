@@ -34,6 +34,7 @@ fn main() {
                 strategy: GroupingStrategy::EcoFl { lambda },
                 rt_relative: 0.8,
                 rt_min: 5.0,
+                assign_batch: 0,
             },
             &mut Rng::new(11),
         );
@@ -65,6 +66,7 @@ fn main() {
             strategy: GroupingStrategy::EcoFl { lambda: 1000.0 },
             rt_relative: 0.8,
             rt_min: 5.0,
+            assign_batch: 0,
         },
         &mut Rng::new(11),
     );

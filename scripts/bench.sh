@@ -87,4 +87,19 @@ if ! grep -q "\"pipeline_1f1b_round_b2_m16_metered\"" "$out_dir/BENCH_headline.j
     exit 1
 fi
 
+# The census-scale scheduler cases must stay in the trajectory: the
+# calendar event queue and million-point mini-batch k-means in the micro
+# snapshot, the 100k-virtual-client end-to-end dispatch in the headline
+# snapshot.
+for case in eventqueue_schedule_pop kmeans_minibatch_1m; do
+    if ! grep -q "\"$case\"" "$out_dir/BENCH_micro.json"; then
+        echo "ERROR: BENCH_micro.json is missing the $case scale case" >&2
+        exit 1
+    fi
+done
+if ! grep -q "\"sched_dispatch_100k\"" "$out_dir/BENCH_headline.json"; then
+    echo "ERROR: BENCH_headline.json is missing the sched_dispatch_100k scale case" >&2
+    exit 1
+fi
+
 echo "==> bench snapshots written to $out_dir"

@@ -170,6 +170,51 @@ for threads in 1 2 8; do
     }
 done
 
+# Scale-smoke gate: the CLI must drive a 100k-virtual-client population
+# (64 data shards, calendar event queue, streaming folds) to completion
+# in bounded time, and the grouped Eco-FL run — whose mini-batch
+# association scores batches in parallel — must print bit-identical
+# output at every pool width. A regression to O(n log n) event handling
+# or O(n²) grouping trips the watchdog; a thread-count-dependent
+# reduction order trips the diff.
+echo "==> scale-smoke gate: 100k virtual clients via the CLI (watchdog 300s, ECOFL_THREADS=1/2/8)"
+scale_dir=$(mktemp -d)
+trap 'rm -rf "$scale_dir"' EXIT
+echo "    fedavg 100k"
+timeout 300 ./target/release/ecofl fl --strategy fedavg --clients 100000 --shards 64 \
+    --clients-per-round 256 --horizon 200 --dataset mnist --seed 7 \
+    >"$scale_dir/fedavg.txt" || {
+    status=$?
+    if [ "$status" -eq 124 ]; then
+        echo "ERROR: 100k FedAvg run hit the watchdog — the scheduler no longer scales." >&2
+    fi
+    exit "$status"
+}
+for threads in 1 2 8; do
+    echo "    ecofl 100k ECOFL_THREADS=$threads"
+    ECOFL_THREADS=$threads timeout 300 ./target/release/ecofl fl --strategy ecofl \
+        --clients 100000 --shards 64 --clients-per-round 256 --groups 4 \
+        --horizon 400 --dataset mnist --seed 7 >"$scale_dir/ecofl_t$threads.txt" || {
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "ERROR: 100k Eco-FL run hit the watchdog — the scheduler no longer scales." >&2
+        fi
+        exit "$status"
+    }
+done
+for threads in 2 8; do
+    if ! diff -q "$scale_dir/ecofl_t1.txt" "$scale_dir/ecofl_t$threads.txt" >/dev/null; then
+        echo "ERROR: 100k Eco-FL output differs between ECOFL_THREADS=1 and $threads:" >&2
+        diff "$scale_dir/ecofl_t1.txt" "$scale_dir/ecofl_t$threads.txt" >&2 || true
+        exit 1
+    fi
+done
+if ! grep -q "updates" "$scale_dir/fedavg.txt"; then
+    echo "ERROR: 100k FedAvg run produced no summary line." >&2
+    exit 1
+fi
+echo "    ok (outputs bit-identical across pool widths)"
+
 # Bench-smoke gate: one-iteration pass through the benchmark trajectory
 # runner, asserting the BENCH_*.json plumbing and schema — never timings,
 # which are machine-dependent. The real snapshots are regenerated by

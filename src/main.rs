@@ -408,7 +408,14 @@ fn cmd_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let seed = get(args, "seed", 42u64)?;
     let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
     let dataset = parse_dataset(args.get("dataset").map_or("cifar", String::as_str))?;
-    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
+    let setup = fl_setup(
+        &dataset,
+        clients,
+        horizon,
+        comm_latency,
+        seed,
+        fl_scale_opts(args)?,
+    )?;
     let r = run_strategy(strategy, &setup);
     println!(
         "{} on {} ({clients} clients, horizon {horizon}s):",
@@ -438,36 +445,104 @@ fn parse_dataset(name: &str) -> Result<SyntheticSpec, EcoFlError> {
     }
 }
 
+/// Scale knobs shared by `fl`, `trace --scenario fl` and `metrics
+/// --live fl`. Zero / `None` means "auto" everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlScaleOpts {
+    /// Materialized data shards; 0 = one shard per client (no
+    /// virtualization). Large populations round-robin onto the shards.
+    shards: usize,
+    /// Cohort size; 0 = auto `(clients / 3).clamp(4, 20)`.
+    clients_per_round: usize,
+    /// Latency groups for the hierarchical strategies; 0 = config default.
+    groups: usize,
+    /// Mini-batch association size; `None` = auto (8192 once the
+    /// population reaches 10k, exact greedy below that).
+    grouping_batch: Option<usize>,
+}
+
+fn fl_scale_opts(args: &HashMap<String, String>) -> Result<FlScaleOpts, EcoFlError> {
+    Ok(FlScaleOpts {
+        shards: get(args, "shards", 0usize)?,
+        clients_per_round: get(args, "clients-per-round", 0usize)?,
+        groups: get(args, "groups", 0usize)?,
+        grouping_batch: if args.contains_key("grouping-batch") {
+            Some(get(args, "grouping-batch", 0usize)?)
+        } else {
+            None
+        },
+    })
+}
+
+/// Population threshold past which grouping auto-switches to mini-batch
+/// association (overridable with `--grouping-batch`).
+const AUTO_BATCH_THRESHOLD: usize = 10_000;
+const AUTO_BATCH_SIZE: usize = 8192;
+
 fn fl_setup(
     dataset: &SyntheticSpec,
     clients: usize,
     horizon: f64,
     comm_latency: f64,
     seed: u64,
+    scale: FlScaleOpts,
 ) -> Result<FlSetup, EcoFlError> {
     if !comm_latency.is_finite() || comm_latency < 0.0 {
         return Err(EcoFlError::Config(format!(
             "--comm-latency must be a non-negative number of seconds, got {comm_latency}"
         )));
     }
+    let shards = if scale.shards == 0 {
+        clients
+    } else {
+        scale.shards
+    };
+    if shards > clients {
+        return Err(EcoFlError::Config(format!(
+            "--shards {shards} exceeds --clients {clients}"
+        )));
+    }
+    let defaults = FlConfig::default();
     let config = FlConfig {
         num_clients: clients,
-        clients_per_round: (clients / 3).clamp(4, 20),
+        clients_per_round: if scale.clients_per_round == 0 {
+            (clients / 3).clamp(4, 20)
+        } else {
+            scale.clients_per_round
+        },
+        num_groups: if scale.groups == 0 {
+            defaults.num_groups
+        } else {
+            scale.groups
+        },
+        grouping_batch: scale
+            .grouping_batch
+            .unwrap_or(if clients >= AUTO_BATCH_THRESHOLD {
+                AUTO_BATCH_SIZE
+            } else {
+                0
+            }),
         horizon,
         eval_interval: horizon / 25.0,
         comm_latency,
         seed,
-        ..FlConfig::default()
+        ..defaults
     };
+    config.validate().map_err(EcoFlError::Config)?;
     let data = FederatedDataset::generate(
         dataset,
-        clients,
+        shards,
         60,
         50,
         PartitionScheme::ClassesPerClient(2),
         None,
         seed,
     );
+    let data = if shards < clients {
+        data.virtualize(clients)
+    } else {
+        data
+    };
     Ok(FlSetup {
         data,
         arch: ModelArch::Mlp,
@@ -710,7 +785,14 @@ fn cmd_trace_fl(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let seed = get(args, "seed", 42u64)?;
     let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
     let dataset = parse_dataset(args.get("dataset").map_or("mnist", String::as_str))?;
-    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
+    let setup = fl_setup(
+        &dataset,
+        clients,
+        horizon,
+        comm_latency,
+        seed,
+        fl_scale_opts(args)?,
+    )?;
     let tracer = Tracer::new();
     let r = run_strategy_traced(strategy, &setup, &tracer);
     let view = tracer.view();
@@ -883,7 +965,14 @@ fn cmd_metrics_live(args: &HashMap<String, String>) -> Result<(), EcoFlError> {
     let comm_latency = get(args, "comm-latency", FlConfig::default().comm_latency)?;
     let dataset = parse_dataset(args.get("dataset").map_or("mnist", String::as_str))?;
     let refresh = get(args, "refresh-ms", 200u64)?;
-    let setup = fl_setup(&dataset, clients, horizon, comm_latency, seed)?;
+    let setup = fl_setup(
+        &dataset,
+        clients,
+        horizon,
+        comm_latency,
+        seed,
+        fl_scale_opts(args)?,
+    )?;
 
     let mut store = match args.get("store") {
         Some(dir) => {
@@ -973,6 +1062,9 @@ fn usage() -> &'static str {
        fl     [--strategy S]         run a federated-learning simulation\n\
               [--clients N] [--horizon T] [--dataset mnist|fashion|cifar]\n\
               [--comm-latency T] [--seed N]\n\
+              [--shards N]           back N virtual clients per data shard\n\
+                                     (million-client runs; 0 = no sharing)\n\
+              [--clients-per-round N] [--groups N] [--grouping-batch N]\n\
        trace  --model M --devices D  record a virtual-time trace into a\n\
               segmented run store (summary-pruned compressed blocks)\n\
               [--scenario pipeline|spike|fl] [--rounds N] [--top N]\n\
@@ -1085,16 +1177,72 @@ mod tests {
     #[test]
     fn fl_setup_validates_comm_latency() {
         let spec = SyntheticSpec::mnist_like();
-        let ok = fl_setup(&spec, 12, 100.0, 2.5, 1).unwrap();
+        let ok = fl_setup(&spec, 12, 100.0, 2.5, 1, FlScaleOpts::default()).unwrap();
         assert!((ok.config.comm_latency - 2.5).abs() < 1e-12);
         assert!(matches!(
-            fl_setup(&spec, 12, 100.0, -1.0, 1),
+            fl_setup(&spec, 12, 100.0, -1.0, 1, FlScaleOpts::default()),
             Err(EcoFlError::Config(_))
         ));
         assert!(matches!(
-            fl_setup(&spec, 12, 100.0, f64::NAN, 1),
+            fl_setup(&spec, 12, 100.0, f64::NAN, 1, FlScaleOpts::default()),
             Err(EcoFlError::Config(_))
         ));
+    }
+
+    #[test]
+    fn fl_setup_scale_opts_virtualize_and_autobatch() {
+        let spec = SyntheticSpec::mnist_like();
+        // Sharded: 100 virtual clients on 8 shards, explicit cohort size.
+        let s = fl_setup(
+            &spec,
+            100,
+            100.0,
+            1.0,
+            1,
+            FlScaleOpts {
+                shards: 8,
+                clients_per_round: 40,
+                groups: 3,
+                grouping_batch: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.data.num_clients(), 100);
+        assert_eq!(s.data.num_shards(), 8);
+        assert_eq!(s.config.clients_per_round, 40);
+        assert_eq!(s.config.num_groups, 3);
+        // Below the auto-batch threshold the exact greedy path stays on.
+        assert_eq!(s.config.grouping_batch, 0);
+        // Shards cannot exceed the population.
+        assert!(matches!(
+            fl_setup(
+                &spec,
+                4,
+                100.0,
+                1.0,
+                1,
+                FlScaleOpts {
+                    shards: 8,
+                    ..FlScaleOpts::default()
+                }
+            ),
+            Err(EcoFlError::Config(_))
+        ));
+        // Explicit override wins over the auto rule.
+        let s = fl_setup(
+            &spec,
+            100,
+            100.0,
+            1.0,
+            1,
+            FlScaleOpts {
+                shards: 4,
+                grouping_batch: Some(32),
+                ..FlScaleOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.config.grouping_batch, 32);
     }
 
     #[test]

@@ -196,6 +196,7 @@ fn fig9_shape_lambda_tradeoff() {
                 strategy: GroupingStrategy::EcoFl { lambda },
                 rt_relative: 0.8,
                 rt_min: 5.0,
+                assign_batch: 0,
             },
             &mut ecofl::util::Rng::new(7),
         )

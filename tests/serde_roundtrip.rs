@@ -43,6 +43,7 @@ fn grouping_config_round_trips() {
             strategy,
             rt_relative: 0.4,
             rt_min: 1.5,
+            assign_batch: 0,
         };
         assert_eq!(round_trip(&cfg), cfg);
     }
